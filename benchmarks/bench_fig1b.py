@@ -1,0 +1,17 @@
+"""Fig. 1b — sparsity vs actual speedup gap (motivation figure)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis import fig1b_sparsity_gap
+
+
+def test_fig1b_sparsity_gap(benchmark):
+    result = run_once(
+        benchmark, fig1b_sparsity_gap, ratios=(1, 2, 4, 8, 16),
+        scale=BENCH_SCALE,
+    )
+    # Speedup grows with the reduction ratio but stays at/below ideal.
+    assert result.speedups == sorted(result.speedups)
+    assert result.gap_at(16) >= 1.0
+    # Off-chip traffic per step shrinks with parameter reduction.
+    assert result.offchip_per_step[-1] < result.offchip_per_step[0]

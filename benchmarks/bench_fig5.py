@@ -1,0 +1,36 @@
+"""Fig. 5 — normalised latency breakdown, one benchmark per panel.
+
+Each panel runs all 8 workloads x 6 mechanisms with base/stall splits.
+Shape assertions encode the paper's reading of the figure.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis import fig5_latency_breakdown
+from repro.utils import geometric_mean
+from repro.workloads import WORKLOAD_ORDER
+
+
+@pytest.mark.parametrize("panel", ["int8", "fp16", "int32", "int32+nsb"])
+def test_fig5_panel(benchmark, panel):
+    result = run_once(
+        benchmark,
+        fig5_latency_breakdown,
+        workloads=WORKLOAD_ORDER,
+        panels=(panel,),
+        scale=BENCH_SCALE,
+    )
+    data = result.panels[panel]
+    assert len(data) == 8
+    for workload, per_mech in data.items():
+        # Bars normalised to the in-order total.
+        assert per_mech["inorder"].total == pytest.approx(1.0)
+        # NVR is never slower than the no-prefetch baselines.
+        assert per_mech["nvr"].total <= per_mech["inorder"].total + 1e-9
+        assert per_mech["nvr"].total <= per_mech["ooo"].total + 0.05
+    # Paper headline: NVR removes the overwhelming majority of stall time.
+    assert result.stall_reduction(panel, "nvr") > 0.85
+    # Paper headline: ~4x average speedup vs the no-prefetch NPU.
+    speedups = [1.0 / max(per["nvr"].total, 1e-9) for per in data.values()]
+    assert geometric_mean(speedups) > 2.0

@@ -1,0 +1,33 @@
+"""Fig. 6 — prefetcher accuracy (a), coverage (b) and data movement (c)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis import fig6_accuracy_coverage, fig6c_data_movement
+from repro.workloads import WORKLOAD_ORDER
+
+
+def test_fig6ab_accuracy_coverage(benchmark):
+    result = run_once(
+        benchmark, fig6_accuracy_coverage, workloads=WORKLOAD_ORDER,
+        scale=BENCH_SCALE,
+    )
+    # Paper: NVR keeps both metrics above ~90% across most workloads.
+    assert result.mean_accuracy("nvr") > 0.9
+    assert result.mean_coverage("nvr") > 0.75
+    # Coverage ordering on irregular workloads: nvr > dvr > imp > stream.
+    for workload in ("ds", "gcn", "h2o"):
+        per = result.data[workload]
+        assert per["nvr"][1] > per["dvr"][1] > per["imp"][1] > per["stream"][1]
+    # The hash capability gap (MK/SCN).
+    for workload in ("mk", "scn"):
+        per = result.data[workload]
+        assert per["nvr"][1] > 0.9
+        assert per["imp"][1] < 0.2
+        assert per["dvr"][1] < 0.2
+
+
+def test_fig6c_data_movement(benchmark):
+    result = run_once(benchmark, fig6c_data_movement, scale=BENCH_SCALE)
+    # Paper: ~30x fewer off-chip accesses during actual load execution.
+    assert result.reduction("nvr") > 10
+    assert result.reduction("nvr+nsb") > 10

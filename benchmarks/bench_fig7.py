@@ -1,0 +1,17 @@
+"""Fig. 7 — normalised bandwidth allocation with and without the NSB."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis import fig7_bandwidth_allocation
+
+
+def test_fig7_bandwidth_allocation(benchmark):
+    result = run_once(benchmark, fig7_bandwidth_allocation, scale=BENCH_SCALE)
+    # Paper: off-chip bandwidth reduced by ~75% vs the explicit-preload
+    # baseline in both configurations.
+    assert result.offchip_reduction(False) > 0.6
+    assert result.offchip_reduction(True) > 0.6
+    # Prefetch traffic replaces demand traffic (the allocation shift).
+    assert result.without_nsb["nvr_prefetch"] > result.without_nsb["npu_demand"]
+    # With the NSB, part of the NPU's read traffic is served in-NPU.
+    assert result.with_nsb["nsb_to_npu"] > 0

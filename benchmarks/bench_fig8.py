@@ -1,0 +1,32 @@
+"""Fig. 8 — system-level LLM evaluation (per-layer misses + throughput)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis import fig8a_layer_miss, fig8bc_llm_throughput
+
+
+def test_fig8a_layer_miss(benchmark):
+    rates = run_once(benchmark, fig8a_layer_miss, scale=BENCH_SCALE)
+    # Gather layers (QK^T, AV) miss heavily in-order; NVR collapses both
+    # batch and element rates by an order of magnitude (log-scale figure).
+    for layer in ("qkt", "av"):
+        ino_batch, _ = rates[layer]["inorder"]
+        nvr_batch, _ = rates[layer]["nvr"]
+        assert ino_batch > 0.5
+        assert nvr_batch < 0.15 * ino_batch
+    # The streaming QKV layer was never the problem.
+    assert rates["qkv"]["inorder"][0] < 0.3
+
+
+def test_fig8bc_llm_throughput(benchmark):
+    result = run_once(benchmark, fig8bc_llm_throughput, calib_scale=BENCH_SCALE)
+    # Decode (IO-bound): NVR gains grow with context length (paper ~50%).
+    assert result.decode_gain(512) > 0.05
+    assert result.decode_gain(2048) > 0.3
+    assert result.decode_gain(2048) > result.decode_gain(512)
+    # Prefill (compute-bound): both plateau at the same peak; NVR reaches
+    # it at lower bandwidth.
+    prefill_base = result.prefill["inorder"][2048]
+    prefill_nvr = result.prefill["nvr"][2048]
+    assert prefill_nvr[-1] == prefill_base[-1]
+    assert prefill_nvr[0] > prefill_base[0]

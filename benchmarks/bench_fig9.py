@@ -1,0 +1,25 @@
+"""Fig. 9 — NSB and L2 cache sensitivity (perf = 1/(latency x area))."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis import fig9_nsb_sensitivity
+
+
+def test_fig9_nsb_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        fig9_nsb_sensitivity,
+        nsb_sizes=(4, 8, 16, 32),
+        l2_sizes=(64, 128, 192, 256, 384, 512, 1024),
+        scale=BENCH_SCALE,
+    )
+    assert len(result.perf) == 4
+    assert len(result.perf[0]) == 7
+    # Paper headline: a modest NSB out-delivers equal-area L2 scaling.
+    assert result.nsb_vs_l2_benefit() > 2.0
+    # Latency saturates with L2 size, so area-normalised perf decreases.
+    for row in result.perf:
+        assert row[0] > row[-1]
+    # Raw latency is monotone non-increasing in L2 size (sanity).
+    for row in result.cycles:
+        assert row[0] >= row[-1] - row[-1] // 10

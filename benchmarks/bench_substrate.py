@@ -1,0 +1,71 @@
+"""Substrate micro-benchmarks: the hot paths under every experiment.
+
+These use pytest-benchmark's normal multi-round timing (they are
+microseconds-to-milliseconds scale) and double as performance regression
+guards for the simulator itself.
+"""
+
+import numpy as np
+
+from repro.sim.memory.cache import Cache, CacheConfig
+from repro.sim.memory.dram import DRAM, DRAMConfig
+from repro.sim.npu.program import ProgramConfig, build_one_side_program
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.generate import uniform_csr
+from repro.sparse.spmm import spmm_one_side
+from repro.workloads import build_workload
+
+
+def test_cache_access_throughput(benchmark):
+    cache = Cache(CacheConfig(size_bytes=256 * 1024, assoc=8))
+    addrs = np.random.default_rng(0).integers(0, 1 << 22, size=4096)
+    addrs = (addrs // 64 * 64).tolist()
+
+    def run():
+        for t, addr in enumerate(addrs):
+            kind, line = cache.lookup(t, addr)
+            if line is None:
+                cache.allocate(t, addr, ready_at=t + 100, by_prefetch=False)
+
+    benchmark(run)
+    assert cache.resident_lines() > 0
+
+
+def test_dram_channel_throughput(benchmark):
+    def run():
+        dram = DRAM(DRAMConfig())
+        for t in range(2000):
+            dram.access(t * 2, 64)
+        return dram
+
+    dram = benchmark(run)
+    assert dram.transfers == 2000
+
+
+def test_spmm_reference_kernel(benchmark):
+    weights = uniform_csr(64, 512, 0.05, seed=1)
+    activations = np.random.default_rng(2).random((512, 64)).astype(np.float32)
+    out = benchmark(spmm_one_side, weights, activations)
+    assert out.shape == (64, 64)
+
+
+def test_program_lowering(benchmark):
+    weights = uniform_csr(128, 2048, 0.03, seed=3)
+
+    program = benchmark(
+        build_one_side_program, "bench", weights, ProgramConfig()
+    )
+    assert program.nnz == weights.nnz
+
+
+def test_workload_build_ds(benchmark):
+    program = benchmark(build_workload, "ds", 0.25)
+    assert program.n_tiles > 0
+
+
+def test_csr_from_dense(benchmark):
+    rng = np.random.default_rng(4)
+    dense = rng.random((128, 256)).astype(np.float32)
+    dense[dense < 0.9] = 0.0
+    csr = benchmark(CSRMatrix.from_dense, dense)
+    assert csr.nnz == np.count_nonzero(dense)

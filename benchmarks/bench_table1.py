@@ -1,0 +1,22 @@
+"""Table I — NVR hardware overhead accounting."""
+
+from conftest import run_once
+
+from repro.analysis import table1_overhead
+
+
+def test_table1_overhead(benchmark):
+    report = run_once(benchmark, table1_overhead)
+    rows = report.rows()
+    names = [r[0] for r in rows]
+    assert names == ["SD", "SCD", "LBD", "VMIG", "Snooper"]
+    # Structures whose printed arithmetic is self-consistent must match
+    # the paper exactly.
+    quoted = {name: (computed, paper) for name, _, computed, paper, _ in []}
+    for name, _, computed, paper, match in rows:
+        if name in ("SD", "LBD", "VMIG", "Snooper"):
+            assert match, f"{name}: computed {computed} != paper {paper}"
+    # Detector storage is tiny; area ratio under the paper's 5% envelope.
+    assert report.total_kib < 2.0
+    assert report.area_fraction(with_nsb=False) < 0.05
+    assert report.area_fraction(with_nsb=True) < 0.10

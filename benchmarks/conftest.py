@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure at a reduced scale and
+asserts its qualitative shape; pytest-benchmark reports the harness run
+time. Heavy harnesses run a single round (they are minutes-scale at full
+evaluation size; the reduced scale keeps each under ~1 minute).
+"""
+
+BENCH_SCALE = 0.25
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one timed invocation, returning its
+    result for shape assertions."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

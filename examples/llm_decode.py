@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""LLM inference with sparse KV-cache attention (the paper's Fig. 8).
+
+Calibrates the roofline model from the micro-simulator's Double-Sparsity
+runs, then prints prefill and decode throughput-vs-bandwidth series for
+the baseline NPU and NVR — the paper's system-level evaluation.
+
+Run:  python examples/llm_decode.py
+"""
+
+from repro.analysis import format_series
+from repro.llm import (
+    NPUHardware,
+    TransformerSpec,
+    calibrate_memory_efficiency,
+    decode_throughput,
+    layer_miss_rates,
+    prefill_throughput,
+)
+
+
+def main() -> None:
+    spec = TransformerSpec()
+    hw = NPUHardware()
+    print("calibrating memory behaviour from the DS micro-benchmark ...")
+    calibs = {
+        "baseline": calibrate_memory_efficiency("inorder", scale=0.3),
+        "nvr": calibrate_memory_efficiency("nvr", scale=0.3),
+    }
+    for name, calib in calibs.items():
+        print(
+            f"  {name:8s} gather efficiency={calib.gather_efficiency:.3f} "
+            f"traffic ratio={calib.traffic_ratio:.3f}"
+        )
+
+    bandwidths = [100, 200, 400, 800, 1600, 2400, 3200, 4000]
+
+    print("\n-- Fig. 8b: prefill throughput (tokens/s), l=2048 --")
+    series = {
+        name: [prefill_throughput(spec, hw, 2048, bw, c) for bw in bandwidths]
+        for name, c in calibs.items()
+    }
+    print(format_series("GB/s", bandwidths, series, floatfmt=".0f"))
+
+    print("\n-- Fig. 8c: decode throughput (tokens/s per sequence) --")
+    for context in (512, 1024, 2048):
+        series = {
+            name: [
+                decode_throughput(spec, hw, context, bw, c)
+                for bw in bandwidths
+            ]
+            for name, c in calibs.items()
+        }
+        gain = series["nvr"][-1] / series["baseline"][-1] - 1
+        print(format_series(
+            "GB/s", bandwidths, series,
+            title=f"context length {context} (NVR gain {gain * 100:+.0f}%)",
+        ))
+        print()
+
+    print("-- Fig. 8a: per-layer miss rates (batch / element) --")
+    rates = layer_miss_rates(scale=0.3)
+    for layer, per_mech in rates.items():
+        cells = ", ".join(
+            f"{mech}: {b:.4f}/{e:.4f}" for mech, (b, e) in per_mech.items()
+        )
+        print(f"  {layer:4s}  {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Point-cloud sparse convolution: the hash-table capability gap.
+
+MinkowskiNet/SparseConvNet gather neighbour features through hashed
+rulebooks. The index-to-address map is *not affine*, so:
+
+* IMP cannot fit its (base, shift) pattern — near-zero coverage;
+* DVR executes CPU code, but the hash lives in the NPU's sparse unit —
+  it covers only the index side of the chain;
+* NVR evaluates ``sparse_func`` on the idle sparse unit — full coverage.
+
+This is the paper's central capability argument, shown live.
+
+Run:  python examples/pointcloud_hash.py
+"""
+
+from repro import compare_mechanisms
+from repro.analysis import format_table
+from repro.workloads import build_workload, trace_stats
+
+
+def main() -> None:
+    for workload in ("mk", "scn"):
+        program = build_workload(workload, scale=0.5)
+        stats = trace_stats(program)
+        print(
+            f"{workload}: {stats.gather_elements} gathers over "
+            f"{stats.footprint_bytes // 1024} KiB table, "
+            f"address locality {stats.locality_score:.2f} "
+            f"(hash-scattered)"
+        )
+        results = compare_mechanisms(
+            workload,
+            mechanisms=("inorder", "stream", "imp", "dvr", "nvr"),
+            scale=0.5,
+        )
+        base = results["inorder"].total_cycles
+        rows = [
+            [
+                mech,
+                round(r.total_cycles / base, 3),
+                round(r.stats.prefetch.accuracy, 3),
+                round(r.stats.coverage(), 3),
+                r.stats.l2.demand_misses,
+            ]
+            for mech, r in results.items()
+        ]
+        print(
+            format_table(
+                ["mechanism", "norm latency", "accuracy", "coverage", "misses"],
+                rows,
+            )
+        )
+        nvr, dvr = results["nvr"], results["dvr"]
+        print(
+            f"-> NVR covers {nvr.stats.coverage():.0%} where DVR manages "
+            f"{dvr.stats.coverage():.0%}: only the sparse unit can evaluate "
+            f"the hash.\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: run one sparse workload under every mechanism.
+
+Reproduces one group of Fig. 5 bars in miniature: the GCN SpMM workload
+executed by the in-order NPU, ideal OoO, the three baseline prefetchers
+and NVR — with and without the NSB.
+
+Run:  python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro import MECHANISM_ORDER, run_workload
+from repro.analysis import format_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    workload = "gcn"
+    print(f"workload: {workload} (scale={scale})\n")
+
+    rows = []
+    baseline_cycles = None
+    for mechanism in MECHANISM_ORDER:
+        result = run_workload(
+            workload, mechanism=mechanism, scale=scale, with_base=True
+        )
+        if baseline_cycles is None:
+            baseline_cycles = result.total_cycles
+        stats = result.stats
+        rows.append(
+            [
+                mechanism,
+                result.total_cycles,
+                round(result.total_cycles / baseline_cycles, 3),
+                round(result.stall_cycles / result.total_cycles, 3),
+                round(stats.prefetch.accuracy, 3),
+                round(stats.coverage(), 3),
+                stats.l2.demand_misses,
+            ]
+        )
+
+    nsb = run_workload(workload, mechanism="nvr", nsb=True, scale=scale, with_base=True)
+    rows.append(
+        [
+            "nvr+nsb",
+            nsb.total_cycles,
+            round(nsb.total_cycles / baseline_cycles, 3),
+            round(nsb.stall_cycles / nsb.total_cycles, 3),
+            round(nsb.stats.prefetch.accuracy, 3),
+            round(nsb.stats.coverage(), 3),
+            nsb.stats.l2.demand_misses,
+        ]
+    )
+
+    print(
+        format_table(
+            ["mechanism", "cycles", "norm", "stall%", "accuracy", "coverage", "L2 misses"],
+            rows,
+            title="GCN sparse aggregation - mechanism comparison",
+        )
+    )
+    speedup = baseline_cycles / nsb.total_cycles
+    print(f"\nNVR+NSB speedup over the in-order NPU: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

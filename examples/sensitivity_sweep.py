@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design-space sensitivity: NSB vs L2 area (Fig. 9) and runahead depth.
+
+Sweeps the NSB/L2 sizing grid with the paper's metric
+(perf = 1 / (latency x area)) and then ablates NVR's runahead distance
+and fuzzy-boundary setting on the Double-Sparsity workload.
+
+Run:  python examples/sensitivity_sweep.py
+"""
+
+from repro import run_workload
+from repro.analysis import fig9_nsb_sensitivity, format_grid, format_table
+from repro.core import NVRConfig
+
+
+def main() -> None:
+    print("-- Fig. 9: NSB x L2 sensitivity (perf = 1/(latency x area)) --")
+    grid = fig9_nsb_sensitivity(scale=0.3)
+    print(
+        format_grid(
+            [f"NSB {n} KiB" for n in grid.nsb_sizes],
+            [f"L2 {l}" for l in grid.l2_sizes],
+            grid.perf,
+        )
+    )
+    print(
+        f"\nGrowing NSB 4->16 KiB at 256 KiB L2 yields "
+        f"{grid.nsb_vs_l2_benefit():.1f}x the benefit of growing the L2 "
+        f"256->1024 KiB (paper: ~5x).\n"
+    )
+
+    print("-- Ablation: runahead depth (tiles ahead) --")
+    rows = []
+    for depth in (1, 2, 4, 8, 16):
+        result = run_workload(
+            "ds", mechanism="nvr", scale=0.4,
+            nvr_config=NVRConfig(depth_tiles=depth),
+        )
+        rows.append(
+            [depth, result.total_cycles, round(result.stats.coverage(), 3)]
+        )
+    print(format_table(["depth", "cycles", "coverage"], rows))
+
+    print("\n-- Ablation: fuzzy boundary prefetch --")
+    rows = []
+    for fuzz in (0, 1, 2, 4):
+        result = run_workload(
+            "gcn", mechanism="nvr", scale=0.4,
+            nvr_config=NVRConfig(fuzz_vectors=fuzz),
+        )
+        rows.append(
+            [
+                fuzz,
+                result.total_cycles,
+                round(result.stats.prefetch.accuracy, 3),
+                round(result.stats.coverage(), 3),
+            ]
+        )
+    print(format_table(["fuzz vectors", "cycles", "accuracy", "coverage"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Profile a workload's gather trace before simulating it.
+
+Reuse-distance analysis predicts cache behaviour analytically: the miss
+rate at a given cache size falls straight out of the stack-distance
+distribution (Mattson). This example profiles each Table II workload and
+cross-checks the analytic curve against the simulator.
+
+Run:  python examples/trace_profile.py
+"""
+
+from repro import run_workload
+from repro.analysis import format_table
+from repro.analysis.traces import (
+    gather_line_trace,
+    miss_rate_curve,
+    profile_trace,
+)
+from repro.workloads import WORKLOAD_ORDER, build_workload
+
+SCALE = 0.25
+
+
+def main() -> None:
+    rows = []
+    for workload in WORKLOAD_ORDER:
+        program = build_workload(workload, scale=SCALE)
+        profile = profile_trace(program)
+        trace = gather_line_trace(program)
+        l2_lines = 256 * 1024 // 64
+        analytic = miss_rate_curve(trace, [l2_lines])[l2_lines]
+        result = run_workload(workload, mechanism="inorder", scale=SCALE)
+        simulated = (
+            result.stats.l2.demand_misses / result.stats.l2.demand_accesses
+        )
+        rows.append(
+            [
+                workload,
+                profile.accesses,
+                profile.unique_lines,
+                round(profile.cold_fraction, 3),
+                int(profile.median_reuse_distance),
+                round(analytic, 3),
+                round(simulated, 3),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "workload", "accesses", "unique", "cold frac",
+                "median RD", "analytic miss @256K", "simulated miss",
+            ],
+            rows,
+            title="gather-trace reuse profiles vs simulated L2 behaviour",
+        )
+    )
+    print(
+        "\nThe analytic (fully-associative LRU) curve tracks the simulated\n"
+        "set-associative L2: the trace statistics, not simulator details,\n"
+        "determine sparse-workload cache behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

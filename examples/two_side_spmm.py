@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Two-sides sparsity: both operands compressed (Fig. 2, second listing).
+
+When IA is itself CSR-compressed, every gather's base address *and
+length* come from IA's rowptr — a depth-2 dependency chain. Affine
+prefetchers (IMP) and CPU-side runahead (DVR) cover only the W index
+stream; NVR walks the full chain on the sparse unit.
+
+Run:  python examples/two_side_spmm.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import NVRPrefetcher
+from repro.prefetch import (
+    DecoupledVectorRunahead,
+    IndirectMemoryPrefetcher,
+    NullPrefetcher,
+    StreamPrefetcher,
+)
+from repro.sim.npu.program import ProgramConfig
+from repro.sim.npu.two_side import build_two_side_program
+from repro.sim.soc import System
+from repro.sparse.generate import uniform_csr
+from repro.sparse.spmm import spmm_two_side
+
+
+def main() -> None:
+    weights = uniform_csr(120, 1024, 0.03, seed=1)
+    activations = uniform_csr(1024, 2048, 0.02, seed=2)
+
+    # Functional ground truth: the reference kernel agrees with dense math.
+    reference = spmm_two_side(weights, activations)
+    dense = weights.to_dense() @ activations.to_dense()
+    assert np.allclose(reference, dense, atol=1e-4)
+    print(
+        f"two-side SpMM: W {weights.n_rows}x{weights.n_cols} "
+        f"(nnz={weights.nnz}) x IA {activations.n_rows}x{activations.n_cols} "
+        f"(nnz={activations.nnz}) - reference kernel verified\n"
+    )
+
+    program = build_two_side_program(
+        "two-side", weights, activations, ProgramConfig(elem_bytes=2)
+    )
+    mechanisms = [
+        ("inorder", NullPrefetcher),
+        ("stream", StreamPrefetcher),
+        ("imp", IndirectMemoryPrefetcher),
+        ("dvr", DecoupledVectorRunahead),
+        ("nvr", NVRPrefetcher),
+    ]
+    rows = []
+    base = None
+    for name, factory in mechanisms:
+        result = System(program=program, prefetcher_factory=factory).run()
+        if base is None:
+            base = result.total_cycles
+        rows.append(
+            [
+                name,
+                round(result.total_cycles / base, 3),
+                round(result.stats.prefetch.accuracy, 3),
+                round(result.stats.coverage(), 3),
+                result.stats.l2.demand_misses,
+            ]
+        )
+    print(
+        format_table(
+            ["mechanism", "norm latency", "accuracy", "coverage", "misses"],
+            rows,
+            title="two-sides-sparse SpMM (depth-2 dependency chain)",
+        )
+    )
+    print(
+        "\nIMP/DVR cover only the index stream; NVR resolves base *and*\n"
+        "length through the sparse unit's compressed-format metadata."
+    )
+
+
+if __name__ == "__main__":
+    main()

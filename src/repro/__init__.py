@@ -1,0 +1,39 @@
+"""NVR: Vector Runahead on NPUs for Sparse Memory Access — reproduction.
+
+A from-scratch, cycle-approximate Python reproduction of the DAC 2025
+paper's full system: Gemmini-like NPU simulator, baseline prefetchers
+(stream / IMP / DVR), the NVR prefetching micro-architecture, the eight
+Table II sparse workloads, and an LLMCompass-like system-level model.
+
+Quickstart::
+
+    from repro import run_workload
+    result = run_workload("gcn", mechanism="nvr")
+    print(result.total_cycles, result.stats.coverage())
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from .api import (
+    DTYPE_BYTES,
+    MECHANISM_ORDER,
+    MECHANISMS,
+    WORKLOADS,
+    compare_mechanisms,
+    make_system,
+    run_workload,
+)
+
+__all__ = [
+    "DTYPE_BYTES",
+    "MECHANISMS",
+    "MECHANISM_ORDER",
+    "WORKLOADS",
+    "compare_mechanisms",
+    "make_system",
+    "run_workload",
+    "__version__",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run ds --mechanism nvr --dtype fp16 --scale 0.5
+    python -m repro compare gcn --nsb
+    python -m repro workloads
+    python -m repro overhead
+    python -m repro figures --scale 0.6 -o EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_table, table1_overhead, table2_workloads
+from .analysis.paperfigs import main as figures_main
+from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms, run_workload
+from .workloads import WORKLOAD_INFO, WORKLOAD_ORDER
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(
+        args.workload,
+        mechanism=args.mechanism,
+        dtype=args.dtype,
+        nsb=args.nsb,
+        scale=args.scale,
+        seed=args.seed,
+        with_base=True,
+    )
+    stats = result.stats
+    print(f"workload   : {result.program_name}")
+    print(f"mechanism  : {result.mechanism} ({result.mode})")
+    print(f"cycles     : {result.total_cycles}")
+    print(f"base/stall : {result.base_cycles} / {result.stall_cycles}")
+    print(f"L2 misses  : {stats.l2.demand_misses}")
+    print(f"accuracy   : {stats.prefetch.accuracy:.3f}")
+    print(f"coverage   : {stats.coverage():.3f}")
+    print(f"off-chip   : {stats.traffic.off_chip_total_bytes} bytes")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = compare_mechanisms(
+        args.workload,
+        dtype=args.dtype,
+        nsb=args.nsb,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    base = results["inorder"].total_cycles
+    rows = [
+        [
+            name,
+            r.total_cycles,
+            round(r.total_cycles / base, 3),
+            round(r.stats.prefetch.accuracy, 3),
+            round(r.stats.coverage(), 3),
+            r.stats.l2.demand_misses,
+        ]
+        for name, r in results.items()
+    ]
+    print(
+        format_table(
+            ["mechanism", "cycles", "norm", "accuracy", "coverage", "misses"],
+            rows,
+            title=f"{args.workload} ({args.dtype}, nsb={args.nsb})",
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        [r.short, r.full_name, r.domain, r.gather_elements,
+         round(r.footprint_kib), round(r.reuse_factor, 1)]
+        for r in table2_workloads(scale=args.scale, seed=args.seed)
+    ]
+    print(
+        format_table(
+            ["short", "workload", "domain", "gathers", "KiB", "reuse"],
+            rows,
+            title="Table II workloads",
+        )
+    )
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    report = table1_overhead()
+    rows = [
+        [name, entries, bits, paper, "yes" if ok else "no"]
+        for name, entries, bits, paper, ok in report.rows()
+    ]
+    print(
+        format_table(
+            ["structure", "entries", "bits", "paper", "match"],
+            rows,
+            title="Table I - NVR hardware overhead",
+        )
+    )
+    print(f"total: {report.total_bits} bits ({report.total_kib:.2f} KiB)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload/mechanism")
+    run_p.add_argument("workload", choices=list(WORKLOAD_ORDER))
+    run_p.add_argument(
+        "--mechanism", default="nvr",
+        choices=list(MECHANISM_ORDER) + ["preload"],
+    )
+    run_p.add_argument("--dtype", default="fp16", choices=list(DTYPE_BYTES))
+    run_p.add_argument("--nsb", action="store_true")
+    run_p.add_argument("--scale", type=float, default=0.5)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run all mechanisms on a workload")
+    cmp_p.add_argument("workload", choices=list(WORKLOAD_ORDER))
+    cmp_p.add_argument("--dtype", default="fp16", choices=list(DTYPE_BYTES))
+    cmp_p.add_argument("--nsb", action="store_true")
+    cmp_p.add_argument("--scale", type=float, default=0.5)
+    cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    wl_p = sub.add_parser("workloads", help="list Table II workloads")
+    wl_p.add_argument("--scale", type=float, default=0.3)
+    wl_p.add_argument("--seed", type=int, default=0)
+    wl_p.set_defaults(fn=_cmd_workloads)
+
+    oh_p = sub.add_parser("overhead", help="Table I hardware overhead")
+    oh_p.set_defaults(fn=_cmd_overhead)
+
+    fig_p = sub.add_parser("figures", help="regenerate EXPERIMENTS.md")
+    fig_p.add_argument("--scale", type=float, default=0.6)
+    fig_p.add_argument("--seed", type=int, default=0)
+    fig_p.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    fig_p.set_defaults(
+        fn=lambda a: figures_main(
+            ["--scale", str(a.scale), "--seed", str(a.seed), "-o", a.output]
+        )
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

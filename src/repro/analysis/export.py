@@ -1,0 +1,83 @@
+"""Machine-readable export of experiment results (JSON).
+
+Every experiment runner returns dataclasses; this module flattens them to
+plain JSON-serialisable dicts so downstream plotting/analysis pipelines
+can consume reproduction data without importing the library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim.soc import RunResult
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/numpy values to JSON-native types."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise ConfigError(f"cannot JSON-export value of type {type(value)!r}")
+
+
+def run_result_dict(result: RunResult) -> dict:
+    """Flatten one RunResult to the metrics a plot needs."""
+    stats = result.stats
+    return {
+        "program": result.program_name,
+        "mechanism": result.mechanism,
+        "mode": result.mode,
+        "total_cycles": result.total_cycles,
+        "base_cycles": result.base_cycles,
+        "stall_cycles": result.stall_cycles,
+        "compute_cycles": stats.compute_cycles,
+        "l2_demand_accesses": stats.l2.demand_accesses,
+        "l2_demand_misses": stats.l2.demand_misses,
+        "nsb_demand_hits": stats.nsb.demand_hits,
+        "prefetch_issued": stats.prefetch.issued,
+        "prefetch_useful": stats.prefetch.useful,
+        "prefetch_late": stats.prefetch.late,
+        "accuracy": stats.prefetch.accuracy,
+        "coverage": stats.coverage(),
+        "off_chip_demand_bytes": stats.traffic.off_chip_demand_bytes,
+        "off_chip_prefetch_bytes": stats.traffic.off_chip_prefetch_bytes,
+        "batch_miss_rate": stats.batch.batch_miss_rate,
+        "element_miss_rate": stats.batch.element_miss_rate,
+    }
+
+
+def export_json(result: Any, path: str | None = None, indent: int = 2) -> str:
+    """Serialise any experiment result (dataclass/dict tree) to JSON.
+
+    Args:
+        result: an experiment runner's return value or a RunResult.
+        path: optional file to write.
+
+    Returns:
+        The JSON text.
+    """
+    if isinstance(result, RunResult):
+        payload = run_result_dict(result)
+    else:
+        payload = _jsonable(result)
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are bar charts, heat maps and line series; in a
+terminal library the equivalents are aligned tables (one per figure).
+Everything here returns strings — callers decide where they go.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render an aligned column table."""
+    cells = [[_fmt(v, floatfmt) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_grid(
+    row_labels: Sequence,
+    col_labels: Sequence,
+    values: Sequence[Sequence[float]],
+    title: str | None = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render a heat-map-style grid (Fig. 9)."""
+    headers = [""] + [str(c) for c in col_labels]
+    rows = [
+        [str(rl)] + [format(v, floatfmt) for v in row]
+        for rl, row in zip(row_labels, values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    floatfmt: str = ".1f",
+) -> str:
+    """Render line-series data as columns (Fig. 8 b/c)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [s[i] for s in series.values()])
+    return format_table(headers, rows, title=title, floatfmt=floatfmt)

@@ -1,0 +1,137 @@
+"""Access-trace analysis: reuse distances, working sets, miss-rate curves.
+
+The cache behaviour every figure rests on is a function of the gather
+trace's *reuse-distance distribution* — this module extracts it so users
+can understand (and predict) how their own sparse workloads will behave
+before running the full simulator:
+
+* :func:`gather_line_trace` — the line-granular address stream a program
+  will present to the hierarchy;
+* :func:`reuse_distances` — LRU stack distances (unique lines between
+  consecutive touches of the same line);
+* :func:`miss_rate_curve` — cold+capacity miss rate as a function of
+  cache size, directly from the distances (Mattson's stack algorithm),
+  an analytic cross-check of the simulator's measured miss rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim.npu.program import SparseProgram
+
+
+def gather_line_trace(program: SparseProgram, line_bytes: int = 64) -> np.ndarray:
+    """The program's gather accesses as a line-address stream.
+
+    Streams (W values/indices) are excluded — they are trivially
+    sequential; the irregular gathers are what caches struggle with.
+    """
+    pieces: list[np.ndarray] = []
+    for tile in program.tiles:
+        for gather in tile.gathers:
+            for lines in gather.element_lines(line_bytes):
+                pieces.append(lines)
+    if not pieces:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(pieces)
+
+
+def reuse_distances(trace: np.ndarray) -> np.ndarray:
+    """LRU stack distance per access; -1 marks cold (first-touch) accesses.
+
+    O(N log N) via a Fenwick tree over last-access positions.
+    """
+    n = len(trace)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Fenwick tree holding 1 at positions that are the *latest* access of
+    # some line; distance = count of set positions after the line's last
+    # access.
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def update(i: int, delta: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def query(i: int) -> int:
+        """Sum of positions [0, i]."""
+        i += 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return int(total)
+
+    last_pos: dict[int, int] = {}
+    out = np.empty(n, dtype=np.int64)
+    total_set = 0
+    for pos, line in enumerate(trace.tolist()):
+        prev = last_pos.get(line)
+        if prev is None:
+            out[pos] = -1
+        else:
+            # Unique lines touched strictly after prev.
+            out[pos] = total_set - query(prev)
+            update(prev, -1)
+            total_set -= 1
+        last_pos[line] = pos
+        update(pos, 1)
+        total_set += 1
+    return out
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary of one gather trace."""
+
+    accesses: int
+    unique_lines: int
+    cold_fraction: float
+    median_reuse_distance: float  # over re-references only
+    p90_reuse_distance: float
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.unique_lines * 64
+
+
+def profile_trace(program: SparseProgram, line_bytes: int = 64) -> TraceProfile:
+    """Reuse-distance profile of a program's gather stream."""
+    trace = gather_line_trace(program, line_bytes)
+    distances = reuse_distances(trace)
+    hot = distances[distances >= 0]
+    return TraceProfile(
+        accesses=int(len(trace)),
+        unique_lines=int((distances < 0).sum()),
+        cold_fraction=float((distances < 0).mean()) if len(distances) else 0.0,
+        median_reuse_distance=float(np.median(hot)) if len(hot) else 0.0,
+        p90_reuse_distance=float(np.percentile(hot, 90)) if len(hot) else 0.0,
+    )
+
+
+def miss_rate_curve(
+    trace: np.ndarray, cache_lines: list[int]
+) -> dict[int, float]:
+    """Fully-associative LRU miss rate at each capacity (Mattson).
+
+    An access misses when its stack distance is ``>= capacity`` (or it is
+    cold). This is the analytic upper bound a set-associative cache
+    approaches; tests use it to cross-check the simulator.
+    """
+    if any(c < 1 for c in cache_lines):
+        raise ConfigError("cache capacities must be positive")
+    distances = reuse_distances(trace)
+    n = len(distances)
+    if n == 0:
+        return {c: 0.0 for c in cache_lines}
+    out = {}
+    for capacity in cache_lines:
+        misses = int(((distances < 0) | (distances >= capacity)).sum())
+        out[capacity] = misses / n
+    return out

@@ -1,0 +1,125 @@
+"""Top-level convenience API.
+
+Wraps workload building, mechanism selection and system construction into
+two calls::
+
+    from repro import run_workload, compare_mechanisms
+
+    result = run_workload("gcn", mechanism="nvr")
+    table = compare_mechanisms("ds", dtype="int8", nsb=True)
+
+Every knob the experiments sweep (dtype, NSB, scale, seed, runahead depth)
+is exposed as a keyword argument.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .core import NVRConfig, NVRPrefetcher
+from .errors import ConfigError
+from .prefetch import (
+    DecoupledVectorRunahead,
+    IndirectMemoryPrefetcher,
+    NullPrefetcher,
+    Prefetcher,
+    StreamPrefetcher,
+)
+from .sim.memory.hierarchy import MemoryConfig
+from .sim.npu.program import SparseProgram
+from .sim.soc import RunResult, System
+from .workloads import WORKLOAD_ORDER, build_workload
+
+# Mechanism name -> (prefetcher factory, executor mode). The paper's six
+# Fig. 5 bars, plus 'preload': Gemmini's native explicit-DMA operating
+# mode (the Sec. II baseline whose over-fetch motivates Figs. 1b/7).
+MECHANISMS: dict[str, tuple[Callable[[], Prefetcher], str]] = {
+    "inorder": (NullPrefetcher, "inorder"),
+    "ooo": (NullPrefetcher, "ooo"),
+    "stream": (StreamPrefetcher, "inorder"),
+    "imp": (IndirectMemoryPrefetcher, "inorder"),
+    "dvr": (DecoupledVectorRunahead, "inorder"),
+    "nvr": (NVRPrefetcher, "inorder"),
+    "preload": (NullPrefetcher, "preload"),
+}
+
+MECHANISM_ORDER: tuple[str, ...] = (
+    "inorder", "ooo", "stream", "imp", "dvr", "nvr",
+)
+
+WORKLOADS: tuple[str, ...] = WORKLOAD_ORDER
+
+DTYPE_BYTES = {"int8": 1, "fp16": 2, "int32": 4}
+
+
+def _elem_bytes(dtype: str) -> int:
+    if dtype not in DTYPE_BYTES:
+        raise ConfigError(
+            f"unknown dtype '{dtype}' (known: {', '.join(DTYPE_BYTES)})"
+        )
+    return DTYPE_BYTES[dtype]
+
+
+def make_system(
+    program: SparseProgram,
+    mechanism: str = "nvr",
+    nsb: bool = False,
+    memory: MemoryConfig | None = None,
+    nvr_config: NVRConfig | None = None,
+) -> System:
+    """Wire a lowered program to a mechanism and memory hierarchy."""
+    if mechanism not in MECHANISMS:
+        raise ConfigError(
+            f"unknown mechanism '{mechanism}' (known: {', '.join(MECHANISMS)})"
+        )
+    factory, mode = MECHANISMS[mechanism]
+    if mechanism == "nvr" and nvr_config is not None:
+        factory = lambda: NVRPrefetcher(nvr_config)  # noqa: E731
+    mem = memory if memory is not None else MemoryConfig()
+    if nsb and mem.nsb is None:
+        mem = mem.with_nsb(True)
+    return System(
+        program=program, memory=mem, prefetcher_factory=factory, mode=mode
+    )
+
+
+def run_workload(
+    workload: str,
+    mechanism: str = "nvr",
+    dtype: str = "fp16",
+    nsb: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+    with_base: bool = False,
+    memory: MemoryConfig | None = None,
+    nvr_config: NVRConfig | None = None,
+    **workload_kwargs,
+) -> RunResult:
+    """Build one Table II workload and run it under one mechanism.
+
+    Args:
+        workload: DS, GAT, GCN, GSABT, H2O, MK, SCN or ST.
+        mechanism: inorder, ooo, stream, imp, dvr or nvr.
+        dtype: int8 / fp16 / int32 (the Fig. 5 panels).
+        nsb: enable the 16 KiB Non-blocking Speculative Buffer.
+        scale: trace size multiplier (1.0 = evaluation default).
+        with_base: also run a perfect-memory pass to fill
+            ``result.base_cycles`` (the Fig. 5 base/stall split).
+    """
+    program = build_workload(
+        workload, scale=scale, elem_bytes=_elem_bytes(dtype), seed=seed,
+        **workload_kwargs,
+    )
+    system = make_system(program, mechanism, nsb, memory, nvr_config)
+    return system.run_with_base() if with_base else system.run()
+
+
+def compare_mechanisms(
+    workload: str,
+    mechanisms: tuple[str, ...] = MECHANISM_ORDER,
+    **kwargs,
+) -> dict[str, RunResult]:
+    """Run one workload under several mechanisms; returns name -> result."""
+    return {
+        m: run_workload(workload, mechanism=m, **kwargs) for m in mechanisms
+    }

@@ -1,0 +1,44 @@
+"""NVR — NPU Vector Runahead: the paper's contribution.
+
+The purple blocks of Fig. 3, one module each:
+
+* :mod:`repro.core.snooper` — read-only probes over CPU branch retirement,
+  NPU ROB load dispatch, and sparse-unit registers.
+* :mod:`repro.core.stride_detector` — SD: reference-prediction-table
+  stream detector for the W value/index streams.
+* :mod:`repro.core.loop_bound_detector` — LBD: Sparse Structure Table,
+  dual-mode (static/sparse) boundary prediction with fuzzy rounding.
+* :mod:`repro.core.sparse_chain_detector` — SCD: Indirect Pattern Table,
+  ``IA = ss_start + (W_LPI << stride)`` with delta-confidence
+  extrapolation for approximate (pre-data) prediction.
+* :mod:`repro.core.vmig` — VMIG: IRU/PIE/VIGU pipeline rebundling element
+  prefetches into native vector-width load micro-ops.
+* :mod:`repro.core.nsb` — Non-blocking Speculative Buffer configuration.
+* :mod:`repro.core.controller` — runahead entry/exit and sparse-unit idle
+  arbitration.
+* :mod:`repro.core.nvr` — :class:`NVRPrefetcher`, the composed mechanism
+  (implements the same interface as every baseline).
+* :mod:`repro.core.overhead` — Table I storage-bit accounting.
+"""
+
+from .controller import NVRConfig, RunaheadController
+from .loop_bound_detector import LoopBoundDetector
+from .nsb import nsb_config
+from .nvr import NVRPrefetcher
+from .overhead import OverheadReport, nvr_overhead
+from .sparse_chain_detector import SparseChainDetector
+from .stride_detector import StrideDetector
+from .vmig import VMIG
+
+__all__ = [
+    "LoopBoundDetector",
+    "NVRConfig",
+    "NVRPrefetcher",
+    "OverheadReport",
+    "RunaheadController",
+    "SparseChainDetector",
+    "StrideDetector",
+    "VMIG",
+    "nsb_config",
+    "nvr_overhead",
+]

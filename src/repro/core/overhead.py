@@ -1,0 +1,226 @@
+"""Table I — NVR hardware overhead accounting.
+
+Reproduces the paper's field-by-field storage budget. Field widths are as
+printed; where the scanned table's arithmetic is internally inconsistent we
+compute from the fields and record the paper's quoted total alongside
+(``paper_quoted_bits``), flagging the delta instead of silently adopting
+either number. N is the number of parallel entries, matching the vector
+width (default 16); structures marked "2x" in the table hold two banks.
+
+Area: the paper reports 3% (no NSB) and 4.6% (with NSB) versus baseline
+Gemmini on TSMC 28 nm. Without an RTL flow we provide a storage-ratio area
+model against the baseline's on-chip SRAM (scratchpad + accumulator),
+which is the dominant area term of Gemmini-class NPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..utils import KIB, log2_int
+
+PC_BITS = 48
+ADDR_BITS = 48
+CPU_REG_BITS = 64
+
+
+def _log2_ceil(n: int) -> int:
+    if n <= 1:
+        return 1
+    return (n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class StructureBits:
+    """Bit budget of one NVR structure."""
+
+    name: str
+    n_entries: int
+    per_entry_fields: dict[str, int]
+    constant_fields: dict[str, int]
+    paper_quoted_bits: int
+
+    @property
+    def per_entry_bits(self) -> int:
+        return sum(self.per_entry_fields.values())
+
+    @property
+    def total_bits(self) -> int:
+        return self.n_entries * self.per_entry_bits + sum(
+            self.constant_fields.values()
+        )
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.total_bits == self.paper_quoted_bits
+
+
+def sd_bits(n: int = 16) -> StructureBits:
+    """Stride Detector: 48 + N x 110 = 1808 bits at N=16 (Table I)."""
+    entry_id = _log2_ceil(n)
+    return StructureBits(
+        name="SD",
+        n_entries=n,
+        per_entry_fields={
+            "prev_addr": ADDR_BITS,
+            "stride": 8,
+            "entry_id": entry_id,
+            "last_prefetch_addr": ADDR_BITS,
+            "stride_conf": 2,
+        },
+        constant_fields={"pc": PC_BITS},
+        paper_quoted_bits=1808,
+    )
+
+
+def scd_bits(n: int = 32) -> StructureBits:
+    """Sparse Chain Detector: 2x16 entries of 77 bits plus the PC.
+
+    The printed total (2464) equals ``32 x 77`` exactly — the 48-bit PC
+    the table lists is missing from the quoted sum. We report the
+    field-complete 2512 bits and keep the paper's figure for comparison.
+    """
+    return StructureBits(
+        name="SCD",
+        n_entries=n,
+        per_entry_fields={
+            "ss_start": ADDR_BITS,
+            "valid": 1,
+            "entry_id": 4,  # IDs span the 16 parallel ports per bank
+            "ss_offset": 10,
+            "lpi": 10,
+            "vector_size": 4,
+        },
+        constant_fields={"pc": PC_BITS},
+        paper_quoted_bits=2464,
+    )
+
+
+def lbd_bits(n: int = 32) -> StructureBits:
+    """Loop Bound Detector: 32 x 107 = 3424 bits (Table I).
+
+    The scan's "32x1027" is a typo for 32 entries x 107 bits — the field
+    widths printed (48 PC + 16 counter + 1 sparse mode + 4 entry id +
+    16 increment + 2 level conf + 16 boundary + 4 boundary conf) sum to
+    exactly 107, and 32 x 107 = 3424 matches the quoted total.
+    """
+    return StructureBits(
+        name="LBD",
+        n_entries=n,
+        per_entry_fields={
+            "pc": PC_BITS,
+            "iteration_counter": 16,
+            "sparse_mode": 1,
+            "entry_id": 4,
+            "increment": 16,
+            "level_conf": 2,
+            "loop_boundary": 16,
+            "boundary_conf": 4,
+        },
+        constant_fields={},
+        paper_quoted_bits=3424,
+    )
+
+
+def vmig_bits(n: int = 16) -> StructureBits:
+    """VMIG: 260 + 16 x 184 = 3204 bits (Table I).
+
+    Per entry: 48 PC + 64 VRF tag + 64 PIE state + 4 entry id + 4 IRU;
+    constants: 256-bit VIGU assembly buffer + 4-bit IRU state.
+    """
+    return StructureBits(
+        name="VMIG",
+        n_entries=n,
+        per_entry_fields={
+            "pc": PC_BITS,
+            "vrf": 64,
+            "pie": 64,
+            "entry_id": _log2_ceil(n),
+            "iru": 4,
+        },
+        constant_fields={"vigu": 256, "iru_state": 4},
+        paper_quoted_bits=3204,
+    )
+
+
+def snooper_bits(n: int = 16) -> StructureBits:
+    """Snooper: 160 + 16 x 68 = 1248 bits (Table I).
+
+    Constants: CPU PC (48) + CPU register (64) + NPU PC (48) = 160;
+    per entry: sparse-structure descriptor 48 + 10 + 10 = 68 bits.
+    """
+    return StructureBits(
+        name="Snooper",
+        n_entries=n,
+        per_entry_fields={"ss_base": ADDR_BITS, "ss_bound": 10, "ss_mode": 10},
+        constant_fields={
+            "cpu_pc": PC_BITS,
+            "cpu_reg": CPU_REG_BITS,
+            "npu_pc": PC_BITS,
+        },
+        paper_quoted_bits=1248,
+    )
+
+
+@dataclass
+class OverheadReport:
+    """Full Table I reproduction."""
+
+    structures: list[StructureBits]
+    nsb_bytes: int
+    baseline_sram_bytes: int
+
+    @property
+    def total_bits(self) -> int:
+        return sum(s.total_bits for s in self.structures)
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / KIB
+
+    @property
+    def paper_total_kib(self) -> float:
+        """The paper's headline: 9.72 KiB (+16 KiB optional NSB)."""
+        return 9.72
+
+    def area_fraction(self, with_nsb: bool) -> float:
+        """Storage-ratio area model vs baseline on-chip SRAM."""
+        extra = self.total_bits / 8 + (self.nsb_bytes if with_nsb else 0)
+        return extra / self.baseline_sram_bytes
+
+    def rows(self) -> list[tuple[str, int, int, int, bool]]:
+        """(name, entries, computed bits, paper bits, match) per structure."""
+        return [
+            (s.name, s.n_entries, s.total_bits, s.paper_quoted_bits, s.matches_paper)
+            for s in self.structures
+        ]
+
+
+def nvr_overhead(
+    vector_width: int = 16,
+    nsb_kib: int = 16,
+    baseline_sram_kib: int = 320,
+) -> OverheadReport:
+    """Build the Table I report for a given parallel width.
+
+    Args:
+        vector_width: N (entries scale with it; "2x" tables get 2N).
+        nsb_kib: optional NSB capacity.
+        baseline_sram_kib: Gemmini's scratchpad (256 KiB) + accumulator
+            (64 KiB) — the storage base for the area ratio.
+    """
+    if vector_width < 1:
+        raise ConfigError("vector_width must be >= 1")
+    n = vector_width
+    return OverheadReport(
+        structures=[
+            sd_bits(n),
+            scd_bits(2 * n),
+            lbd_bits(2 * n),
+            vmig_bits(n),
+            snooper_bits(n),
+        ],
+        nsb_bytes=nsb_kib * KIB,
+        baseline_sram_bytes=baseline_sram_kib * KIB,
+    )

@@ -1,0 +1,155 @@
+"""SCD — the Sparse Chain Detector (Fig. 3 d).
+
+Maintains the Indirect Pattern Table (IPT): per indirect stream it records
+the sparse structure's start address (``ss_start``), the address stride
+(shift), and the Last Prefetched Indirect index (LPI), implementing the
+paper's address formula::
+
+    IA_address = IA_ss_start + (W_LPI << stride)
+
+Two services:
+
+* :meth:`formula_address` — the affine reconstruction above, learned from
+  (index, address) resolutions the runahead performs. For hashed streams
+  no stable (ss_start, shift) exists and the entry never validates.
+* :meth:`predict_indices` — *approximate* chain prediction: when observed
+  index deltas are stable (block/banded patterns), extrapolate the next
+  indices from the LPI before their W data has even arrived. This is the
+  speculative "approximate dependency chain calculation" of Q&A3; the
+  confidence gate keeps it silent on random patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+_SHIFT_CANDIDATES = tuple(range(0, 14))
+
+
+@dataclass
+class IPTEntry:
+    """Indirect Pattern Table row (fields mirror Table I's SCD budget)."""
+
+    ss_start: int = 0
+    shift: int = 0
+    valid: bool = False
+    fit_conf: int = 0
+    lpi: int = 0  # last prefetched indirect index value
+    delta_ewma: float = 0.0
+    delta_conf: int = 0
+    last_use: int = 0
+
+
+class SparseChainDetector:
+    """IPT learning over runahead-resolved (index, address) pairs."""
+
+    def __init__(
+        self,
+        n_entries: int = 32,
+        lock_confidence: int = 2,
+        delta_confidence: int = 4,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if n_entries < 1:
+            raise ConfigError("SCD needs >= 1 IPT entry")
+        self.n_entries = n_entries
+        self.lock_confidence = lock_confidence
+        self.delta_confidence = delta_confidence
+        self.ewma_alpha = ewma_alpha
+        self._ipt: dict[int, IPTEntry] = {}
+        self._clock = 0
+        self._last_pair: dict[int, tuple[int, int]] = {}
+
+    def _entry(self, stream_id: int) -> IPTEntry:
+        entry = self._ipt.get(stream_id)
+        if entry is None:
+            if len(self._ipt) >= self.n_entries:
+                victim = min(self._ipt, key=lambda s: self._ipt[s].last_use)
+                del self._ipt[victim]
+                self._last_pair.pop(victim, None)
+            entry = IPTEntry()
+            self._ipt[stream_id] = entry
+        return entry
+
+    # -- learning ---------------------------------------------------------------
+    def record_resolution(self, stream_id: int, idx: int, addr: int) -> None:
+        """Record one runahead-resolved (index, address) pair.
+
+        Learns both the affine (ss_start, shift) fit and the index-delta
+        statistics that drive approximate prediction.
+        """
+        self._clock += 1
+        entry = self._entry(stream_id)
+        entry.last_use = self._clock
+
+        # Index-delta statistics (for approximate chain extrapolation).
+        delta = idx - entry.lpi
+        if entry.delta_conf > 0 or entry.delta_ewma != 0.0:
+            predicted = int(round(entry.delta_ewma))
+            if delta == predicted and delta != 0:
+                entry.delta_conf = min(entry.delta_conf + 1, 15)
+            else:
+                entry.delta_conf = max(0, entry.delta_conf - 2)
+            entry.delta_ewma += self.ewma_alpha * (delta - entry.delta_ewma)
+        else:
+            entry.delta_ewma = float(delta)
+        entry.lpi = idx
+
+        # Affine fit from consecutive pairs.
+        prev = self._last_pair.get(stream_id)
+        self._last_pair[stream_id] = (idx, addr)
+        if prev is None:
+            return
+        idx0, addr0 = prev
+        if idx == idx0:
+            return
+        for shift in _SHIFT_CANDIDATES:
+            base0 = addr0 - (idx0 << shift)
+            base1 = addr - (idx << shift)
+            if base0 == base1 and base0 >= 0:
+                if entry.ss_start == base0 and entry.shift == shift:
+                    entry.fit_conf = min(entry.fit_conf + 1, 15)
+                else:
+                    entry.ss_start, entry.shift = base0, shift
+                    entry.fit_conf = 1
+                entry.valid = entry.fit_conf >= self.lock_confidence
+                return
+        entry.fit_conf = max(0, entry.fit_conf - 1)
+        entry.valid = entry.fit_conf >= self.lock_confidence
+
+    # -- prediction ---------------------------------------------------------------
+    def formula_address(self, stream_id: int, idx: int) -> int | None:
+        """``ss_start + (idx << shift)`` when the affine fit is locked."""
+        entry = self._ipt.get(stream_id)
+        if entry is None or not entry.valid:
+            return None
+        return entry.ss_start + (idx << entry.shift)
+
+    def predict_indices(self, stream_id: int, count: int) -> list[int] | None:
+        """Extrapolate the next ``count`` indices past the LPI.
+
+        Only fires with a stable delta history *and* a locked affine fit
+        (without the fit there is no address to prefetch anyway).
+        """
+        entry = self._ipt.get(stream_id)
+        if (
+            entry is None
+            or not entry.valid
+            or entry.delta_conf < self.delta_confidence
+            or count <= 0
+        ):
+            return None
+        step = int(round(entry.delta_ewma))
+        if step == 0:
+            return None
+        return [entry.lpi + step * (k + 1) for k in range(count)]
+
+    def entry_state(self, stream_id: int) -> IPTEntry | None:
+        """Read-only view for tests and reports."""
+        return self._ipt.get(stream_id)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._ipt)

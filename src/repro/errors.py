@@ -1,0 +1,47 @@
+"""Exception hierarchy for the NVR reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from simulation-state bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised during construction of configs (cache geometry that is not a
+    power of two, zero vector width, negative latencies, ...) so problems
+    surface before a simulation starts.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This indicates a bug in the library (or direct misuse of internal
+    APIs), not bad user input.
+    """
+
+
+class ProgramError(ReproError):
+    """A :class:`~repro.sim.npu.program.SparseProgram` is malformed.
+
+    Raised when an instruction stream violates the invariants the
+    executors rely on (e.g. a gather without chain metadata, or a
+    compute op referencing an unknown tile).
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload specification cannot be realised.
+
+    Raised by the Table II workload generators for parameter combinations
+    that make no sense (more selected tokens than cache entries, graphs
+    with zero nodes, ...).
+    """

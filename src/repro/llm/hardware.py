@@ -1,0 +1,41 @@
+"""NPU hardware specification for the roofline model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NPUHardware:
+    """Compute and frequency envelope of the modelled NPU.
+
+    Defaults give ~1 PFLOP/s FP16 peak — a datacentre inference
+    accelerator, consistent with the 0–4000 GB/s bandwidth range Fig. 8
+    sweeps (the prefill knee lands inside the sweep).
+    """
+
+    macs_per_cycle: int = 512 * 512
+    freq_ghz: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.macs_per_cycle < 1:
+            raise ConfigError("macs_per_cycle must be positive")
+        if self.freq_ghz <= 0:
+            raise ConfigError("frequency must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s (2 FLOPs per MAC)."""
+        return 2.0 * self.macs_per_cycle * self.freq_ghz * 1e9
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` at peak."""
+        return flops / self.peak_flops
+
+    def memory_time(self, n_bytes: float, bandwidth_gbs: float) -> float:
+        """Seconds to move ``n_bytes`` at ``bandwidth_gbs`` GB/s."""
+        if bandwidth_gbs <= 0:
+            raise ConfigError("bandwidth must be positive")
+        return n_bytes / (bandwidth_gbs * 1e9)

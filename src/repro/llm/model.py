@@ -1,0 +1,107 @@
+"""Transformer cost model: FLOPs and bytes per stage.
+
+Standard decoder-layer accounting (the same formulas LLMCompass uses for
+its analytical mode): projections, attention score/value products and the
+FFN, with a sparse-attention option that reads only ``1/topk_ratio`` of
+the KV cache (Double Sparsity's selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TransformerSpec:
+    """Decoder-only transformer shape.
+
+    Defaults approximate a 7B-class model (the scale the paper's KV-cache
+    motivation targets).
+    """
+
+    n_layers: int = 32
+    d_model: int = 4096
+    n_heads: int = 32
+    ffn_mult: int = 4
+    elem_bytes: int = 2
+    topk_ratio: int = 16  # sparse attention keeps 1/ratio of the KV cache
+    batch_size: int = 8  # concurrent sequences amortising weight reads
+    prefill_kv_passes: int = 4  # tiled-attention re-reads of the KV cache
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1 or self.d_model < 1 or self.n_heads < 1:
+            raise ConfigError("transformer dimensions must be positive")
+        if self.d_model % self.n_heads:
+            raise ConfigError("d_model must divide into heads")
+        if self.topk_ratio < 1:
+            raise ConfigError("topk_ratio must be >= 1")
+        if self.batch_size < 1 or self.prefill_kv_passes < 1:
+            raise ConfigError("batch_size and prefill_kv_passes must be >= 1")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def weight_bytes_per_layer(self) -> int:
+        """QKV + output projections plus the FFN weights."""
+        d = self.d_model
+        proj = 4 * d * d  # Wq, Wk, Wv, Wo
+        ffn = 2 * d * (self.ffn_mult * d)
+        return (proj + ffn) * self.elem_bytes
+
+    # -- per-token FLOPs --------------------------------------------------------
+    def decode_flops_per_token(self, context_len: int) -> float:
+        """Forward FLOPs for one generated token at a given context length."""
+        d = self.d_model
+        proj = 2 * 4 * d * d
+        ffn = 2 * 2 * d * (self.ffn_mult * d)
+        attended = max(1, context_len // self.topk_ratio)
+        attn = 2 * 2 * attended * d  # QK^T and AV over selected tokens
+        return self.n_layers * (proj + ffn + attn)
+
+    def prefill_flops(self, seq_len: int) -> float:
+        """Forward FLOPs for processing a prompt of ``seq_len`` tokens."""
+        d = self.d_model
+        proj = 2 * 4 * d * d * seq_len
+        ffn = 2 * 2 * d * (self.ffn_mult * d) * seq_len
+        # Dense causal attention over the prompt: ~l^2/2 interactions.
+        attn = 2 * 2 * d * (seq_len * seq_len / 2)
+        return self.n_layers * (proj + ffn + attn)
+
+    # -- per-token bytes, split by access class -------------------------------
+    #
+    # *Streaming* bytes move as large DMA bursts (weights, activations, KV
+    # writes) and reach full bus bandwidth on any NPU. *Gather* bytes are
+    # the sparse-attention KV reads — short, data-dependent segments whose
+    # effective bandwidth is set by how well the mechanism hides latency
+    # (the micro-simulator's calibration).
+
+    def decode_stream_bytes_per_token(self) -> float:
+        """Weight bytes per generated token, batch-amortised."""
+        return self.n_layers * self.weight_bytes_per_layer / self.batch_size
+
+    def decode_gather_bytes_per_token(self, context_len: int) -> float:
+        """Selected-KV gather bytes for one decode step."""
+        attended = max(1, context_len // self.topk_ratio)
+        return self.n_layers * 2 * attended * self.d_model * self.elem_bytes
+
+    def prefill_stream_bytes(self, seq_len: int) -> float:
+        """Streaming bytes for a prefill pass (weights, KV write, acts)."""
+        weights = self.n_layers * self.weight_bytes_per_layer
+        kv_write = self.n_layers * 2 * seq_len * self.d_model * self.elem_bytes
+        activations = self.n_layers * seq_len * self.d_model * self.elem_bytes
+        return weights + kv_write + activations
+
+    def prefill_gather_bytes(self, seq_len: int) -> float:
+        """Sparse-attention KV reads during prefill (tiled re-reads)."""
+        selected = self.kv_cache_bytes(seq_len) / self.topk_ratio
+        return self.prefill_kv_passes * selected
+
+    def kv_cache_bytes(self, context_len: int) -> int:
+        """Resident KV cache size at a context length."""
+        return (
+            self.n_layers * 2 * context_len * self.d_model * self.elem_bytes
+        )

@@ -1,0 +1,29 @@
+"""Prefetchers: the paper's comparison baselines plus the shared interface.
+
+All mechanisms implement :class:`~repro.prefetch.base.Prefetcher` and are
+"expanded to the same number of parallels" (vector width) as NVR, matching
+the paper's fairness adjustment:
+
+* :mod:`repro.prefetch.none_pf` — no prefetching (InO / ideal-OoO bars).
+* :mod:`repro.prefetch.stream` — stride/stream prefetcher (Hur & Lin).
+* :mod:`repro.prefetch.imp` — Indirect Memory Prefetcher (Yu et al.).
+* :mod:`repro.prefetch.dvr` — Decoupled Vector Runahead (Naithani et al.).
+
+NVR itself lives in :mod:`repro.core` — it is the paper's contribution,
+not a baseline — but implements the same interface.
+"""
+
+from .base import Prefetcher, PrefetchPort
+from .none_pf import NullPrefetcher
+from .stream import StreamPrefetcher
+from .imp import IndirectMemoryPrefetcher
+from .dvr import DecoupledVectorRunahead
+
+__all__ = [
+    "DecoupledVectorRunahead",
+    "IndirectMemoryPrefetcher",
+    "NullPrefetcher",
+    "Prefetcher",
+    "PrefetchPort",
+    "StreamPrefetcher",
+]

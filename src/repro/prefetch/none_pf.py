@@ -1,0 +1,11 @@
+"""The no-prefetch mechanism: the InO and ideal-OoO baseline bars."""
+
+from __future__ import annotations
+
+from .base import Prefetcher
+
+
+class NullPrefetcher(Prefetcher):
+    """Issues nothing; every handler inherits the base no-op."""
+
+    name = "none"

@@ -1,0 +1,22 @@
+"""Cycle-approximate NPU platform simulator (the paper's substrate).
+
+Sub-packages:
+
+* :mod:`repro.sim.memory` — MSHR-based non-blocking caches, DRAM channel,
+  scratchpad and the composed memory hierarchy.
+* :mod:`repro.sim.npu` — coarse-grained NPU ISA, sparse operators unit,
+  systolic compute-time model and the in-order / ideal-OoO executors.
+* :mod:`repro.sim.cpu` — scalar loop-nest driver (branch event source).
+* :mod:`repro.sim.soc` — the composed system and its ``run`` entry point.
+"""
+
+from .request import Access, AccessResult, AccessType, HitLevel
+from .stats import RunStats
+
+__all__ = [
+    "Access",
+    "AccessResult",
+    "AccessType",
+    "HitLevel",
+    "RunStats",
+]

@@ -1,0 +1,78 @@
+"""Scalar control core: the loop-nest driver whose branches NVR snoops.
+
+In the Gemmini system the in-order CPU runs the loop nest of Fig. 2 and
+issues coarse-grained instructions to the NPU. The only CPU state NVR needs
+is the *branch stream*: B-type compare-and-branch events whose register
+values expose loop counters and bounds — exactly what the Loop Boundary
+Detector learns from (Sec. IV-E, "LBD captures historical boundary
+information by monitoring register values of jump instructions").
+
+This module derives that branch stream from a lowered program: one inner
+branch per tile (``j < rowptr[i+1]``) and one outer branch per row
+(``i < n_rows``), with stable synthetic PCs per loop level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .npu.program import SparseProgram, Tile
+
+# Synthetic PCs: stable identifiers for loop-branch instructions.
+PC_OUTER_LOOP = 0x8000_1024
+PC_INNER_LOOP = 0x8000_106C
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """One executed compare-and-branch.
+
+    Attributes:
+        pc: branch instruction address (loop identity).
+        counter: current induction value (e.g. ``j``).
+        bound: the compared bound register (e.g. ``rowptr[i+1]``) — what
+            the LBD reads to learn loop extents.
+        level: 0 = innermost; higher = outer loops.
+        taken: True while the loop continues.
+    """
+
+    pc: int
+    counter: int
+    bound: int
+    level: int
+    taken: bool
+
+
+class ControlCPU:
+    """Generates the branch events the executor interleaves with tiles."""
+
+    def __init__(self, program: SparseProgram) -> None:
+        self._program = program
+        self._last_row: int | None = None
+
+    def events_for_tile(self, tile: Tile) -> list[BranchEvent]:
+        """Branches retired while dispatching one tile."""
+        events: list[BranchEvent] = []
+        rowptr = self._program.rowptr
+        if tile.row != self._last_row:
+            # Entering a new row: the outer loop branch retires.
+            events.append(
+                BranchEvent(
+                    pc=PC_OUTER_LOOP,
+                    counter=tile.row,
+                    bound=len(rowptr) - 1,
+                    level=1,
+                    taken=tile.row < len(rowptr) - 2,
+                )
+            )
+            self._last_row = tile.row
+        events.append(
+            BranchEvent(
+                pc=PC_INNER_LOOP,
+                counter=tile.j_start,
+                bound=int(rowptr[tile.row + 1]),
+                level=0,
+                taken=not tile.last_in_row,
+            )
+        )
+        return events

@@ -1,0 +1,24 @@
+"""Memory hierarchy substrate: non-blocking caches, DRAM channel, scratchpad.
+
+The composition lives in :class:`~repro.sim.memory.hierarchy.MemorySystem`:
+an optional NSB (the paper's in-NPU Non-blocking Speculative Buffer) in
+front of a shared L2, backed by a bandwidth-modelled DRAM channel.
+"""
+
+from .cache import Cache, CacheConfig
+from .dram import DRAM, DRAMConfig
+from .mshr import MSHRFile
+from .scratchpad import Scratchpad, ScratchpadConfig
+from .hierarchy import MemoryConfig, MemorySystem
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "DRAM",
+    "DRAMConfig",
+    "MSHRFile",
+    "MemoryConfig",
+    "MemorySystem",
+    "Scratchpad",
+    "ScratchpadConfig",
+]

@@ -1,0 +1,176 @@
+"""Set-associative, non-blocking cache with fill timing.
+
+This single model backs both the shared L2 and the paper's NSB (the NSB is
+"a compact non-blocking cache architecture ... we implement a high-way
+set-associative mapping strategy", Sec. IV-G) — they differ only in
+geometry and hit latency, configured via :class:`CacheConfig`.
+
+Timing model: the simulator's clock is monotonic, so a line inserted with a
+future ``ready_at`` models an in-progress fill. A later access to that line
+before ``ready_at`` is an *in-flight hit* (MSHR coalesce); after it, a
+normal hit. Victims are chosen LRU at allocate time (fill-on-allocate).
+
+Prefetch bookkeeping lives on the line: ``filled_by_prefetch`` plus
+``demand_touched`` give exact per-line accuracy accounting (first demand
+touch of a prefetched line = one useful prefetch; eviction of an untouched
+prefetched line = one wasted prefetch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+from ...utils import require_pow2
+from .mshr import MSHRFile
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 18
+    mshr_entries: int = 16
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        require_pow2(self.line_bytes, f"{self.name}.line_bytes")
+        if self.size_bytes <= 0 or self.size_bytes % self.line_bytes:
+            raise ConfigError(
+                f"{self.name}.size_bytes must be a positive multiple of the "
+                f"line size, got {self.size_bytes}"
+            )
+        n_lines = self.size_bytes // self.line_bytes
+        if self.assoc < 1 or n_lines % self.assoc:
+            raise ConfigError(
+                f"{self.name}.assoc must divide the line count "
+                f"({n_lines}), got {self.assoc}"
+            )
+        require_pow2(n_lines // self.assoc, f"{self.name}.n_sets")
+        if self.hit_latency < 1:
+            raise ConfigError(f"{self.name}.hit_latency must be >= 1")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.assoc
+
+
+@dataclass
+class CacheLine:
+    """Resident (or in-flight) line state."""
+
+    tag: int
+    ready_at: int
+    filled_by_prefetch: bool
+    demand_touched: bool
+    last_use: int
+
+
+class LookupKind:
+    """String constants for :meth:`Cache.lookup` outcomes."""
+
+    HIT = "hit"
+    INFLIGHT = "inflight"
+    MISS = "miss"
+
+
+class Cache:
+    """One non-blocking cache level.
+
+    The cache does not know about the next level; the hierarchy composes
+    levels and decides what a miss costs. ``lookup``/``allocate`` are the
+    whole interface, plus ``probe`` for read-only inspection (used by
+    prefetchers that drop requests already resident).
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: list[dict[int, CacheLine]] = [
+            {} for _ in range(config.n_sets)
+        ]
+        self.mshr = MSHRFile(config.mshr_entries)
+        self._use_counter = 0
+        self.evictions = 0
+        self.prefetch_evicted_unused = 0
+
+    # -- address helpers ---------------------------------------------------
+    def line_addr(self, byte_addr: int) -> int:
+        """Align a byte address down to its line address."""
+        return byte_addr & ~(self.config.line_bytes - 1)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.config.line_bytes) % self.config.n_sets
+
+    def _tag(self, line_addr: int) -> int:
+        return line_addr // self.config.line_bytes // self.config.n_sets
+
+    # -- core operations ---------------------------------------------------
+    def probe(self, line_addr: int) -> CacheLine | None:
+        """Read-only residency check (no LRU update, no stats)."""
+        return self._sets[self._set_index(line_addr)].get(self._tag(line_addr))
+
+    def lookup(self, now: int, line_addr: int) -> tuple[str, CacheLine | None]:
+        """Look up a line, updating recency.
+
+        Returns ``(LookupKind.HIT, line)`` for a ready line,
+        ``(LookupKind.INFLIGHT, line)`` for a line still being filled, or
+        ``(LookupKind.MISS, None)``.
+        """
+        line = self.probe(line_addr)
+        if line is None:
+            return LookupKind.MISS, None
+        self._use_counter += 1
+        line.last_use = self._use_counter
+        if line.ready_at > now:
+            return LookupKind.INFLIGHT, line
+        return LookupKind.HIT, line
+
+    def allocate(
+        self,
+        now: int,
+        line_addr: int,
+        ready_at: int,
+        by_prefetch: bool,
+    ) -> CacheLine:
+        """Insert a line (fill-on-allocate), evicting the LRU victim.
+
+        The MSHR entry for the fill must be allocated by the caller — the
+        cache only tracks residency and recency.
+        """
+        cache_set = self._sets[self._set_index(line_addr)]
+        tag = self._tag(line_addr)
+        existing = cache_set.get(tag)
+        if existing is not None:
+            # Refill over a resident line (e.g. prefetch into a stale copy):
+            # keep the earlier ready time if the line was already usable.
+            existing.ready_at = min(existing.ready_at, ready_at)
+            return existing
+        if len(cache_set) >= self.config.assoc:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+            victim = cache_set.pop(victim_tag)
+            self.evictions += 1
+            if victim.filled_by_prefetch and not victim.demand_touched:
+                self.prefetch_evicted_unused += 1
+        self._use_counter += 1
+        line = CacheLine(
+            tag=tag,
+            ready_at=ready_at,
+            filled_by_prefetch=by_prefetch,
+            demand_touched=not by_prefetch,
+            last_use=self._use_counter,
+        )
+        cache_set[tag] = line
+        return line
+
+    # -- introspection -----------------------------------------------------
+    def resident_lines(self) -> int:
+        """Number of lines currently allocated (ready or in flight)."""
+        return sum(len(s) for s in self._sets)
+
+    def occupancy_fraction(self) -> float:
+        """Fraction of capacity holding lines."""
+        total = self.config.n_sets * self.config.assoc
+        return self.resident_lines() / total if total else 0.0

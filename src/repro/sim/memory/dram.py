@@ -1,0 +1,79 @@
+"""Main-memory (DRAM) channel model: fixed latency plus a serialising
+data bus with finite bandwidth.
+
+Two requests issued together overlap their access latencies but their data
+transfers queue on the bus — the standard first-order model that makes
+memory-level parallelism (many outstanding misses) pay off while still
+charging every transferred byte. Off-chip traffic volume, the quantity
+behind Figs. 6c and 7, falls out of the same accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+
+
+@dataclass
+class DRAMConfig:
+    """DRAM channel timing.
+
+    Attributes:
+        latency: cycles from request to first beat of data (row activation,
+            CAS, controller overheads folded together).
+        bytes_per_cycle: sustained bus bandwidth.
+        prefetch_penalty: extra issue delay for prefetch requests, modelling
+            their lower arbitration priority against demand traffic.
+    """
+
+    latency: int = 160
+    bytes_per_cycle: int = 32
+    prefetch_penalty: int = 4
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ConfigError(f"DRAM latency must be >= 1, got {self.latency}")
+        if self.bytes_per_cycle < 1:
+            raise ConfigError(
+                f"DRAM bytes_per_cycle must be >= 1, got {self.bytes_per_cycle}"
+            )
+        if self.prefetch_penalty < 0:
+            raise ConfigError("DRAM prefetch_penalty must be >= 0")
+
+
+class DRAM:
+    """Single queued channel with busy-cycle accounting."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._bus_free_at = 0
+        self.busy_cycles = 0
+        self.transfers = 0
+        self.bytes_transferred = 0
+
+    def service_cycles(self, n_bytes: int) -> int:
+        """Bus occupancy for one transfer of ``n_bytes``."""
+        return max(1, -(-n_bytes // self.config.bytes_per_cycle))
+
+    def access(self, now: int, n_bytes: int, is_prefetch: bool = False) -> int:
+        """Issue one transfer; returns the completion cycle.
+
+        The bus serialises transfers: a request finding the bus busy waits
+        for it. Latency overlaps across requests (the channel pipeline),
+        which is what rewards MSHR-driven parallelism.
+        """
+        issue = now + (self.config.prefetch_penalty if is_prefetch else 0)
+        service = self.service_cycles(n_bytes)
+        start = max(issue, self._bus_free_at)
+        self._bus_free_at = start + service
+        self.busy_cycles += service
+        self.transfers += 1
+        self.bytes_transferred += n_bytes
+        return start + self.config.latency + service
+
+    def utilisation(self, elapsed_cycles: int) -> float:
+        """Bus busy fraction over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)

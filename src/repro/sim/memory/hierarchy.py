@@ -1,0 +1,360 @@
+"""Composed memory hierarchy: optional NSB, shared L2, DRAM channel.
+
+All accuracy/coverage/traffic accounting funnels through this module so the
+metric definitions are enforced in one place:
+
+* a prefetch is **useful** when a demand access first touches the
+  prefetched line while it is resident and ready;
+* it is **late** when the demand access coalesces onto the still-in-flight
+  prefetch (the miss is shortened, not hidden);
+* every DRAM transfer is charged to demand or prefetch byte traffic.
+
+Demand routing follows the paper's split: *irregular* (sparse, discrete)
+accesses probe the NSB first when one is configured; continuous streams
+bypass it (they live in the scratchpad pipeline and the L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import ConfigError
+from ..request import Access, AccessResult, AccessType, HitLevel
+from ..stats import RunStats
+from .cache import Cache, CacheConfig, LookupKind
+from .dram import DRAM, DRAMConfig
+
+
+def default_l2_config() -> CacheConfig:
+    """The paper's baseline shared L2: 256 KiB, 8-way.
+
+    The MSHR file must sustain ``bandwidth x latency`` worth of
+    outstanding lines (64 entries here), otherwise the MSHR count — not
+    the DRAM bus — caps memory-level parallelism; the paper leans on
+    exactly this ("the efficiency also depends on the MSHR", Sec. IV-F).
+    """
+    return CacheConfig(
+        size_bytes=256 * 1024,
+        assoc=8,
+        line_bytes=64,
+        hit_latency=18,
+        mshr_entries=64,
+        name="l2",
+    )
+
+
+def default_nsb_config() -> CacheConfig:
+    """The paper's NSB: 16 KiB, high associativity, in-NPU latency."""
+    return CacheConfig(
+        size_bytes=16 * 1024,
+        assoc=16,
+        line_bytes=64,
+        hit_latency=2,
+        mshr_entries=64,
+        name="nsb",
+    )
+
+
+@dataclass
+class CPUTrafficConfig:
+    """Background CPU traffic on the shared L2.
+
+    The paper's platform is "an in-order core and DNN accelerator sharing
+    a unified L2 cache": the core's own misses pollute the L2 and consume
+    DRAM bandwidth. Modelled as a deterministic pseudo-random access
+    stream over a private working set, injected at a fixed rate.
+    """
+
+    lines_per_kcycle: int = 20
+    footprint_bytes: int = 2 * 1024 * 1024
+    base_addr: int = 0x9000_0000
+
+    def __post_init__(self) -> None:
+        if self.lines_per_kcycle < 1:
+            raise ConfigError("cpu traffic rate must be >= 1 line/kcycle")
+        if self.footprint_bytes < 64:
+            raise ConfigError("cpu footprint must be at least one line")
+
+
+@dataclass
+class MemoryConfig:
+    """Full hierarchy configuration."""
+
+    l2: CacheConfig = field(default_factory=default_l2_config)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    nsb: CacheConfig | None = None
+    cpu_traffic: CPUTrafficConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.nsb is not None and self.nsb.line_bytes != self.l2.line_bytes:
+            raise ConfigError(
+                "NSB and L2 must share a line size, got "
+                f"{self.nsb.line_bytes} vs {self.l2.line_bytes}"
+            )
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l2.line_bytes
+
+    def with_nsb(self, enabled: bool = True) -> "MemoryConfig":
+        """Copy of this config with the NSB toggled."""
+        return MemoryConfig(
+            l2=self.l2,
+            dram=self.dram,
+            nsb=default_nsb_config() if enabled else None,
+            cpu_traffic=self.cpu_traffic,
+        )
+
+    def with_cpu_traffic(
+        self, config: CPUTrafficConfig | None = None
+    ) -> "MemoryConfig":
+        """Copy of this config with shared-L2 CPU traffic enabled."""
+        return MemoryConfig(
+            l2=self.l2,
+            dram=self.dram,
+            nsb=self.nsb,
+            cpu_traffic=config or CPUTrafficConfig(),
+        )
+
+
+class MemorySystem:
+    """The NPU-visible memory system.
+
+    Args:
+        config: hierarchy geometry and timing.
+        stats: shared run-statistics record, mutated in place.
+    """
+
+    def __init__(self, config: MemoryConfig, stats: RunStats) -> None:
+        self.config = config
+        self.stats = stats
+        self.l2 = Cache(config.l2)
+        self.nsb = Cache(config.nsb) if config.nsb is not None else None
+        self.dram = DRAM(config.dram)
+        self._pf_pending: set[int] = set()
+        # Shared-L2 CPU traffic state (deterministic LCG address stream).
+        self._cpu_last_inject = 0
+        self._cpu_lcg = 0x2545F491
+        self.cpu_accesses = 0
+        self.cpu_misses = 0
+
+    # -- background CPU traffic ----------------------------------------------
+    _MAX_INJECT_PER_CALL = 64
+
+    def _inject_cpu_traffic(self, now: int) -> None:
+        """Advance the CPU's background access stream up to ``now``.
+
+        The core touches its own working set through the shared L2,
+        evicting NPU lines and occupying DRAM bandwidth — invisible to
+        the NPU except through the contention it causes.
+        """
+        cfg = self.config.cpu_traffic
+        if cfg is None or now <= self._cpu_last_inject:
+            return
+        due = (now - self._cpu_last_inject) * cfg.lines_per_kcycle // 1000
+        due = min(due, self._MAX_INJECT_PER_CALL)
+        if due <= 0:
+            return
+        self._cpu_last_inject = now
+        n_lines = cfg.footprint_bytes // self.line_bytes
+        for _ in range(due):
+            self._cpu_lcg = (self._cpu_lcg * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            line = cfg.base_addr + (self._cpu_lcg % n_lines) * self.line_bytes
+            self.cpu_accesses += 1
+            kind, _ = self.l2.lookup(now, line)
+            if kind == LookupKind.MISS:
+                self.cpu_misses += 1
+                start = max(now, self.l2.mshr.earliest_free_slot(now))
+                done = self.dram.access(start, self.line_bytes)
+                ready = done + self.l2.config.hit_latency
+                self.l2.mshr.allocate(start, line, ready)
+                self.l2.allocate(now, line, ready, by_prefetch=False)
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def line_bytes(self) -> int:
+        return self.config.line_bytes
+
+    def line_addr(self, byte_addr: int) -> int:
+        """Align a byte address to a line address."""
+        return self.l2.line_addr(byte_addr)
+
+    def hit_latency(self, irregular: bool) -> int:
+        """Best-case (all-hit) latency for one demand access.
+
+        Used by the executor to split total time into base + stall
+        (the two bar segments of Fig. 5).
+        """
+        if self.nsb is not None and irregular:
+            return self.nsb.config.hit_latency
+        return self.l2.config.hit_latency
+
+    def is_resident(self, line_addr: int) -> bool:
+        """True when the line is in any cache level (ready or in flight).
+
+        Read-only; used by prefetchers to squash redundant requests.
+        """
+        if self.l2.probe(line_addr) is not None:
+            return True
+        return self.nsb is not None and self.nsb.probe(line_addr) is not None
+
+    def _credit_prefetch(self, line_addr: int, in_flight: bool) -> bool:
+        """Consume a pending-prefetch marker on first demand touch."""
+        if line_addr not in self._pf_pending:
+            return False
+        self._pf_pending.discard(line_addr)
+        if in_flight:
+            self.stats.prefetch.late += 1
+        else:
+            self.stats.prefetch.useful += 1
+        return True
+
+    # -- demand path ---------------------------------------------------------
+    def demand_access(self, now: int, access: Access, irregular: bool) -> AccessResult:
+        """Send one demand line request through NSB (optional) then L2/DRAM."""
+        assert access.access_type is AccessType.DEMAND
+        self._inject_cpu_traffic(now)
+        line = access.line_addr
+        use_nsb = self.nsb is not None and irregular
+
+        if use_nsb:
+            self.stats.nsb.demand_accesses += 1
+            kind, nsb_line = self.nsb.lookup(now, line)
+            if kind == LookupKind.HIT:
+                self.stats.nsb.demand_hits += 1
+                self.stats.traffic.nsb_to_npu_bytes += self.line_bytes
+                was_pf = self._credit_prefetch(line, in_flight=False)
+                nsb_line.demand_touched = True
+                return AccessResult(
+                    complete_at=now + self.nsb.config.hit_latency,
+                    hit_level=HitLevel.NSB,
+                    was_prefetched=was_pf,
+                )
+            if kind == LookupKind.INFLIGHT:
+                self.stats.nsb.demand_inflight_hits += 1
+                was_pf = self._credit_prefetch(line, in_flight=True)
+                nsb_line.demand_touched = True
+                complete = max(
+                    nsb_line.ready_at, now + self.nsb.config.hit_latency
+                )
+                return AccessResult(
+                    complete_at=complete,
+                    hit_level=HitLevel.INFLIGHT,
+                    was_prefetched=was_pf,
+                )
+            self.stats.nsb.demand_misses += 1
+
+        self.stats.l2.demand_accesses += 1
+        kind, l2_line = self.l2.lookup(now, line)
+        if kind == LookupKind.HIT:
+            self.stats.l2.demand_hits += 1
+            self.stats.traffic.l2_to_npu_bytes += self.line_bytes
+            complete = now + self.l2.config.hit_latency
+            was_pf = self._credit_prefetch(line, in_flight=False)
+            l2_line.demand_touched = True
+            if use_nsb:
+                self.nsb.allocate(now, line, complete, by_prefetch=False)
+            return AccessResult(
+                complete_at=complete,
+                hit_level=HitLevel.L2,
+                was_prefetched=was_pf,
+            )
+        if kind == LookupKind.INFLIGHT:
+            self.stats.l2.demand_inflight_hits += 1
+            was_pf = self._credit_prefetch(line, in_flight=True)
+            l2_line.demand_touched = True
+            complete = max(l2_line.ready_at, now + self.l2.config.hit_latency)
+            self.stats.traffic.l2_to_npu_bytes += self.line_bytes
+            if use_nsb:
+                self.nsb.allocate(now, line, complete, by_prefetch=False)
+            return AccessResult(
+                complete_at=complete,
+                hit_level=HitLevel.INFLIGHT,
+                was_prefetched=was_pf,
+            )
+
+        # True L2 miss: fetch from DRAM through an MSHR slot.
+        self.stats.l2.demand_misses += 1
+        self._pf_pending.discard(line)
+        start = max(now, self.l2.mshr.earliest_free_slot(now))
+        dram_done = self.dram.access(start, self.line_bytes, is_prefetch=False)
+        ready = dram_done + self.l2.config.hit_latency
+        self.l2.mshr.allocate(start, line, ready)
+        self.l2.allocate(now, line, ready, by_prefetch=False)
+        self.stats.traffic.off_chip_demand_bytes += self.line_bytes
+        self.stats.traffic.l2_to_npu_bytes += self.line_bytes
+        if use_nsb:
+            self.nsb.allocate(now, line, ready, by_prefetch=False)
+        return AccessResult(
+            complete_at=ready,
+            hit_level=HitLevel.DRAM,
+            was_prefetched=False,
+            off_chip=True,
+        )
+
+    # -- prefetch path -------------------------------------------------------
+    def prefetch_line(self, now: int, line_addr: int, irregular: bool) -> int | None:
+        """Bring one line toward the NPU speculatively.
+
+        With an NSB configured, *irregular* speculative fills land in the
+        NSB only — it is the Non-blocking **Speculative** Buffer, and
+        keeping speculation out of the shared L2 is what protects the L2
+        from prefetch pollution (the Fig. 9 trade: the NSB must be large
+        enough to hold the speculative window). Regular-stream prefetches
+        and NSB-less configurations fill the L2 as usual. Requests already
+        satisfied at their target level are squashed for free, mirroring
+        the tag-probe filter in hardware prefetch queues.
+
+        Returns the fill-ready cycle when any fill was started (the request
+        counts toward issued-prefetch statistics), else None.
+        """
+        target_nsb = self.nsb is not None and irregular
+        if target_nsb and self.nsb.probe(line_addr) is not None:
+            return None
+
+        l2_line = self.l2.probe(line_addr)
+        if l2_line is not None:
+            if not target_nsb:
+                return None
+            # Pull from L2 into the NSB: on-chip transfer, no DRAM.
+            ready = max(l2_line.ready_at, now + self.l2.config.hit_latency)
+            self.nsb.allocate(now, line_addr, ready, by_prefetch=True)
+            self.stats.prefetch.issued += 1
+            self._pf_pending.add(line_addr)
+            return ready
+
+        start = max(now, self.l2.mshr.earliest_free_slot(now))
+        dram_done = self.dram.access(start, self.line_bytes, is_prefetch=True)
+        ready = dram_done + self.l2.config.hit_latency
+        self.l2.mshr.allocate(start, line_addr, ready)
+        self.l2.allocate(now, line_addr, ready, by_prefetch=True)
+        if target_nsb:
+            self.nsb.allocate(now, line_addr, ready, by_prefetch=True)
+        self.stats.prefetch.issued += 1
+        self.stats.prefetch.issued_lines_off_chip += 1
+        self.stats.traffic.off_chip_prefetch_bytes += self.line_bytes
+        self._pf_pending.add(line_addr)
+        return ready
+
+    # -- bulk DMA path (explicit preload) ----------------------------------------
+    def bulk_transfer(self, now: int, n_bytes: int) -> int:
+        """One coarse DMA burst DRAM -> scratchpad; returns completion.
+
+        Explicit preload (Gemmini ``mvin``) moves whole regions: a single
+        request latency, then the bus streams the burst. Bypasses the
+        caches (scratchpad is the destination); charged to demand traffic.
+        """
+        self._inject_cpu_traffic(now)
+        done = self.dram.access(now, n_bytes, is_prefetch=False)
+        self.stats.traffic.off_chip_demand_bytes += n_bytes
+        self.stats.traffic.scratchpad_bytes += n_bytes
+        return done
+
+    # -- reporting helpers -----------------------------------------------------
+    def finalize(self, total_cycles: int) -> None:
+        """Fold component-local counters into the shared stats record."""
+        self.stats.dram_busy_cycles = self.dram.busy_cycles
+        self.stats.prefetch.evicted_unused = self.l2.prefetch_evicted_unused + (
+            self.nsb.prefetch_evicted_unused if self.nsb else 0
+        )
+        self.stats.total_cycles = max(self.stats.total_cycles, total_cycles)

@@ -1,0 +1,93 @@
+"""Miss Status Holding Register (MSHR) file.
+
+MSHRs are what make a cache *non-blocking*: each entry tracks one
+outstanding line fill so later requests to the same line coalesce onto it
+instead of issuing duplicate memory transactions, and independent misses can
+proceed in parallel up to the entry count. The paper leans on this twice —
+the NSB "incorporates an MSHR file to manage concurrent memory operations"
+and VMIG's pipelining "depends on the MSHR, which prevents cache miss events
+from blocking subsequent prefetch operations".
+
+The simulator advances time monotonically, so entries whose fill has
+completed are retired lazily on each call.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ...errors import ConfigError
+
+
+class MSHRFile:
+    """Bounded set of outstanding line fills with coalescing.
+
+    Args:
+        capacity: maximum simultaneously outstanding fills. When the file is
+            full, a new miss must wait for the earliest outstanding fill to
+            retire — the structural hazard that caps memory-level
+            parallelism.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"MSHR capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ready_heap: list[tuple[int, int]] = []
+        self._inflight: dict[int, int] = {}
+        self.peak_occupancy = 0
+        self.coalesced = 0
+        self.structural_stalls = 0
+
+    def _retire_completed(self, now: int) -> None:
+        while self._ready_heap and self._ready_heap[0][0] <= now:
+            ready, line = heapq.heappop(self._ready_heap)
+            if self._inflight.get(line) == ready:
+                del self._inflight[line]
+
+    def occupancy(self, now: int) -> int:
+        """Number of fills still outstanding at ``now``."""
+        self._retire_completed(now)
+        return len(self._inflight)
+
+    def lookup(self, now: int, line_addr: int) -> int | None:
+        """Return the ready-time of an in-flight fill for ``line_addr``.
+
+        Returns None when no fill for that line is outstanding. A non-None
+        result is a coalesce: the caller's request piggybacks on the
+        existing fill.
+        """
+        self._retire_completed(now)
+        ready = self._inflight.get(line_addr)
+        if ready is not None:
+            self.coalesced += 1
+        return ready
+
+    def earliest_free_slot(self, now: int) -> int:
+        """Earliest cycle at which a new entry can be allocated.
+
+        ``now`` when a slot is free; otherwise the ready-time of the
+        oldest outstanding fill (we must wait for it to retire).
+        """
+        self._retire_completed(now)
+        if len(self._inflight) < self.capacity:
+            return now
+        self.structural_stalls += 1
+        return self._ready_heap[0][0]
+
+    def allocate(self, now: int, line_addr: int, ready_at: int) -> None:
+        """Record a new outstanding fill for ``line_addr``.
+
+        The caller must have consulted :meth:`earliest_free_slot` and used
+        a start time at which a slot is available.
+        """
+        self._retire_completed(now)
+        if len(self._inflight) >= self.capacity:
+            raise ConfigError(
+                "MSHR allocate with full file - call earliest_free_slot first"
+            )
+        if line_addr in self._inflight:
+            raise ConfigError(f"MSHR double-allocate for line {line_addr:#x}")
+        self._inflight[line_addr] = ready_at
+        heapq.heappush(self._ready_heap, (ready_at, line_addr))
+        self.peak_occupancy = max(self.peak_occupancy, len(self._inflight))

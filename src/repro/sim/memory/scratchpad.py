@@ -1,0 +1,99 @@
+"""Banked scratchpad memory — the NPU's explicitly-managed buffer.
+
+Gemmini-class NPUs keep *continuous* data (weight value streams, output
+accumulators) in a software-managed scratchpad filled by DMA, while the
+paper routes *discrete* sparse data through the cache path (Sec. IV-G:
+"strategically storing sparse discrete data in the cache while maintaining
+continuous data in scratchpad memory"). The scratchpad model here tracks
+capacity, bank conflicts and moved bytes; its data still arrives over the
+same memory hierarchy (DMA mvin), which is where the InO load serialisation
+cost comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError, SimulationError
+
+
+@dataclass
+class ScratchpadConfig:
+    """Scratchpad geometry.
+
+    Attributes:
+        size_bytes: total capacity (Gemmini default-ish 256 KiB).
+        banks: number of independently addressable banks.
+        ports_per_bank: simultaneous accesses a bank serves per cycle.
+    """
+
+    size_bytes: int = 256 * 1024
+    banks: int = 4
+    ports_per_bank: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigError("scratchpad size must be positive")
+        if self.banks < 1:
+            raise ConfigError("scratchpad must have >= 1 bank")
+        if self.size_bytes % self.banks:
+            raise ConfigError("scratchpad size must divide evenly into banks")
+        if self.ports_per_bank < 1:
+            raise ConfigError("scratchpad banks need >= 1 port")
+
+
+class Scratchpad:
+    """Allocation and access-conflict model for the scratchpad."""
+
+    def __init__(self, config: ScratchpadConfig) -> None:
+        self.config = config
+        self._allocated = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.config.size_bytes // self.config.banks
+
+    @property
+    def free_bytes(self) -> int:
+        return self.config.size_bytes - self._allocated
+
+    def allocate(self, n_bytes: int) -> None:
+        """Reserve ``n_bytes``; raises when the scratchpad overflows.
+
+        Overflow is the paper's "out-of-bounds accesses for explicit
+        buffers" failure mode — callers tile their working set to fit.
+        """
+        if n_bytes < 0:
+            raise SimulationError("cannot allocate negative bytes")
+        if n_bytes > self.free_bytes:
+            raise SimulationError(
+                f"scratchpad overflow: requested {n_bytes} bytes with only "
+                f"{self.free_bytes} free"
+            )
+        self._allocated += n_bytes
+
+    def release(self, n_bytes: int) -> None:
+        """Return a previous allocation."""
+        if n_bytes < 0 or n_bytes > self._allocated:
+            raise SimulationError(
+                f"scratchpad release of {n_bytes} exceeds allocation "
+                f"{self._allocated}"
+            )
+        self._allocated -= n_bytes
+
+    def write(self, n_bytes: int) -> int:
+        """DMA write of ``n_bytes``; returns occupied write cycles.
+
+        All banks stream in parallel, so throughput scales with bank count.
+        """
+        self.bytes_written += n_bytes
+        per_bank = -(-n_bytes // self.config.banks)
+        return max(1, per_bank // (self.config.ports_per_bank * 16))
+
+    def read(self, n_bytes: int) -> int:
+        """Compute-side read; returns occupied read cycles."""
+        self.bytes_read += n_bytes
+        per_bank = -(-n_bytes // self.config.banks)
+        return max(1, per_bank // (self.config.ports_per_bank * 16))

@@ -1,0 +1,39 @@
+"""NPU-side simulator components.
+
+* :mod:`repro.sim.npu.isa` — coarse-grained vector instructions and their
+  micro-op (line-batch) decomposition.
+* :mod:`repro.sim.npu.program` — :class:`SparseProgram`: the lowered tile
+  stream a workload executes, plus loop/boundary metadata.
+* :mod:`repro.sim.npu.sparse_unit` — the sparse operators unit whose
+  registers NVR snoops and whose ``sparse_func`` it borrows when idle.
+* :mod:`repro.sim.npu.systolic` — ScaleSim-flavoured compute-time model.
+* :mod:`repro.sim.npu.executor` — in-order and ideal-OoO execution engines.
+"""
+
+from .isa import TileCompute, VectorGather, VectorLoad, VectorStore
+from .program import (
+    GatherStream,
+    ProgramConfig,
+    SparseProgram,
+    Tile,
+    build_one_side_program,
+)
+from .sparse_unit import SparseUnit
+from .systolic import SystolicConfig, SystolicModel
+from .two_side import build_two_side_program
+
+__all__ = [
+    "GatherStream",
+    "ProgramConfig",
+    "build_two_side_program",
+    "SparseProgram",
+    "SparseUnit",
+    "SystolicConfig",
+    "SystolicModel",
+    "Tile",
+    "TileCompute",
+    "VectorGather",
+    "VectorLoad",
+    "VectorStore",
+    "build_one_side_program",
+]

@@ -1,0 +1,302 @@
+"""NPU execution engines: in-order and ideal out-of-order.
+
+The two engines bound the paper's comparison space (Sec. V-A):
+
+* **In-order** ("serial execution of load and compute instructions") —
+  Gemmini's native behaviour: each tile's W load, IA gather and compute
+  run back-to-back, so every cache-miss cycle lands on the critical path.
+* **Ideal OoO** ("overlapping the load and computation time") — the
+  memory pipeline streams tiles ahead of compute within a window, hiding
+  memory time under compute. The true data dependency W→gather is kept
+  (gather addresses need the loaded indices), which is why even ideal OoO
+  cannot rescue IO-bound sparse workloads — Fig. 5's observation.
+
+Both engines share the vector stall semantics: a micro-op batch completes
+at the max of its element completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ConfigError
+from ..cpu import ControlCPU
+from ..request import Access, AccessType, HitLevel
+from ..stats import RunStats
+from ...prefetch.base import Prefetcher
+from .isa import VectorGather, VectorLoad
+from .program import SparseProgram, Tile
+from .sparse_unit import SparseUnit
+
+# Cycles the sparse unit needs to turn returned indices into gather
+# addresses before the gather can issue (address-generation latency).
+ADDRESS_GEN_CYCLES = 2
+
+
+@dataclass
+class ExecutorConfig:
+    """Shared execution parameters.
+
+    Attributes:
+        issue_width: line requests issued per cycle by the load pipeline.
+        ooo_window: tiles in flight for the ideal-OoO engine (its "ROB").
+        preload_granule: DMA burst granularity of the explicit-preload
+            engine (Gemmini ``mvin`` moves whole regions).
+        scratchpad_read_latency: per-batch read cost once data is resident
+            in the scratchpad.
+    """
+
+    issue_width: int = 2
+    ooo_window: int = 8
+    preload_granule: int = 512
+    scratchpad_read_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigError("issue_width must be >= 1")
+        if self.ooo_window < 1:
+            raise ConfigError("ooo_window must be >= 1")
+        if self.preload_granule < 64 or self.preload_granule & (
+            self.preload_granule - 1
+        ):
+            raise ConfigError("preload_granule must be a power of two >= 64")
+        if self.scratchpad_read_latency < 1:
+            raise ConfigError("scratchpad_read_latency must be >= 1")
+
+
+class _EngineBase:
+    """Shared issue logic for both engines."""
+
+    def __init__(
+        self,
+        program: SparseProgram,
+        mem,
+        prefetcher: Prefetcher,
+        sparse_unit: SparseUnit,
+        stats: RunStats,
+        config: ExecutorConfig,
+    ) -> None:
+        self.program = program
+        self.mem = mem
+        self.prefetcher = prefetcher
+        self.sparse_unit = sparse_unit
+        self.stats = stats
+        self.config = config
+        self.cpu = ControlCPU(program)
+        self._line_bytes = mem.line_bytes
+
+    # -- issue helpers -------------------------------------------------------
+    def _issue_load(self, now: int, load: VectorLoad) -> int:
+        """Issue a streaming vector load; returns its completion cycle."""
+        lines = load.line_addrs(self._line_bytes)
+        done = now
+        for i, la in enumerate(lines):
+            at = now + i // self.config.issue_width
+            res = self.mem.demand_access(
+                at,
+                Access(int(la), AccessType.DEMAND, load.stream_id),
+                irregular=False,
+            )
+            self.prefetcher.on_demand_access(
+                at, load.stream_id, int(la), None, res
+            )
+            done = max(done, res.complete_at)
+        return done
+
+    def _issue_gather(self, now: int, gather: VectorGather) -> int:
+        """Issue an indirect gather; returns completion, records batch stats.
+
+        A batch here is one vector micro-op: ``vector_width`` indices. The
+        batch "misses" when any element line goes off-chip — the
+        all-or-nothing stall the paper attributes to data parallelism.
+        """
+        per_elem_lines = gather.element_lines(self._line_bytes)
+        width = self.program.config.vector_width
+        done = now
+        issued = 0
+        for b0 in range(0, len(per_elem_lines), width):
+            batch = per_elem_lines[b0 : b0 + width]
+            batch_missed = False
+            for e_off, elem_lines in enumerate(batch):
+                idx_val = int(gather.index_values[b0 + e_off])
+                elem_missed = False
+                for line_i, la in enumerate(elem_lines):
+                    at = now + issued // self.config.issue_width
+                    issued += 1
+                    res = self.mem.demand_access(
+                        at,
+                        Access(int(la), AccessType.DEMAND, gather.stream_id),
+                        irregular=True,
+                    )
+                    # Index/address pairs are only architecturally visible
+                    # for the first line of a segment (the computed address).
+                    self.prefetcher.on_demand_access(
+                        at,
+                        gather.stream_id,
+                        int(la),
+                        idx_val if line_i == 0 else None,
+                        res,
+                    )
+                    if res.hit_level == HitLevel.DRAM:
+                        elem_missed = True
+                    done = max(done, res.complete_at)
+                self.stats.batch.elements += 1
+                if elem_missed:
+                    self.stats.batch.element_misses += 1
+                    batch_missed = True
+            self.stats.batch.batches += 1
+            if batch_missed:
+                self.stats.batch.batch_misses += 1
+        return done
+
+    def _dispatch(self, now: int, tile: Tile) -> None:
+        """Raise the snooper-visible dispatch events for one tile."""
+        self.sparse_unit.set_position(tile.row, tile.j_start, tile.j_end)
+        for event in self.cpu.events_for_tile(tile):
+            self.prefetcher.on_branch(now, event)
+        self.prefetcher.on_tile_dispatch(now, tile.tile_id)
+
+    def _tile_memory_phase(self, start: int, tile: Tile) -> int:
+        """W load, data return, address generation, gathers. Returns end."""
+        w_done = max(
+            self._issue_load(start, tile.w_val_load),
+            self._issue_load(start, tile.w_idx_load),
+        )
+        self.prefetcher.on_data_return(w_done, tile.tile_id)
+        g_start = w_done + ADDRESS_GEN_CYCLES
+        self.sparse_unit.occupy(w_done, ADDRESS_GEN_CYCLES)
+        g_done = g_start
+        for gather in tile.gathers:
+            g_done = self._issue_gather(g_start, gather)
+            g_start = g_done
+        if tile.store is not None:
+            self.stats.traffic.store_bytes += tile.store.n_bytes()
+        return g_done
+
+    def _tile_compute_phase(self, start: int, tile: Tile) -> int:
+        self.sparse_unit.occupy(start, tile.compute.sparse_unit_cycles)
+        self.stats.compute_cycles += tile.compute.cycles
+        return start + tile.compute.cycles
+
+
+class InOrderEngine(_EngineBase):
+    """Serial load → gather → compute per tile (baseline Gemmini)."""
+
+    def run(self) -> int:
+        now = 0
+        for tile in self.program.tiles:
+            self._dispatch(now, tile)
+            mem_done = self._tile_memory_phase(now, tile)
+            now = self._tile_compute_phase(mem_done, tile)
+        self.mem.finalize(now)
+        self.stats.total_cycles = now
+        return now
+
+
+class IdealOoOEngine(_EngineBase):
+    """Memory pipeline runs ahead of compute within a tile window."""
+
+    def run(self) -> int:
+        window = self.config.ooo_window
+        load_engine = 0
+        compute_engine = 0
+        compute_done: list[int] = []
+        for t, tile in enumerate(self.program.tiles):
+            start = load_engine
+            if t >= window:
+                start = max(start, compute_done[t - window])
+            self._dispatch(start, tile)
+            mem_done = self._tile_memory_phase(start, tile)
+            load_engine = mem_done
+            c_start = max(compute_engine, mem_done)
+            compute_engine = self._tile_compute_phase(c_start, tile)
+            compute_done.append(compute_engine)
+        total = max(load_engine, compute_engine)
+        self.mem.finalize(total)
+        self.stats.total_cycles = total
+        return total
+
+
+class ExplicitPreloadEngine(_EngineBase):
+    """Gemmini's native operating mode: coarse DMA into the scratchpad.
+
+    Per sparse row: (1) stream the W values/indices; (2) the software
+    pass scans the indices and ``mvin``s every ``preload_granule`` region
+    any gather touches — the over-fetch the paper calls "out-of-bounds
+    accesses for explicit buffers"; (3) gathers then read the scratchpad
+    at SRAM latency; (4) compute. No cache misses occur, but all the
+    latency moved into bandwidth: the mechanism trades the InO engine's
+    stall time for transfer volume, which is the comparison behind
+    Figs. 1b and 7.
+    """
+
+    def run(self) -> int:
+        from ..memory.scratchpad import Scratchpad, ScratchpadConfig
+
+        granule = self.config.preload_granule
+        scratchpad = Scratchpad(ScratchpadConfig())
+        now = 0
+        rows: dict[int, list[Tile]] = {}
+        for tile in self.program.tiles:
+            rows.setdefault(tile.row, []).append(tile)
+        for row_tiles in rows.values():
+            # (1) W streams for the whole row.
+            w_done = now
+            for tile in row_tiles:
+                self._dispatch(now, tile)
+                w_done = max(
+                    w_done,
+                    self._issue_load(now, tile.w_val_load),
+                    self._issue_load(now, tile.w_idx_load),
+                )
+            self.prefetcher.on_data_return(w_done, row_tiles[-1].tile_id)
+            # (2) Coarse DMA covering every touched granule.
+            blocks: set[int] = set()
+            for tile in row_tiles:
+                for gather in tile.gathers:
+                    for pos, addr in enumerate(gather.byte_addrs):
+                        first = int(addr) // granule
+                        last = (
+                            int(addr) + gather.segment_bytes(pos) - 1
+                        ) // granule
+                        blocks.update(range(first, last + 1))
+            dma_bytes = len(blocks) * granule
+            dma_bytes = min(dma_bytes, scratchpad.config.size_bytes)
+            dma_done = self.mem.bulk_transfer(w_done, dma_bytes)
+            dma_done += scratchpad.write(dma_bytes)
+            # (3) + (4) scratchpad-resident gathers, then compute.
+            t = dma_done
+            width = self.program.config.vector_width
+            for tile in row_tiles:
+                for gather in tile.gathers:
+                    n_batches = -(-len(gather.byte_addrs) // width)
+                    t += n_batches * self.config.scratchpad_read_latency
+                    self.stats.batch.batches += n_batches
+                    self.stats.batch.elements += len(gather.byte_addrs)
+                t = self._tile_compute_phase(t, tile)
+            now = t
+        self.mem.finalize(now)
+        self.stats.total_cycles = now
+        return now
+
+
+def build_engine(
+    mode: str,
+    program: SparseProgram,
+    mem,
+    prefetcher: Prefetcher,
+    sparse_unit: SparseUnit,
+    stats: RunStats,
+    config: ExecutorConfig,
+):
+    """Factory: ``mode`` is 'inorder', 'ooo' or 'preload'."""
+    engines = {
+        "inorder": InOrderEngine,
+        "ooo": IdealOoOEngine,
+        "preload": ExplicitPreloadEngine,
+    }
+    if mode not in engines:
+        raise ConfigError(f"unknown executor mode '{mode}'")
+    return engines[mode](program, mem, prefetcher, sparse_unit, stats, config)

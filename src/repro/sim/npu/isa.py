@@ -1,0 +1,162 @@
+"""Coarse-grained NPU vector instructions and micro-op decomposition.
+
+The paper's NPU (Gemmini-like) executes *coarse-grained* instructions — one
+instruction moves or computes a whole vector/tile — which the front-end
+decomposes into micro-instructions spanning several cycles (Sec. III,
+"Micro-Instruction-Level Vectorisation"). Here each instruction exposes its
+micro-op stream as batches of cache-line addresses at most ``vector_width``
+wide: the granularity at which VMIG rebundles prefetches and at which a
+single missing element stalls the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import ProgramError
+
+# Architectural stream identifiers (the "PC" a hardware prefetcher would
+# key its tables on).
+STREAM_W_VALUES = 1
+STREAM_W_INDICES = 2
+STREAM_IA_GATHER = 3
+STREAM_IA_GATHER_2 = 4
+STREAM_OA_STORE = 5
+STREAM_IA_METADATA = 6  # two-side sparsity: IA rowptr/row_indices lookups
+
+
+def _as_line_array(addrs: np.ndarray, line_bytes: int) -> np.ndarray:
+    """Byte addresses -> unique line addresses, preserving first-touch order."""
+    lines = (np.asarray(addrs, dtype=np.int64) // line_bytes) * line_bytes
+    _, first = np.unique(lines, return_index=True)
+    return lines[np.sort(first)]
+
+
+@dataclass(frozen=True)
+class VectorLoad:
+    """Streaming vector load (W values + W indices): sequential addresses."""
+
+    stream_id: int
+    byte_addrs: np.ndarray  # element start addresses
+    elem_bytes: int
+
+    def line_addrs(self, line_bytes: int) -> np.ndarray:
+        """Unique cache lines this load touches, in first-touch order."""
+        if len(self.byte_addrs) == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Each element spans [addr, addr+elem_bytes); widen to line coverage.
+        starts = np.asarray(self.byte_addrs, dtype=np.int64)
+        ends = starts + self.elem_bytes - 1
+        return _as_line_array(np.concatenate([starts, ends]), line_bytes)
+
+
+@dataclass(frozen=True)
+class VectorGather:
+    """Indirect vector gather: one segment per index.
+
+    One-side sparsity gathers fixed-size segments (``seg_bytes``);
+    two-side sparsity gathers *data-dependent* lengths (the compressed
+    IA row's extent), carried per element in ``seg_bytes_per_elem``.
+    """
+
+    stream_id: int
+    index_values: np.ndarray  # the idx driving each segment
+    byte_addrs: np.ndarray  # segment start address per index
+    seg_bytes: int
+    affine: bool  # True when addr = base + idx * row_bytes (no sparse_func)
+    seg_bytes_per_elem: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.index_values) != len(self.byte_addrs):
+            raise ProgramError("gather index/address length mismatch")
+        if self.seg_bytes_per_elem is not None and len(
+            self.seg_bytes_per_elem
+        ) != len(self.byte_addrs):
+            raise ProgramError("per-element segment length mismatch")
+
+    def segment_bytes(self, position: int) -> int:
+        """Segment size for the element at ``position``."""
+        if self.seg_bytes_per_elem is not None:
+            return int(self.seg_bytes_per_elem[position])
+        return self.seg_bytes
+
+    def element_lines(self, line_bytes: int) -> list[np.ndarray]:
+        """Per-element line address arrays (segments may span lines)."""
+        out: list[np.ndarray] = []
+        for pos, addr in enumerate(np.asarray(self.byte_addrs, dtype=np.int64)):
+            seg = max(1, self.segment_bytes(pos))
+            first = (addr // line_bytes) * line_bytes
+            last = ((addr + seg - 1) // line_bytes) * line_bytes
+            out.append(np.arange(first, last + 1, line_bytes, dtype=np.int64))
+        return out
+
+    def line_addrs(self, line_bytes: int) -> np.ndarray:
+        """Unique lines across all segments, first-touch order."""
+        if len(self.byte_addrs) == 0:
+            return np.zeros(0, dtype=np.int64)
+        per_elem = self.element_lines(line_bytes)
+        return _as_line_array(np.concatenate(per_elem), line_bytes)
+
+
+@dataclass(frozen=True)
+class VectorStore:
+    """Output store; modelled as write traffic absorbed by a write buffer."""
+
+    stream_id: int
+    byte_addrs: np.ndarray
+    elem_bytes: int
+
+    def n_bytes(self) -> int:
+        return len(self.byte_addrs) * self.elem_bytes
+
+
+@dataclass(frozen=True)
+class TileCompute:
+    """Occupies the systolic array (and sparse unit) for a fixed time."""
+
+    cycles: int
+    sparse_unit_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.sparse_unit_cycles < 0:
+            raise ProgramError("compute cycles must be non-negative")
+
+
+@dataclass
+class MicroOpBatch:
+    """One micro-instruction: at most ``vector_width`` lines issued together."""
+
+    line_addrs: np.ndarray
+    stream_id: int
+    irregular: bool
+    index_values: np.ndarray | None = None
+
+
+def decompose(
+    lines: np.ndarray,
+    stream_id: int,
+    irregular: bool,
+    vector_width: int,
+    index_values: np.ndarray | None = None,
+) -> list[MicroOpBatch]:
+    """Split a line list into micro-op batches of at most ``vector_width``."""
+    if vector_width < 1:
+        raise ProgramError("vector_width must be >= 1")
+    batches: list[MicroOpBatch] = []
+    for lo in range(0, len(lines), vector_width):
+        chunk_idx = (
+            index_values[lo : lo + vector_width]
+            if index_values is not None
+            else None
+        )
+        batches.append(
+            MicroOpBatch(
+                line_addrs=lines[lo : lo + vector_width],
+                stream_id=stream_id,
+                irregular=irregular,
+                index_values=chunk_idx,
+            )
+        )
+    return batches

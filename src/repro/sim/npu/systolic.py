@@ -1,0 +1,70 @@
+"""Compute-time model for the systolic array (ScaleSim-flavoured).
+
+The paper builds its NPU model on ScaleSim; what matters for the memory
+study is a credible compute time per tile so the compute/memory balance —
+which workloads are IO-bound, where prefetching pays — is realistic. We use
+the standard output-stationary estimate: pipeline fill + drain plus one
+cycle per reduction step, with utilisation limited by how much of the array
+a sparse tile actually occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+
+
+@dataclass
+class SystolicConfig:
+    """Systolic array geometry and per-tile overheads.
+
+    Attributes:
+        rows / cols: PE grid (Gemmini default 16x16).
+        fill_drain: pipeline fill+drain cycles charged per tile.
+        sparse_align_cycles_per_elem: sparse-unit work (align/skip/tile
+            bookkeeping) per non-zero, charged to the sparse unit — the
+            resource NVR borrows when idle.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    fill_drain: int = 16
+    sparse_align_cycles_per_elem: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigError("systolic array needs positive dimensions")
+        if self.fill_drain < 0:
+            raise ConfigError("fill_drain must be non-negative")
+        if self.sparse_align_cycles_per_elem < 0:
+            raise ConfigError("sparse align cost must be non-negative")
+
+
+class SystolicModel:
+    """Maps a tile's work (non-zeros x output columns) to cycles."""
+
+    def __init__(self, config: SystolicConfig | None = None) -> None:
+        self.config = config or SystolicConfig()
+
+    def tile_cycles(self, n_nonzeros: int, out_cols: int) -> int:
+        """Compute cycles for one tile.
+
+        ``n_nonzeros`` rank-1 updates of width ``out_cols`` map onto the
+        array: the reduction dimension streams through the rows while
+        output columns tile across the array columns.
+        """
+        if n_nonzeros <= 0 or out_cols <= 0:
+            return 0
+        col_passes = -(-out_cols // self.config.cols)
+        row_passes = -(-n_nonzeros // self.config.rows)
+        steady = row_passes * self.config.rows * col_passes
+        return self.config.fill_drain + steady
+
+    def sparse_unit_cycles(self, n_nonzeros: int) -> int:
+        """Sparse-unit occupancy (align/skip/tile) for one tile."""
+        return int(n_nonzeros * self.config.sparse_align_cycles_per_elem)
+
+    def peak_macs_per_cycle(self) -> int:
+        """Array peak throughput, for roofline-style reporting."""
+        return self.config.rows * self.config.cols

@@ -1,0 +1,156 @@
+"""Compressed Sparse Row matrices.
+
+CSR is the format of the paper's SpMM listing (Fig. 2): ``rowptr`` delimits
+each row's slice of ``col_indices``/``values``, so traversing a row is a
+sequential *stream* while chasing ``col_indices`` into another operand is an
+*indirect gather* — exactly the two access classes NVR's detectors split
+between the Stride Detector and the Sparse Chain Detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An immutable CSR matrix.
+
+    Attributes:
+        n_rows / n_cols: dense shape.
+        rowptr: int64 array of length ``n_rows + 1``.
+        col_indices: int64 array of length ``nnz``, per-row ascending.
+        values: float32 array of length ``nnz``.
+    """
+
+    n_rows: int
+    n_cols: int
+    rowptr: np.ndarray
+    col_indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise WorkloadError("CSR shape must be non-negative")
+        if len(self.rowptr) != self.n_rows + 1:
+            raise WorkloadError(
+                f"rowptr length {len(self.rowptr)} != n_rows+1 ({self.n_rows + 1})"
+            )
+        if self.rowptr[0] != 0 or self.rowptr[-1] != len(self.col_indices):
+            raise WorkloadError("rowptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.rowptr) < 0):
+            raise WorkloadError("rowptr must be non-decreasing")
+        if len(self.col_indices) != len(self.values):
+            raise WorkloadError("col_indices and values length mismatch")
+        if len(self.col_indices) and (
+            self.col_indices.min() < 0 or self.col_indices.max() >= self.n_cols
+        ):
+            raise WorkloadError("col index out of range")
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Compress a dense 2-D array, dropping exact zeros."""
+        if dense.ndim != 2:
+            raise WorkloadError(f"expected 2-D array, got {dense.ndim}-D")
+        n_rows, n_cols = dense.shape
+        rowptr = np.zeros(n_rows + 1, dtype=np.int64)
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        for r in range(n_rows):
+            nz = np.nonzero(dense[r])[0]
+            rowptr[r + 1] = rowptr[r] + len(nz)
+            cols.append(nz.astype(np.int64))
+            vals.append(dense[r, nz].astype(np.float32))
+        col_indices = (
+            np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
+        )
+        values = np.concatenate(vals) if vals else np.zeros(0, dtype=np.float32)
+        return cls(n_rows, n_cols, rowptr, col_indices, values)
+
+    @classmethod
+    def from_coo(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray | None = None,
+    ) -> "CSRMatrix":
+        """Build from coordinate lists, sorting and de-duplicating entries."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if values is None:
+            values = np.ones(len(rows), dtype=np.float32)
+        values = np.asarray(values, dtype=np.float32)
+        if not (len(rows) == len(cols) == len(values)):
+            raise WorkloadError("COO arrays must have equal length")
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if len(rows):
+            keep = np.ones(len(rows), dtype=bool)
+            keep[1:] = (np.diff(rows) != 0) | (np.diff(cols) != 0)
+            rows, cols, values = rows[keep], cols[keep], values[keep]
+        rowptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(rowptr, rows + 1, 1)
+        rowptr = np.cumsum(rowptr)
+        return cls(n_rows, n_cols, rowptr.astype(np.int64), cols, values)
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(len(self.col_indices))
+
+    @property
+    def density(self) -> float:
+        """nnz over dense element count."""
+        total = self.n_rows * self.n_cols
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero elements."""
+        return 1.0 - self.density
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row non-zero counts (the LBD's dynamic loop bounds)."""
+        return np.diff(self.rowptr)
+
+    def row_slice(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """(col_indices, values) of one row."""
+        lo, hi = int(self.rowptr[row]), int(self.rowptr[row + 1])
+        return self.col_indices[lo:hi], self.values[lo:hi]
+
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row, col_indices, values)`` for each non-empty row."""
+        for r in range(self.n_rows):
+            cols, vals = self.row_slice(r)
+            if len(cols):
+                yield r, cols, vals
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense float32 array."""
+        dense = np.zeros((self.n_rows, self.n_cols), dtype=np.float32)
+        for r in range(self.n_rows):
+            cols, vals = self.row_slice(r)
+            dense[r, cols] = vals
+        return dense
+
+    def transpose(self) -> "CSRMatrix":
+        """CSC of this matrix expressed as the CSR of its transpose."""
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        return CSRMatrix.from_coo(
+            self.n_cols, self.n_rows, self.col_indices, rows, self.values
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz}, "
+            f"sparsity={self.sparsity:.3f})"
+        )

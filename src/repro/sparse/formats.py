@@ -1,0 +1,139 @@
+"""Alternative sparse encodings from the paper's related-work section.
+
+The paper positions NVR against format-level mitigations: NVDLA's bitmask
+format (Farshchi et al.) and Eyeriss' run-length encoding. Both are
+implemented here as substrates — the Switch-Transformer-style block
+workloads use the bitmap layout, and the encodings let tests demonstrate
+the overhead trade-off the paper describes (regular metadata, but extra
+decode work and no fewer gathers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class BitmapMatrix:
+    """NVDLA-style bitmask encoding.
+
+    A dense bit per element marks non-zeros; values are packed densely in
+    row-major order. Metadata is fully regular (streamable) but locating
+    the k-th non-zero requires popcount scans — the "additional mapping
+    algorithms" overhead the paper contrasts with prefetching.
+    """
+
+    n_rows: int
+    n_cols: int
+    bitmap: np.ndarray  # bool, shape (n_rows, n_cols)
+    packed_values: np.ndarray  # float32, length nnz
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "BitmapMatrix":
+        if dense.ndim != 2:
+            raise WorkloadError("BitmapMatrix requires a 2-D array")
+        bitmap = dense != 0
+        return cls(
+            n_rows=dense.shape[0],
+            n_cols=dense.shape[1],
+            bitmap=bitmap,
+            packed_values=dense[bitmap].astype(np.float32),
+        )
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "BitmapMatrix":
+        return cls.from_dense(csr.to_dense())
+
+    @property
+    def nnz(self) -> int:
+        return int(self.bitmap.sum())
+
+    @property
+    def metadata_bits(self) -> int:
+        """Bitmask storage cost in bits (one per dense element)."""
+        return self.n_rows * self.n_cols
+
+    def value_index(self, row: int, col: int) -> int:
+        """Packed-array position of element (row, col); popcount scan."""
+        if not self.bitmap[row, col]:
+            raise WorkloadError(f"element ({row},{col}) is zero")
+        flat_before = self.bitmap.ravel()[: row * self.n_cols + col]
+        return int(flat_before.sum())
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.n_rows, self.n_cols), dtype=np.float32)
+        dense[self.bitmap] = self.packed_values
+        return dense
+
+
+@dataclass(frozen=True)
+class RunLengthMatrix:
+    """Eyeriss-style run-length encoding of zero runs.
+
+    Each non-zero is stored as ``(zero_run_before_it, value)``, row by row.
+    Decode is strictly sequential — good for streaming through a PE array,
+    hopeless for random access, which is why gather-heavy workloads cannot
+    escape irregular memory traffic by re-encoding.
+    """
+
+    n_rows: int
+    n_cols: int
+    row_starts: np.ndarray  # int64, index into runs per row, length n_rows+1
+    runs: np.ndarray  # int32 zero-run lengths, length nnz
+    packed_values: np.ndarray  # float32, length nnz
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "RunLengthMatrix":
+        if dense.ndim != 2:
+            raise WorkloadError("RunLengthMatrix requires a 2-D array")
+        n_rows, n_cols = dense.shape
+        row_starts = np.zeros(n_rows + 1, dtype=np.int64)
+        runs: list[int] = []
+        vals: list[float] = []
+        for r in range(n_rows):
+            zero_run = 0
+            for c in range(n_cols):
+                v = dense[r, c]
+                if v == 0:
+                    zero_run += 1
+                else:
+                    runs.append(zero_run)
+                    vals.append(float(v))
+                    zero_run = 0
+            row_starts[r + 1] = len(runs)
+        return cls(
+            n_rows=n_rows,
+            n_cols=n_cols,
+            row_starts=row_starts,
+            runs=np.asarray(runs, dtype=np.int32),
+            packed_values=np.asarray(vals, dtype=np.float32),
+        )
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "RunLengthMatrix":
+        return cls.from_dense(csr.to_dense())
+
+    @property
+    def nnz(self) -> int:
+        return int(len(self.packed_values))
+
+    @property
+    def metadata_bits(self) -> int:
+        """Run-length storage cost: one run counter per non-zero (int32)."""
+        return 32 * self.nnz
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.n_rows, self.n_cols), dtype=np.float32)
+        for r in range(self.n_rows):
+            col = 0
+            lo, hi = int(self.row_starts[r]), int(self.row_starts[r + 1])
+            for k in range(lo, hi):
+                col += int(self.runs[k])
+                dense[r, col] = self.packed_values[k]
+                col += 1
+        return dense

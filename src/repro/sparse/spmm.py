@@ -1,0 +1,71 @@
+"""Reference SpMM kernels — the paper's Fig. 2 listing, executed functionally.
+
+These kernels are the ground truth for what the simulator's access streams
+*mean*: the one-side kernel is ``OA[i,:] += W.values[j] * IA[W.col_indices[j],:]``
+(dense activations gathered by sparse weights) and the two-side kernel
+intersects two compressed operands. The simulator never computes values —
+it replays the addresses these kernels touch — so tests use these to verify
+that programs enumerate exactly the right elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .csr import CSRMatrix
+
+
+def spmm_one_side(weights: CSRMatrix, activations: np.ndarray) -> np.ndarray:
+    """One-side-sparse SpMM: sparse W times dense IA.
+
+    Mirrors the paper's one-side listing: the inner spatial loop over
+    activation columns is dense; ``col_indices`` drives the row gather.
+
+    Args:
+        weights: sparse W, shape (M, K).
+        activations: dense IA, shape (K, N).
+
+    Returns:
+        Dense OA, shape (M, N), float32.
+    """
+    if activations.ndim != 2:
+        raise WorkloadError("activations must be 2-D")
+    if weights.n_cols != activations.shape[0]:
+        raise WorkloadError(
+            f"shape mismatch: W is {weights.n_rows}x{weights.n_cols}, "
+            f"IA is {activations.shape[0]}x{activations.shape[1]}"
+        )
+    out = np.zeros((weights.n_rows, activations.shape[1]), dtype=np.float32)
+    for row, cols, vals in weights.iter_rows():
+        # spatial_for k: all activation columns in parallel on the NPU.
+        out[row] = vals.astype(np.float32) @ activations[cols]
+    return out
+
+
+def spmm_two_side(weights: CSRMatrix, activations: CSRMatrix) -> np.ndarray:
+    """Two-sides-sparse SpMM: sparse W times sparse IA.
+
+    The paper's two-side listing intersects W's row slices with IA's
+    compressed columns; implemented row-by-row with a sparse accumulator.
+
+    Args:
+        weights: sparse W, shape (M, K).
+        activations: sparse IA, shape (K, N).
+
+    Returns:
+        Dense OA, shape (M, N), float32.
+    """
+    if weights.n_cols != activations.n_rows:
+        raise WorkloadError(
+            f"shape mismatch: W is {weights.n_rows}x{weights.n_cols}, "
+            f"IA is {activations.n_rows}x{activations.n_cols}"
+        )
+    out = np.zeros((weights.n_rows, activations.n_cols), dtype=np.float32)
+    for row, w_cols, w_vals in weights.iter_rows():
+        acc = out[row]
+        for k, w in zip(w_cols, w_vals):
+            ia_cols, ia_vals = activations.row_slice(int(k))
+            if len(ia_cols):
+                acc[ia_cols] += np.float32(w) * ia_vals
+    return out

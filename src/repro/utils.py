@@ -1,0 +1,80 @@
+"""Small shared helpers: power-of-two math, seeded RNG, human-readable sizes.
+
+Kept deliberately tiny — anything with domain meaning lives in a domain
+module, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigError
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def is_pow2(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def require_pow2(value: int, name: str) -> int:
+    """Validate that ``value`` is a power of two, returning it unchanged."""
+    if not is_pow2(value):
+        raise ConfigError(f"{name} must be a positive power of two, got {value}")
+    return value
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2 of a power-of-two value."""
+    require_pow2(value, "value")
+    return value.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ConfigError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def align_down(addr: int, granule: int) -> int:
+    """Round ``addr`` down to a multiple of the power-of-two ``granule``."""
+    return addr & ~(granule - 1)
+
+
+def align_up(addr: int, granule: int) -> int:
+    """Round ``addr`` up to a multiple of the power-of-two ``granule``."""
+    return (addr + granule - 1) & ~(granule - 1)
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Create a deterministic numpy Generator from an integer seed.
+
+    ``None`` is accepted for convenience in exploratory use but every
+    library-internal caller passes an explicit seed so runs replay exactly.
+    """
+    return np.random.default_rng(seed)
+
+
+def human_bytes(n_bytes: float) -> str:
+    """Format a byte count for reports: ``1536 -> '1.5 KiB'``."""
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values; the standard for speedup summaries."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))

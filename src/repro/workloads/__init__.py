@@ -1,0 +1,32 @@
+"""Table II — the eight sparse DNN workloads.
+
+Each module reproduces one workload's *linear-layer memory access pattern*
+(the paper extracts patterns, not full models) as a seeded
+:class:`~repro.sim.npu.program.SparseProgram` builder. The decisive
+statistics each generator controls are documented per module; the registry
+maps the paper's short names to builders.
+
+========  =============================  =====================================
+short     domain (Table II)              decisive access-pattern traits
+========  =============================  =====================================
+DS        large language model           TopK KV gather, slow set drift
+GAT       graph neural networks          power-law SpMM + dual gather
+GCN       graph neural networks          power-law SpMM, hub reuse
+GSABT     sparse attention               block locality + global tokens
+H2O       large language model           heavy-hitter reuse (Zipf persistent)
+MK        point cloud                    hash-scattered rulebook gathers
+SCN       point cloud                    hash-scattered, submanifold windows
+ST        mixture of experts             expert blocks, streaming-friendly
+========  =============================  =====================================
+"""
+
+from .base import WorkloadInfo, trace_stats
+from .registry import WORKLOAD_INFO, WORKLOAD_ORDER, build_workload
+
+__all__ = [
+    "WORKLOAD_INFO",
+    "WORKLOAD_ORDER",
+    "WorkloadInfo",
+    "build_workload",
+    "trace_stats",
+]

@@ -1,0 +1,79 @@
+"""Shared workload machinery: info records, scaling, trace statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.npu.program import SparseProgram
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Table II row: identity and domain of one workload."""
+
+    short: str
+    full_name: str
+    domain: str
+    reference: str
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an extent, keeping it a positive integer."""
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(value * scale)))
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a program's gather trace.
+
+    These are the quantities that determine cache behaviour — used by
+    tests to assert each workload has the access-pattern character its
+    domain implies.
+    """
+
+    gather_elements: int
+    unique_slots: int
+    footprint_bytes: int
+    reuse_factor: float  # accesses per unique slot
+    mean_row_length: float
+    row_length_cv: float  # coefficient of variation (loop-bound dynamism)
+    locality_score: float  # fraction of index deltas within +-8 slots
+
+
+def trace_stats(program: SparseProgram) -> TraceStats:
+    """Compute gather-trace statistics for one lowered program."""
+    all_slots: list[np.ndarray] = []
+    for tile in program.tiles:
+        g = tile.gathers[0]
+        stream = program.gather_streams[g.stream_id]
+        slots = (
+            np.asarray(g.byte_addrs, dtype=np.int64) - stream.base
+        ) // stream.row_bytes
+        all_slots.append(slots)
+    slots = np.concatenate(all_slots)
+    unique = int(len(np.unique(slots)))
+    row_lengths = np.diff(program.rowptr)
+    row_lengths = row_lengths[row_lengths > 0]
+    mean_len = float(row_lengths.mean()) if len(row_lengths) else 0.0
+    cv = (
+        float(row_lengths.std() / row_lengths.mean())
+        if len(row_lengths) and row_lengths.mean() > 0
+        else 0.0
+    )
+    deltas = np.abs(np.diff(slots))
+    locality = float((deltas <= 8).mean()) if len(deltas) else 0.0
+    stream0 = program.gather_streams[program.tiles[0].gathers[0].stream_id]
+    return TraceStats(
+        gather_elements=int(len(slots)),
+        unique_slots=unique,
+        footprint_bytes=stream0.footprint_bytes(),
+        reuse_factor=len(slots) / unique if unique else 0.0,
+        mean_row_length=mean_len,
+        row_length_cv=cv,
+        locality_score=locality,
+    )

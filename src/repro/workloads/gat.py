@@ -1,0 +1,38 @@
+"""GAT — Graph Attention Network (Velickovic et al.): dual-gather SpMM.
+
+GAT's aggregation reads *two* tables per edge: the neighbour's feature
+vector and its attention coefficient — two indirect chains driven by one
+index stream (the paper's "unrolled loops ... multiple indirect chains
+executed in parallel"). Same power-law graph structure as GCN with the
+second gather doubling irregular traffic per non-zero.
+"""
+
+from __future__ import annotations
+
+from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
+from ..sparse.generate import powerlaw_csr
+from .base import scaled
+
+
+def build(
+    scale: float = 1.0,
+    elem_bytes: int = 2,
+    seed: int = 0,
+    n_nodes: int = 8192,
+    avg_degree: float = 14.0,
+    feature_dim: int = 64,
+) -> SparseProgram:
+    """Lower the GAT aggregation access pattern (feature + coefficient)."""
+    n_rows = scaled(700, scale)
+    adjacency = powerlaw_csr(
+        n_rows, n_nodes, avg_degree=avg_degree, gamma=2.2, seed=seed + 17
+    )
+    return build_one_side_program(
+        "gat",
+        adjacency,
+        ProgramConfig(
+            elem_bytes=elem_bytes,
+            ia_seg_elems=feature_dim,
+            dual_gather=True,
+        ),
+    )

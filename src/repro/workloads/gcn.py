@@ -1,0 +1,103 @@
+"""GCN — Graph Convolutional Network (Kipf & Welling): SpMM aggregation.
+
+The aggregation step ``H' = A_hat @ H`` is a one-side SpMM whose sparse
+operand is the graph adjacency. Decisive traits:
+
+* **power-law degrees** — hub rows are long (the paper's dynamic loop
+  bounds: "the memory span between rowptr[i] and rowptr[i+1] can be
+  substantial");
+* **skewed target popularity** — hub columns recur (natural reuse);
+* feature table far larger than L2.
+
+Besides the default synthetic power-law generator, real graph topologies
+can be requested through networkx (``graph_model="ba"`` for
+Barabási–Albert preferential attachment, ``"ws"`` for Watts–Strogatz
+small-world rings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
+from ..sparse.csr import CSRMatrix
+from ..sparse.generate import powerlaw_csr
+from .base import scaled
+
+
+def networkx_adjacency(
+    model: str, n_nodes: int, avg_degree: float, seed: int, n_rows: int
+) -> CSRMatrix:
+    """Build an adjacency slice from a networkx graph generator.
+
+    Args:
+        model: "ba" (Barabási–Albert) or "ws" (Watts–Strogatz).
+        n_nodes: graph size (also the gather index space).
+        avg_degree: target mean degree.
+        n_rows: number of destination rows to keep (the aggregated slice).
+    """
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - nx ships in dev extras
+        raise WorkloadError("networkx is required for graph_model") from exc
+    m = max(1, int(round(avg_degree / 2)))
+    if model == "ba":
+        graph = nx.barabasi_albert_graph(n_nodes, m, seed=seed)
+    elif model == "ws":
+        graph = nx.watts_strogatz_graph(
+            n_nodes, max(2, 2 * m), p=0.1, seed=seed
+        )
+    else:
+        raise WorkloadError(f"unknown graph_model '{model}' (ba, ws)")
+    rows, cols = [], []
+    for u, v in graph.edges():
+        if u < n_rows:
+            rows.append(u)
+            cols.append(v)
+        if v < n_rows:
+            rows.append(v)
+            cols.append(u)
+    if not rows:
+        raise WorkloadError("graph slice produced no edges; raise n_rows")
+    return CSRMatrix.from_coo(
+        n_rows,
+        n_nodes,
+        rows=np.asarray(rows, dtype=np.int64),
+        cols=np.asarray(cols, dtype=np.int64),
+    )
+
+
+def build(
+    scale: float = 1.0,
+    elem_bytes: int = 2,
+    seed: int = 0,
+    n_nodes: int = 8192,
+    avg_degree: float = 14.0,
+    feature_dim: int = 64,
+    graph_model: str | None = None,
+) -> SparseProgram:
+    """Lower the GCN aggregation access pattern.
+
+    Args:
+        scale: sizes the number of aggregated rows (destination nodes).
+        n_nodes: graph size = gather index space.
+        avg_degree: mean in-neighbourhood size.
+        feature_dim: feature elements gathered per neighbour.
+        graph_model: None for the synthetic power-law generator, or a
+            networkx topology ("ba", "ws").
+    """
+    n_rows = scaled(1200, scale)
+    if graph_model is None:
+        adjacency = powerlaw_csr(
+            n_rows, n_nodes, avg_degree=avg_degree, gamma=2.3, seed=seed
+        )
+    else:
+        adjacency = networkx_adjacency(
+            graph_model, n_nodes, avg_degree, seed, n_rows
+        )
+    return build_one_side_program(
+        "gcn",
+        adjacency,
+        ProgramConfig(elem_bytes=elem_bytes, ia_seg_elems=feature_dim),
+    )

@@ -1,0 +1,57 @@
+"""GSABT — Graph Sparse Attention (+ bidirectional temporal conv).
+
+Block-sparse attention with global tokens (Zhang et al.): each query
+attends to (a) a handful of dense *local blocks* and (b) a fixed set of
+*global tokens* every query shares. Decisive traits:
+
+* block-local runs — within a block, gathers are sequential (spatial
+  locality a stream prefetcher can partially ride);
+* global-token columns — extremely hot lines (reuse every row);
+* block selection varies per block-row (irregular across the sequence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
+from ..sparse.csr import CSRMatrix
+from ..sparse.generate import block_csr
+from ..utils import make_rng
+from .base import scaled
+
+
+def build(
+    scale: float = 1.0,
+    elem_bytes: int = 2,
+    seed: int = 0,
+    seq_len: int = 4096,
+    block: int = 32,
+    n_global: int = 8,
+    head_dim: int = 64,
+    density: float = 0.012,
+) -> SparseProgram:
+    """Lower the GSABT access pattern: block attention + global tokens."""
+    n_rows = scaled(360, scale)
+    blocks = block_csr(
+        n_rows, seq_len, density, block=block, intra_density=0.9, seed=seed
+    )
+    # Global tokens: the same few columns added to every row.
+    rng = make_rng(seed + 1)
+    global_cols = np.sort(rng.choice(seq_len, size=n_global, replace=False))
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), n_global)
+    cols = np.tile(global_cols.astype(np.int64), n_rows)
+    base_rows = np.repeat(
+        np.arange(n_rows, dtype=np.int64), np.diff(blocks.rowptr)
+    )
+    weights = CSRMatrix.from_coo(
+        n_rows,
+        seq_len,
+        rows=np.concatenate([base_rows, rows]),
+        cols=np.concatenate([blocks.col_indices, cols]),
+    )
+    return build_one_side_program(
+        "gsabt",
+        weights,
+        ProgramConfig(elem_bytes=elem_bytes, ia_seg_elems=head_dim),
+    )

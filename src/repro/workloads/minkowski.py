@@ -1,0 +1,83 @@
+"""MK — MinkowskiNet: sparse 3-D convolution via hash-table rulebooks.
+
+Point-cloud convolutions gather neighbour features through a *hash table*:
+voxel coordinates map to feature slots via hashing, so neighbours that are
+adjacent in space are scattered across the table. Decisive traits:
+
+* **non-affine index map** — the gather address is ``table[hash(coord)]``,
+  evaluated by a dedicated NPU unit. Affine prefetchers (IMP) cannot fit
+  it and CPU-side runahead (DVR) cannot execute it — only NVR's sparse
+  unit access survives (the paper's central capability argument);
+* coordinate-space locality — consecutive voxels share neighbours, so
+  there *is* reuse, just invisible in address space;
+* kernel-volume row lengths (27-neighbourhood).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
+from ..sparse.csr import CSRMatrix
+from ..utils import make_rng
+from .base import scaled
+
+
+def clustered_coordinate_csr(
+    n_rows: int,
+    n_coords: int,
+    avg_degree: float,
+    cluster_size: int,
+    seed: int,
+) -> CSRMatrix:
+    """Coordinate-space adjacency: neighbours in a window around each voxel.
+
+    Indices here are *coordinates* (clustered, local); the hash scatter is
+    applied by the program's ``index_map``, not baked into the matrix.
+    """
+    rng = make_rng(seed)
+    rows: list[np.ndarray] = []
+    for r in range(n_rows):
+        centre = (r % (n_coords // cluster_size)) * cluster_size
+        k = max(1, int(rng.poisson(avg_degree)))
+        window = np.arange(
+            max(0, centre - cluster_size),
+            min(n_coords, centre + 2 * cluster_size),
+            dtype=np.int64,
+        )
+        k = min(k, len(window))
+        rows.append(np.sort(rng.choice(window, size=k, replace=False)))
+    rowptr = np.zeros(n_rows + 1, dtype=np.int64)
+    for i, row in enumerate(rows):
+        rowptr[i + 1] = rowptr[i] + len(row)
+    cols = np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
+    return CSRMatrix(
+        n_rows, n_coords, rowptr, cols, np.ones(len(cols), dtype=np.float32)
+    )
+
+
+def build(
+    scale: float = 1.0,
+    elem_bytes: int = 2,
+    seed: int = 0,
+    n_coords: int = 8192,
+    avg_degree: float = 24.0,
+    cluster_size: int = 32,
+    feature_dim: int = 64,
+) -> SparseProgram:
+    """Lower the MinkowskiNet rulebook-gather access pattern."""
+    n_rows = scaled(700, scale)
+    coords = clustered_coordinate_csr(
+        n_rows, n_coords, avg_degree, cluster_size, seed + 3
+    )
+    # The hash table: a pseudo-random permutation of the coordinate space.
+    hash_map = make_rng(seed + 4).permutation(n_coords).astype(np.int64)
+    return build_one_side_program(
+        "mk",
+        coords,
+        ProgramConfig(
+            elem_bytes=elem_bytes,
+            ia_seg_elems=feature_dim,
+            index_map=hash_map,
+        ),
+    )

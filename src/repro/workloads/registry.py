@@ -1,0 +1,93 @@
+"""Workload registry: Table II short names → builders."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import WorkloadError
+from ..sim.npu.program import SparseProgram
+from . import (
+    double_sparsity,
+    gat,
+    gcn,
+    gsabt,
+    h2o,
+    minkowski,
+    scn,
+    switch_transformer,
+)
+from .base import WorkloadInfo
+
+# Table II, in the paper's row order.
+WORKLOAD_INFO: dict[str, WorkloadInfo] = {
+    "ds": WorkloadInfo(
+        "DS", "Double Sparsity", "large language model", "Yang et al. [5]"
+    ),
+    "gat": WorkloadInfo(
+        "GAT", "Graph Attention Networks", "graph neural networks",
+        "Velickovic et al. [26]",
+    ),
+    "gcn": WorkloadInfo(
+        "GCN", "Graph Convolutional Networks", "graph neural networks",
+        "Kipf & Welling [27]",
+    ),
+    "gsabt": WorkloadInfo(
+        "GSABT", "Graph Sparse Attention", "sparse attention",
+        "Zhang et al. [28]",
+    ),
+    "h2o": WorkloadInfo(
+        "H2O", "Heavy-Hitter Oracle", "large language model",
+        "Zhang et al. [29]",
+    ),
+    "mk": WorkloadInfo(
+        "MK", "MinkowskiNet", "point cloud", "Brahmbhatt et al. [30]"
+    ),
+    "scn": WorkloadInfo(
+        "SCN", "SparseConvNet", "point cloud", "Wang et al. [31]"
+    ),
+    "st": WorkloadInfo(
+        "ST", "Switch Transformer", "mixture of experts", "Fedus et al. [32]"
+    ),
+}
+
+# Bar order used by the paper's figures.
+WORKLOAD_ORDER: tuple[str, ...] = (
+    "ds", "gat", "gcn", "gsabt", "h2o", "mk", "scn", "st",
+)
+
+_BUILDERS: dict[str, Callable[..., SparseProgram]] = {
+    "ds": double_sparsity.build,
+    "gat": gat.build,
+    "gcn": gcn.build,
+    "gsabt": gsabt.build,
+    "h2o": h2o.build,
+    "mk": minkowski.build,
+    "scn": scn.build,
+    "st": switch_transformer.build,
+}
+
+
+def build_workload(
+    short: str,
+    scale: float = 1.0,
+    elem_bytes: int = 2,
+    seed: int = 0,
+    **kwargs,
+) -> SparseProgram:
+    """Build one Table II workload by short name (case-insensitive).
+
+    Args:
+        short: one of DS, GAT, GCN, GSABT, H2O, MK, SCN, ST.
+        scale: sizes the trace (1.0 = evaluation default, smaller for
+            quick runs).
+        elem_bytes: data width — 1 (INT8), 2 (FP16) or 4 (INT32).
+        seed: RNG seed; identical seeds replay identical traces.
+        **kwargs: workload-specific knobs (see each module's ``build``).
+    """
+    key = short.lower()
+    if key not in _BUILDERS:
+        known = ", ".join(sorted(_BUILDERS))
+        raise WorkloadError(f"unknown workload '{short}' (known: {known})")
+    return _BUILDERS[key](
+        scale=scale, elem_bytes=elem_bytes, seed=seed, **kwargs
+    )

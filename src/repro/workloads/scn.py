@@ -1,0 +1,44 @@
+"""SCN — SparseConvNet: submanifold sparse convolution.
+
+Like MinkowskiNet, SCN gathers through hashed rulebooks, but submanifold
+convolutions only produce outputs at *already-active* sites: windows are
+tighter, degrees smaller, and the active-site set is sparser relative to
+the table. Decisive traits: hashed (non-affine) index map, small kernel
+windows, larger table relative to degree — the least forgiving pattern in
+the suite for affine prefetchers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
+from ..utils import make_rng
+from .base import scaled
+from .minkowski import clustered_coordinate_csr
+
+
+def build(
+    scale: float = 1.0,
+    elem_bytes: int = 2,
+    seed: int = 0,
+    n_coords: int = 16384,
+    avg_degree: float = 12.0,
+    cluster_size: int = 16,
+    feature_dim: int = 64,
+) -> SparseProgram:
+    """Lower the SparseConvNet submanifold access pattern."""
+    n_rows = scaled(1300, scale)
+    coords = clustered_coordinate_csr(
+        n_rows, n_coords, avg_degree, cluster_size, seed + 11
+    )
+    hash_map = make_rng(seed + 12).permutation(n_coords).astype(np.int64)
+    return build_one_side_program(
+        "scn",
+        coords,
+        ProgramConfig(
+            elem_bytes=elem_bytes,
+            ia_seg_elems=feature_dim,
+            index_map=hash_map,
+        ),
+    )

@@ -1,0 +1,87 @@
+"""ST — Switch Transformer (Fedus et al.): mixture-of-experts routing.
+
+Tokens route to experts; the expert's weight matrix is read in large
+contiguous blocks. Decisive traits:
+
+* **block-structured access** — long sequential runs inside an expert's
+  weight region ("relatively fixed network architecture and block-like
+  data distribution patterns", Sec. V-B) with large jumps between
+  experts (the MoE dynamic-boundary challenge);
+* **expert reuse** — tokens in the same batch share experts, so block
+  columns recur heavily.
+
+ST is the suite's stream-friendliest workload: the paper singles it out
+as the exception with low cache-miss ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
+from ..sparse.csr import CSRMatrix
+from ..utils import make_rng
+from .base import scaled
+
+
+def build(
+    scale: float = 1.0,
+    elem_bytes: int = 2,
+    seed: int = 0,
+    weight_space: int = 8192,
+    expert_block: int = 64,
+    feature_dim: int = 64,
+    density: float = 0.008,
+) -> SparseProgram:
+    """Lower the Switch-Transformer expert-routing access pattern.
+
+    Args:
+        weight_space: columns = rows of expert weight matrices (the
+            gather index space).
+        expert_block: contiguous block size of one expert read.
+        density: fraction of the weight space each token batch touches.
+    """
+    if expert_block <= 0 or expert_block > weight_space:
+        raise WorkloadError(f"expert_block {expert_block} out of range")
+    n_rows = scaled(288, scale)
+    rng = make_rng(seed + 23)
+    intra = 0.95
+    block_rows = -(-n_rows // expert_block)
+    block_cols = weight_space // expert_block
+    p_block = min(1.0, density / intra)
+    # Every token group routes to >= 1 expert by construction (top-1
+    # routing always picks someone), plus extra experts by density.
+    active = rng.random((block_rows, block_cols)) < p_block
+    for br in range(block_rows):
+        if not active[br].any():
+            active[br, int(rng.integers(0, block_cols))] = True
+    rows_cols: list[np.ndarray] = []
+    for r in range(n_rows):
+        parts = []
+        for bc in np.nonzero(active[r // expert_block])[0]:
+            lo = bc * expert_block
+            mask = rng.random(expert_block) < intra
+            parts.append(lo + np.nonzero(mask)[0])
+        cols = (
+            np.sort(np.concatenate(parts)).astype(np.int64)
+            if parts
+            else np.zeros(0, dtype=np.int64)
+        )
+        rows_cols.append(cols)
+    rowptr = np.zeros(n_rows + 1, dtype=np.int64)
+    for i, cols in enumerate(rows_cols):
+        rowptr[i + 1] = rowptr[i] + len(cols)
+    col_indices = np.concatenate(rows_cols)
+    routing = CSRMatrix(
+        n_rows,
+        weight_space,
+        rowptr,
+        col_indices,
+        np.ones(len(col_indices), dtype=np.float32),
+    )
+    return build_one_side_program(
+        "st",
+        routing,
+        ProgramConfig(elem_bytes=elem_bytes, ia_seg_elems=feature_dim),
+    )

@@ -1,0 +1,89 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+from repro import (
+    MECHANISM_ORDER,
+    MECHANISMS,
+    WORKLOADS,
+    compare_mechanisms,
+    make_system,
+    run_workload,
+)
+from repro.core import NVRConfig
+from repro.errors import ConfigError
+from repro.sim.memory.hierarchy import MemoryConfig
+from repro.workloads import build_workload
+
+
+class TestRegistry:
+    def test_mechanism_registry(self):
+        # The paper's six Fig. 5 bars plus the explicit-preload baseline.
+        assert set(MECHANISM_ORDER) <= set(MECHANISMS)
+        assert len(MECHANISM_ORDER) == 6
+        assert "preload" in MECHANISMS
+
+    def test_eight_workloads(self):
+        assert len(WORKLOADS) == 8
+
+
+class TestRunWorkload:
+    def test_basic_run(self):
+        result = run_workload("gcn", mechanism="nvr", scale=0.2)
+        assert result.total_cycles > 0
+        assert result.mechanism == "nvr"
+
+    def test_with_base(self):
+        result = run_workload("gcn", mechanism="inorder", scale=0.2, with_base=True)
+        assert result.base_cycles is not None
+        assert result.base_cycles < result.total_cycles
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ConfigError):
+            run_workload("gcn", mechanism="magic")
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ConfigError):
+            run_workload("gcn", dtype="fp64")
+
+    def test_nsb_flag(self):
+        result = run_workload("ds", mechanism="nvr", nsb=True, scale=0.2)
+        assert result.stats.nsb.demand_accesses > 0
+
+    def test_workload_kwargs_forwarded(self):
+        small = run_workload("ds", mechanism="inorder", scale=0.2, topk_ratio=64)
+        big = run_workload("ds", mechanism="inorder", scale=0.2, topk_ratio=8)
+        assert small.stats.batch.elements < big.stats.batch.elements
+
+    def test_nvr_config_forwarded(self):
+        shallow = run_workload(
+            "gcn", mechanism="nvr", scale=0.2,
+            nvr_config=NVRConfig(depth_tiles=1),
+        )
+        deep = run_workload(
+            "gcn", mechanism="nvr", scale=0.2,
+            nvr_config=NVRConfig(depth_tiles=8),
+        )
+        assert deep.total_cycles <= shallow.total_cycles
+
+
+class TestCompare:
+    def test_compare_returns_all(self):
+        results = compare_mechanisms(
+            "gcn", mechanisms=("inorder", "nvr"), scale=0.2
+        )
+        assert set(results) == {"inorder", "nvr"}
+        assert results["nvr"].total_cycles < results["inorder"].total_cycles
+
+
+class TestMakeSystem:
+    def test_memory_override(self):
+        program = build_workload("gcn", scale=0.2)
+        memory = MemoryConfig().with_nsb(True)
+        system = make_system(program, mechanism="nvr", memory=memory)
+        assert system.memory.nsb is not None
+
+    def test_nsb_flag_upgrades_memory(self):
+        program = build_workload("gcn", scale=0.2)
+        system = make_system(program, mechanism="nvr", nsb=True)
+        assert system.memory.nsb is not None

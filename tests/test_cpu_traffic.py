@@ -1,0 +1,104 @@
+"""Tests for the shared-L2 CPU background-traffic model."""
+
+import pytest
+
+from repro import run_workload
+from repro.errors import ConfigError
+from repro.sim.memory.hierarchy import (
+    CPUTrafficConfig,
+    MemoryConfig,
+    MemorySystem,
+)
+from repro.sim.request import Access, AccessType
+from repro.sim.stats import RunStats
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CPUTrafficConfig()
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            CPUTrafficConfig(lines_per_kcycle=0)
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(ConfigError):
+            CPUTrafficConfig(footprint_bytes=32)
+
+    def test_with_cpu_traffic_copy(self):
+        mem = MemoryConfig().with_cpu_traffic()
+        assert mem.cpu_traffic is not None
+        assert MemoryConfig().cpu_traffic is None
+
+    def test_with_nsb_preserves_cpu_traffic(self):
+        mem = MemoryConfig().with_cpu_traffic().with_nsb(True)
+        assert mem.cpu_traffic is not None
+        assert mem.nsb is not None
+
+
+class TestInjection:
+    def _system(self, rate=100):
+        cfg = MemoryConfig().with_cpu_traffic(
+            CPUTrafficConfig(lines_per_kcycle=rate)
+        )
+        return MemorySystem(cfg, RunStats())
+
+    def test_traffic_injected_over_time(self):
+        mem = self._system()
+        mem.demand_access(
+            0, Access(0x1000, AccessType.DEMAND), irregular=True
+        )
+        mem.demand_access(
+            100_000, Access(0x2000, AccessType.DEMAND), irregular=True
+        )
+        assert mem.cpu_accesses > 0
+
+    def test_no_injection_without_config(self):
+        mem = MemorySystem(MemoryConfig(), RunStats())
+        mem.demand_access(
+            50_000, Access(0x1000, AccessType.DEMAND), irregular=True
+        )
+        assert mem.cpu_accesses == 0
+
+    def test_injection_bounded_per_call(self):
+        mem = self._system(rate=1000)
+        mem.demand_access(
+            10_000_000, Access(0x1000, AccessType.DEMAND), irregular=True
+        )
+        assert mem.cpu_accesses <= MemorySystem._MAX_INJECT_PER_CALL
+
+    def test_deterministic(self):
+        a = self._system()
+        b = self._system()
+        for t in (0, 10_000, 20_000, 50_000):
+            a.demand_access(t, Access(0x1000, AccessType.DEMAND), True)
+            b.demand_access(t, Access(0x1000, AccessType.DEMAND), True)
+        assert a.cpu_accesses == b.cpu_accesses
+        assert a.cpu_misses == b.cpu_misses
+
+    def test_cpu_misses_consume_dram(self):
+        mem = self._system()
+        mem.demand_access(0, Access(0x1000, AccessType.DEMAND), True)
+        before = mem.dram.transfers
+        mem.demand_access(200_000, Access(0x2000, AccessType.DEMAND), True)
+        assert mem.dram.transfers > before + 1  # demand + CPU fills
+
+
+class TestContentionEffect:
+    def test_contention_never_speeds_up_npu(self):
+        quiet = run_workload("h2o", mechanism="nvr", scale=0.2)
+        noisy = run_workload(
+            "h2o", mechanism="nvr", scale=0.2,
+            memory=MemoryConfig().with_cpu_traffic(
+                CPUTrafficConfig(lines_per_kcycle=200)
+            ),
+        )
+        assert noisy.total_cycles >= quiet.total_cycles
+
+    def test_nsb_is_contention_immune(self):
+        """The NSB is NPU-private: CPU traffic cannot evict from it."""
+        mem = MemoryConfig().with_nsb(True).with_cpu_traffic(
+            CPUTrafficConfig(lines_per_kcycle=200)
+        )
+        result = run_workload("h2o", mechanism="nvr", scale=0.2, memory=mem)
+        assert result.stats.nsb.demand_hits > 0

@@ -1,0 +1,171 @@
+"""Tests for the execution engines and the composed System."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.prefetch import NullPrefetcher, StreamPrefetcher
+from repro.sim.memory.dram import DRAMConfig
+from repro.sim.memory.hierarchy import MemoryConfig
+from repro.sim.npu.executor import ExecutorConfig, build_engine
+from repro.sim.npu.program import ProgramConfig, build_one_side_program
+from repro.sim.soc import PerfectMemory, System
+from repro.sim.stats import RunStats
+from repro.sparse.generate import uniform_csr
+
+
+def make_program(seed=11, rows=40, cols=1024, density=0.04, **cfg):
+    w = uniform_csr(rows, cols, density, seed=seed)
+    return build_one_side_program("x", w, ProgramConfig(**cfg))
+
+
+def run(program, mode="inorder", factory=NullPrefetcher, memory=None, perfect=False):
+    system = System(
+        program=program,
+        memory=memory or MemoryConfig(),
+        prefetcher_factory=factory,
+        mode=mode,
+    )
+    return system.run(perfect=perfect)
+
+
+class TestExecutorConfig:
+    def test_defaults(self):
+        ExecutorConfig()
+
+    def test_bad_issue_width(self):
+        with pytest.raises(ConfigError):
+            ExecutorConfig(issue_width=0)
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigError):
+            ExecutorConfig(ooo_window=0)
+
+    def test_unknown_mode_rejected(self):
+        prog = make_program()
+        with pytest.raises(ConfigError):
+            build_engine(
+                "speculative",
+                prog,
+                PerfectMemory(MemoryConfig(), RunStats()),
+                NullPrefetcher(),
+                None,
+                RunStats(),
+                ExecutorConfig(),
+            )
+
+
+class TestTimingSanity:
+    def test_run_is_deterministic(self):
+        prog = make_program()
+        a = run(prog).total_cycles
+        b = run(prog).total_cycles
+        assert a == b
+
+    def test_ooo_not_slower_than_inorder(self):
+        prog = make_program()
+        ino = run(prog, mode="inorder").total_cycles
+        ooo = run(prog, mode="ooo").total_cycles
+        assert ooo <= ino
+
+    def test_perfect_run_fastest(self):
+        prog = make_program()
+        real = run(prog).total_cycles
+        perfect = run(prog, perfect=True).total_cycles
+        assert perfect < real
+
+    def test_base_plus_stall_equals_total(self):
+        prog = make_program()
+        result = System(program=prog).run_with_base()
+        assert result.base_cycles is not None
+        assert result.base_cycles + result.stall_cycles == result.total_cycles
+
+    def test_compute_cycles_equal_across_modes(self):
+        prog = make_program()
+        ino = run(prog, mode="inorder").stats.compute_cycles
+        ooo = run(prog, mode="ooo").stats.compute_cycles
+        assert ino == ooo
+        assert ino == sum(t.compute.cycles for t in prog.tiles)
+
+    def test_total_exceeds_compute(self):
+        prog = make_program()
+        result = run(prog)
+        assert result.total_cycles > result.stats.compute_cycles
+
+
+class TestMemoryAccounting:
+    def test_every_gather_element_counted(self):
+        prog = make_program()
+        result = run(prog)
+        assert result.stats.batch.elements == prog.total_demand_elements()
+
+    def test_cold_run_misses_everything_large_footprint(self):
+        prog = make_program(rows=60, cols=8192, density=0.02)
+        result = run(prog)
+        stats = result.stats
+        # Footprint >> L2: miss rate should be overwhelming.
+        assert stats.l2.demand_miss_rate > 0.6
+
+    def test_store_traffic_counted(self):
+        prog = make_program()
+        result = run(prog)
+        assert result.stats.traffic.store_bytes > 0
+
+    def test_off_chip_demand_bytes_match_misses(self):
+        prog = make_program()
+        stats = run(prog).stats
+        assert (
+            stats.traffic.off_chip_demand_bytes
+            == stats.l2.demand_misses * 64
+        )
+
+    def test_batch_miss_ge_element_rate(self):
+        prog = make_program(rows=60, cols=8192, density=0.02)
+        stats = run(prog).stats
+        assert stats.batch.batch_miss_rate >= stats.batch.element_miss_rate
+
+
+class TestSystemPlumbing:
+    def test_speedup_over(self):
+        prog = make_program()
+        slow = run(prog, mode="inorder")
+        fast = run(prog, mode="ooo")
+        assert fast.speedup_over(slow) >= 1.0
+
+    def test_prefetcher_gets_fresh_instance_per_run(self):
+        prog = make_program()
+        instances = []
+
+        def factory():
+            p = StreamPrefetcher()
+            instances.append(p)
+            return p
+
+        system = System(program=prog, prefetcher_factory=factory)
+        system.run()
+        system.run()
+        assert len(instances) == 2
+        assert instances[0] is not instances[1]
+
+    def test_mechanism_name_recorded(self):
+        prog = make_program()
+        result = run(prog, factory=StreamPrefetcher)
+        assert result.mechanism == "stream"
+
+    def test_dram_bandwidth_affects_latency(self):
+        prog = make_program(rows=60, cols=8192, density=0.02)
+        slow = run(
+            prog,
+            memory=MemoryConfig(dram=DRAMConfig(latency=160, bytes_per_cycle=4)),
+        ).total_cycles
+        fast = run(
+            prog,
+            memory=MemoryConfig(dram=DRAMConfig(latency=160, bytes_per_cycle=64)),
+        ).total_cycles
+        assert slow > fast
+
+    def test_dtype_widens_traffic(self):
+        int8 = make_program(elem_bytes=1)
+        int32 = make_program(elem_bytes=4)
+        t8 = run(int8).stats.traffic.off_chip_total_bytes
+        t32 = run(int32).stats.traffic.off_chip_total_bytes
+        assert t32 > t8

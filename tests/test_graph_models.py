@@ -1,0 +1,47 @@
+"""Tests for networkx-backed graph topologies in the GNN workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import build_workload
+from repro.workloads.gcn import networkx_adjacency
+
+
+class TestNetworkxAdjacency:
+    def test_ba_graph_shape(self):
+        adj = networkx_adjacency("ba", n_nodes=256, avg_degree=8, seed=1, n_rows=64)
+        assert adj.n_rows == 64
+        assert adj.n_cols == 256
+        assert adj.nnz > 0
+
+    def test_ba_has_hubs(self):
+        adj = networkx_adjacency("ba", n_nodes=512, avg_degree=8, seed=2, n_rows=512)
+        degrees = adj.row_nnz()
+        assert degrees.max() > 3 * max(1.0, degrees.mean())
+
+    def test_ws_is_regularish(self):
+        adj = networkx_adjacency("ws", n_nodes=512, avg_degree=8, seed=3, n_rows=512)
+        degrees = adj.row_nnz()
+        assert degrees.std() < degrees.mean()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError):
+            networkx_adjacency("erdos", 64, 4, 0, 32)
+
+    def test_deterministic(self):
+        a = networkx_adjacency("ba", 256, 8, seed=7, n_rows=64)
+        b = networkx_adjacency("ba", 256, 8, seed=7, n_rows=64)
+        assert np.array_equal(a.col_indices, b.col_indices)
+
+
+class TestGCNGraphModels:
+    @pytest.mark.parametrize("model", ["ba", "ws"])
+    def test_builds_and_runs(self, model):
+        program = build_workload("gcn", scale=0.15, graph_model=model)
+        assert program.n_tiles > 0
+
+    def test_default_remains_powerlaw(self):
+        default = build_workload("gcn", scale=0.15)
+        ba = build_workload("gcn", scale=0.15, graph_model="ba")
+        assert not np.array_equal(default.col_stream, ba.col_stream)

@@ -1,0 +1,132 @@
+"""Cross-cutting integration tests: paper-shape invariants that span
+modules, plus hypothesis properties over randomly generated programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_workload
+from repro.core import NVRPrefetcher
+from repro.prefetch import NullPrefetcher
+from repro.sim.memory.hierarchy import MemoryConfig
+from repro.sim.npu.program import ProgramConfig, build_one_side_program
+from repro.sim.soc import System
+from repro.sparse.csr import CSRMatrix
+from repro.workloads import WORKLOAD_ORDER
+
+SCALE = 0.2
+
+
+class TestDtypeOrdering:
+    """Fig. 5's panel structure: wider data -> more lines -> more latency."""
+
+    @pytest.mark.parametrize("workload", ["ds", "gcn"])
+    def test_wider_dtype_slower(self, workload):
+        cycles = {
+            dtype: run_workload(
+                workload, mechanism="inorder", dtype=dtype, scale=SCALE
+            ).total_cycles
+            for dtype in ("int8", "fp16", "int32")
+        }
+        assert cycles["int8"] < cycles["fp16"] < cycles["int32"]
+
+    def test_wider_dtype_more_offchip(self):
+        traffic = {
+            dtype: run_workload(
+                "ds", mechanism="inorder", dtype=dtype, scale=SCALE
+            ).stats.traffic.off_chip_total_bytes
+            for dtype in ("int8", "int32")
+        }
+        assert traffic["int32"] > 2 * traffic["int8"]
+
+
+class TestNVRUniversality:
+    """The paper's closing claim: NVR helps every workload class."""
+
+    @pytest.mark.parametrize("workload", WORKLOAD_ORDER)
+    def test_nvr_never_slower_than_inorder(self, workload):
+        ino = run_workload(workload, mechanism="inorder", scale=SCALE)
+        nvr = run_workload(workload, mechanism="nvr", scale=SCALE)
+        assert nvr.total_cycles <= ino.total_cycles
+
+    @pytest.mark.parametrize("workload", WORKLOAD_ORDER)
+    def test_miss_reduction_everywhere(self, workload):
+        ino = run_workload(workload, mechanism="inorder", scale=SCALE)
+        nvr = run_workload(workload, mechanism="nvr", scale=SCALE)
+        assert nvr.stats.l2.demand_misses < ino.stats.l2.demand_misses
+
+
+def random_program(draw_rows, draw_cols, density, seed, vector_width=8):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((draw_rows, draw_cols)).astype(np.float32)
+    dense[dense > density] = 0.0
+    dense[0, 0] = 1.0  # guarantee at least one non-zero
+    weights = CSRMatrix.from_dense(dense)
+    return build_one_side_program(
+        "prop",
+        weights,
+        ProgramConfig(vector_width=vector_width, elem_bytes=2, ia_seg_elems=16),
+    )
+
+
+class TestExecutorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=8, max_value=128),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_invariants_random_programs(self, rows, cols, density, seed):
+        """For any valid program: determinism, OoO <= InO, perfect <= real,
+        accounting identities."""
+        program = random_program(rows, cols, density, seed)
+        ino = System(program=program, prefetcher_factory=NullPrefetcher).run()
+        ino2 = System(program=program, prefetcher_factory=NullPrefetcher).run()
+        assert ino.total_cycles == ino2.total_cycles
+
+        ooo = System(
+            program=program, prefetcher_factory=NullPrefetcher, mode="ooo"
+        ).run()
+        assert ooo.total_cycles <= ino.total_cycles
+
+        perfect = System(program=program).run(perfect=True)
+        assert perfect.total_cycles <= ino.total_cycles
+
+        stats = ino.stats
+        assert stats.l2.demand_hits + stats.l2.demand_inflight_hits + \
+            stats.l2.demand_misses == stats.l2.demand_accesses
+        assert stats.batch.elements == program.total_demand_elements()
+        assert stats.traffic.off_chip_demand_bytes == 64 * stats.l2.demand_misses
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_nvr_safe_on_random_programs(self, seed):
+        """NVR must never corrupt accounting or slow a run materially."""
+        program = random_program(16, 96, 0.3, seed)
+        base = System(program=program, prefetcher_factory=NullPrefetcher).run()
+        nvr = System(program=program, prefetcher_factory=NVRPrefetcher).run()
+        assert nvr.total_cycles <= base.total_cycles * 1.05
+        stats = nvr.stats
+        assert stats.prefetch.useful + stats.prefetch.late <= stats.prefetch.issued
+
+
+class TestNSBPanel:
+    def test_nsb_keeps_coverage(self):
+        for workload in ("ds", "mk"):
+            plain = run_workload(workload, mechanism="nvr", scale=SCALE)
+            nsb = run_workload(workload, mechanism="nvr", nsb=True, scale=SCALE)
+            assert nsb.stats.coverage() >= plain.stats.coverage() - 0.05
+
+    def test_stream_pollutes_small_nsb(self):
+        """Paper: 'NSB activation depends on prefetcher accuracy' — the
+        inaccurate stream prefetcher gains little or loses with an NSB."""
+        plain = run_workload("scn", mechanism="stream", scale=SCALE)
+        nsb = run_workload("scn", mechanism="stream", nsb=True, scale=SCALE)
+        nvr_plain = run_workload("scn", mechanism="nvr", scale=SCALE)
+        nvr_nsb = run_workload("scn", mechanism="nvr", nsb=True, scale=SCALE)
+        stream_gain = plain.total_cycles / nsb.total_cycles
+        nvr_gain = nvr_plain.total_cycles / nvr_nsb.total_cycles
+        assert nvr_gain >= stream_gain - 0.02

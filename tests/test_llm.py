@@ -1,0 +1,161 @@
+"""Tests for the LLMCompass-lite system-level model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.llm import (
+    MemoryCalibration,
+    NPUHardware,
+    TransformerSpec,
+    calibrate_memory_efficiency,
+    decode_throughput,
+    layer_miss_rates,
+    prefill_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def calib_pair():
+    return (
+        calibrate_memory_efficiency("inorder", scale=0.2),
+        calibrate_memory_efficiency("nvr", scale=0.2),
+    )
+
+
+class TestTransformerSpec:
+    def test_head_dim(self):
+        assert TransformerSpec().head_dim == 128
+
+    def test_invalid_heads(self):
+        with pytest.raises(ConfigError):
+            TransformerSpec(d_model=100, n_heads=3)
+
+    def test_kv_cache_grows_linearly(self):
+        spec = TransformerSpec()
+        assert spec.kv_cache_bytes(2048) == 2 * spec.kv_cache_bytes(1024)
+
+    def test_decode_gather_scales_with_context(self):
+        spec = TransformerSpec()
+        assert spec.decode_gather_bytes_per_token(
+            2048
+        ) == 4 * spec.decode_gather_bytes_per_token(512)
+
+    def test_topk_reduces_gather(self):
+        dense = TransformerSpec(topk_ratio=1)
+        sparse = TransformerSpec(topk_ratio=16)
+        assert dense.decode_gather_bytes_per_token(
+            2048
+        ) == 16 * sparse.decode_gather_bytes_per_token(2048)
+
+    def test_batch_amortises_weights(self):
+        b1 = TransformerSpec(batch_size=1)
+        b8 = TransformerSpec(batch_size=8)
+        assert b1.decode_stream_bytes_per_token() == pytest.approx(
+            8 * b8.decode_stream_bytes_per_token()
+        )
+
+    def test_prefill_flops_superlinear(self):
+        spec = TransformerSpec()
+        assert spec.prefill_flops(4096) > 2 * spec.prefill_flops(2048)
+
+    def test_weight_bytes(self):
+        spec = TransformerSpec(
+            n_layers=1, d_model=8, n_heads=2, ffn_mult=4, elem_bytes=2
+        )
+        # 4*64 proj + 2*8*32 ffn = 256 + 512 params, x2 bytes
+        assert spec.weight_bytes_per_layer == (4 * 64 + 2 * 8 * 32) * 2
+
+
+class TestHardware:
+    def test_peak_flops(self):
+        hw = NPUHardware(macs_per_cycle=100, freq_ghz=1.0)
+        assert hw.peak_flops == pytest.approx(2e11)
+
+    def test_memory_time_positive_bandwidth(self):
+        hw = NPUHardware()
+        with pytest.raises(ConfigError):
+            hw.memory_time(1, 0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            NPUHardware(macs_per_cycle=0)
+
+
+class TestCalibration:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryCalibration("x", gather_efficiency=0.0, traffic_ratio=1.0)
+        with pytest.raises(ConfigError):
+            MemoryCalibration("x", gather_efficiency=0.5, traffic_ratio=0.0)
+
+    def test_nvr_far_more_efficient_than_inorder(self, calib_pair):
+        base, nvr = calib_pair
+        assert nvr.gather_efficiency > 5 * base.gather_efficiency
+
+    def test_traffic_ratios_near_unity(self, calib_pair):
+        base, nvr = calib_pair
+        assert base.traffic_ratio == pytest.approx(1.0)
+        assert 0.8 < nvr.traffic_ratio < 1.3
+
+
+class TestThroughputShapes:
+    def test_decode_gain_grows_with_context(self, calib_pair):
+        """Fig. 8c: the NVR advantage grows with sequence length."""
+        base, nvr = calib_pair
+        spec, hw = TransformerSpec(), NPUHardware()
+        gains = [
+            decode_throughput(spec, hw, l, 1600, nvr)
+            / decode_throughput(spec, hw, l, 1600, base)
+            for l in (512, 1024, 2048)
+        ]
+        assert gains[0] < gains[1] < gains[2]
+        assert gains[2] > 1.3  # paper: ~50% average IO-bound gain
+
+    def test_decode_monotone_in_bandwidth(self, calib_pair):
+        base, _ = calib_pair
+        spec, hw = TransformerSpec(), NPUHardware()
+        tputs = [
+            decode_throughput(spec, hw, 1024, bw, base)
+            for bw in (200, 400, 800, 1600)
+        ]
+        assert tputs == sorted(tputs)
+
+    def test_prefill_plateaus(self, calib_pair):
+        """Fig. 8b: prefill is compute-bound at high bandwidth."""
+        _, nvr = calib_pair
+        spec, hw = TransformerSpec(), NPUHardware()
+        hi = prefill_throughput(spec, hw, 2048, 3200, nvr)
+        hi2 = prefill_throughput(spec, hw, 2048, 4000, nvr)
+        assert hi == pytest.approx(hi2, rel=1e-6)
+
+    def test_prefill_nvr_reaches_plateau_earlier(self, calib_pair):
+        base, nvr = calib_pair
+        spec, hw = TransformerSpec(), NPUHardware()
+        low_bw = 300
+        assert prefill_throughput(
+            spec, hw, 2048, low_bw, nvr
+        ) > prefill_throughput(spec, hw, 2048, low_bw, base)
+
+
+class TestLayerMissRates:
+    def test_fig8a_shape(self):
+        """QKV streams (low miss); QKT/AV gathers miss heavily under InO
+        and drop by orders of magnitude under NVR."""
+        rates = layer_miss_rates(scale=0.2)
+        for layer in ("qkv", "qkt", "av"):
+            assert layer in rates
+        ino_qkt_batch = rates["qkt"]["inorder"][0]
+        nvr_qkt_batch = rates["qkt"]["nvr"][0]
+        assert ino_qkt_batch > 0.5
+        assert nvr_qkt_batch < 0.2 * ino_qkt_batch
+        # The streaming layer misses far less than the gather layers.
+        assert rates["qkv"]["inorder"][0] < 0.3 * ino_qkt_batch
+
+    def test_batch_rate_tracks_element_rate(self):
+        """A batch misses when any element does, so the batch rate sits at
+        or above the element rate — up to variable batch widths (short
+        row-tail tiles), which allow a small inversion."""
+        rates = layer_miss_rates(scale=0.2)
+        for layer_rates in rates.values():
+            for batch_rate, elem_rate in layer_rates.values():
+                assert batch_rate >= 0.8 * elem_rate

@@ -1,0 +1,187 @@
+"""Tests for the composed memory hierarchy (NSB -> L2 -> DRAM)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.memory.cache import CacheConfig
+from repro.sim.memory.dram import DRAMConfig
+from repro.sim.memory.hierarchy import (
+    MemoryConfig,
+    MemorySystem,
+    default_l2_config,
+    default_nsb_config,
+)
+from repro.sim.request import Access, AccessType, HitLevel
+from repro.sim.stats import RunStats
+
+
+def make_system(nsb: bool = False, **dram_kw) -> MemorySystem:
+    cfg = MemoryConfig(
+        l2=CacheConfig(size_bytes=8 * 1024, assoc=4, hit_latency=18, name="l2"),
+        dram=DRAMConfig(latency=100, bytes_per_cycle=16, **dram_kw),
+        nsb=default_nsb_config() if nsb else None,
+    )
+    return MemorySystem(cfg, RunStats())
+
+
+def demand(line_addr: int) -> Access:
+    return Access(line_addr=line_addr, access_type=AccessType.DEMAND)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = MemoryConfig()
+        assert cfg.l2.size_bytes == 256 * 1024
+        assert cfg.nsb is None
+
+    def test_with_nsb_toggles(self):
+        cfg = MemoryConfig().with_nsb(True)
+        assert cfg.nsb is not None
+        assert cfg.with_nsb(False).nsb is None
+
+    def test_mismatched_line_sizes_rejected(self):
+        nsb = CacheConfig(size_bytes=16 * 1024, assoc=16, line_bytes=32, name="nsb")
+        with pytest.raises(ConfigError):
+            MemoryConfig(nsb=nsb)
+
+
+class TestDemandPath:
+    def test_cold_miss_goes_off_chip(self):
+        mem = make_system()
+        res = mem.demand_access(0, demand(0x1000), irregular=True)
+        assert res.hit_level == HitLevel.DRAM
+        assert res.off_chip
+        assert res.complete_at > 100
+        assert mem.stats.l2.demand_misses == 1
+        assert mem.stats.traffic.off_chip_demand_bytes == 64
+
+    def test_second_access_hits_l2(self):
+        mem = make_system()
+        first = mem.demand_access(0, demand(0x1000), irregular=True)
+        res = mem.demand_access(first.complete_at + 1, demand(0x1000), irregular=True)
+        assert res.hit_level == HitLevel.L2
+        assert res.complete_at == first.complete_at + 1 + 18
+        assert mem.stats.l2.demand_hits == 1
+
+    def test_inflight_coalesce(self):
+        mem = make_system()
+        first = mem.demand_access(0, demand(0x1000), irregular=True)
+        res = mem.demand_access(5, demand(0x1000), irregular=True)
+        assert res.hit_level == HitLevel.INFLIGHT
+        assert res.complete_at == first.complete_at
+        assert mem.stats.l2.demand_inflight_hits == 1
+        # Coalesce must not issue a second DRAM transfer.
+        assert mem.dram.transfers == 1
+
+    def test_hit_latency_helper(self):
+        mem = make_system(nsb=True)
+        assert mem.hit_latency(irregular=True) == 2
+        assert mem.hit_latency(irregular=False) == 18
+        assert make_system().hit_latency(irregular=True) == 18
+
+
+class TestNSBPath:
+    def test_irregular_fill_populates_nsb(self):
+        mem = make_system(nsb=True)
+        first = mem.demand_access(0, demand(0x1000), irregular=True)
+        res = mem.demand_access(first.complete_at + 1, demand(0x1000), irregular=True)
+        assert res.hit_level == HitLevel.NSB
+        assert res.complete_at == first.complete_at + 1 + 2
+
+    def test_regular_stream_bypasses_nsb(self):
+        mem = make_system(nsb=True)
+        first = mem.demand_access(0, demand(0x1000), irregular=False)
+        res = mem.demand_access(first.complete_at + 1, demand(0x1000), irregular=False)
+        assert res.hit_level == HitLevel.L2
+        assert mem.stats.nsb.demand_accesses == 0
+
+    def test_nsb_miss_counted(self):
+        mem = make_system(nsb=True)
+        mem.demand_access(0, demand(0x1000), irregular=True)
+        assert mem.stats.nsb.demand_misses == 1
+
+
+class TestPrefetchPath:
+    def test_prefetch_then_demand_is_useful(self):
+        mem = make_system()
+        assert mem.prefetch_line(0, 0x1000, irregular=True)
+        res = mem.demand_access(500, demand(0x1000), irregular=True)
+        assert res.was_prefetched
+        assert res.hit_level == HitLevel.L2
+        assert mem.stats.prefetch.useful == 1
+        assert mem.stats.prefetch.issued == 1
+
+    def test_late_prefetch_counted(self):
+        mem = make_system()
+        mem.prefetch_line(0, 0x1000, irregular=True)
+        res = mem.demand_access(5, demand(0x1000), irregular=True)
+        assert res.was_prefetched
+        assert res.hit_level == HitLevel.INFLIGHT
+        assert mem.stats.prefetch.late == 1
+        assert mem.stats.prefetch.useful == 0
+
+    def test_useful_counted_once_per_line(self):
+        mem = make_system()
+        mem.prefetch_line(0, 0x1000, irregular=True)
+        mem.demand_access(500, demand(0x1000), irregular=True)
+        mem.demand_access(600, demand(0x1000), irregular=True)
+        assert mem.stats.prefetch.useful == 1
+
+    def test_redundant_prefetch_squashed(self):
+        mem = make_system()
+        first = mem.demand_access(0, demand(0x1000), irregular=False)
+        assert not mem.prefetch_line(first.complete_at + 1, 0x1000, irregular=False)
+        assert mem.stats.prefetch.issued == 0
+
+    def test_prefetch_charged_to_prefetch_traffic(self):
+        mem = make_system()
+        mem.prefetch_line(0, 0x1000, irregular=True)
+        assert mem.stats.traffic.off_chip_prefetch_bytes == 64
+        assert mem.stats.traffic.off_chip_demand_bytes == 0
+
+    def test_nsb_pull_from_l2_no_dram(self):
+        mem = make_system(nsb=True)
+        first = mem.demand_access(0, demand(0x1000), irregular=False)
+        transfers_before = mem.dram.transfers
+        assert mem.prefetch_line(first.complete_at + 1, 0x1000, irregular=True)
+        assert mem.dram.transfers == transfers_before
+        res = mem.demand_access(first.complete_at + 100, demand(0x1000), irregular=True)
+        assert res.hit_level == HitLevel.NSB
+
+    def test_prefetch_fills_nsb_and_l2(self):
+        mem = make_system(nsb=True)
+        mem.prefetch_line(0, 0x1000, irregular=True)
+        assert mem.nsb.probe(0x1000) is not None
+        assert mem.l2.probe(0x1000) is not None
+
+
+class TestCoverageAccounting:
+    def test_coverage_fraction(self):
+        mem = make_system()
+        # 2 prefetched lines used, 2 uncovered misses.
+        mem.prefetch_line(0, 0x1000, irregular=True)
+        mem.prefetch_line(0, 0x2000, irregular=True)
+        mem.demand_access(1000, demand(0x1000), irregular=True)
+        mem.demand_access(1000, demand(0x2000), irregular=True)
+        mem.demand_access(1000, demand(0x3000), irregular=True)
+        mem.demand_access(2000, demand(0x4000), irregular=True)
+        assert mem.stats.coverage() == pytest.approx(0.5)
+
+    def test_evicted_unused_prefetch_is_not_useful(self):
+        mem = make_system()
+        mem.prefetch_line(0, 0x1000, irregular=True)
+        # Thrash the set until the prefetched line is evicted: the L2 here is
+        # 8KiB/4-way/64B -> 32 sets; lines 32 sets apart collide.
+        set_stride = 32 * 64
+        for i in range(1, 6):
+            mem.demand_access(1000 + i, demand(0x1000 + i * set_stride), irregular=True)
+        res = mem.demand_access(10_000, demand(0x1000), irregular=True)
+        assert not res.was_prefetched
+        assert mem.stats.prefetch.useful == 0
+
+    def test_finalize_folds_counters(self):
+        mem = make_system()
+        mem.demand_access(0, demand(0x1000), irregular=True)
+        mem.finalize(total_cycles=5000)
+        assert mem.stats.dram_busy_cycles == mem.dram.busy_cycles
+        assert mem.stats.total_cycles == 5000

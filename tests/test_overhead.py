@@ -1,0 +1,85 @@
+"""Tests for the Table I hardware overhead accounting."""
+
+import pytest
+
+from repro.core.overhead import (
+    lbd_bits,
+    nvr_overhead,
+    scd_bits,
+    sd_bits,
+    snooper_bits,
+    vmig_bits,
+)
+from repro.errors import ConfigError
+
+
+class TestStructureArithmetic:
+    def test_sd_matches_table1(self):
+        s = sd_bits(16)
+        assert s.per_entry_bits == 110
+        assert s.total_bits == 48 + 16 * 110 == 1808
+        assert s.matches_paper
+
+    def test_scd_field_sum(self):
+        s = scd_bits(32)
+        assert s.per_entry_bits == 77
+        # Paper quotes 2464 (= 32 x 77, PC omitted from their sum); the
+        # field-complete total includes the 48-bit PC.
+        assert s.total_bits == 48 + 32 * 77 == 2512
+        assert s.paper_quoted_bits == 2464
+        assert not s.matches_paper
+
+    def test_lbd_matches_table1(self):
+        s = lbd_bits(32)
+        assert s.per_entry_bits == 107
+        assert s.total_bits == 32 * 107 == 3424
+        assert s.matches_paper
+
+    def test_vmig_matches_table1(self):
+        s = vmig_bits(16)
+        assert s.per_entry_bits == 184
+        assert s.total_bits == 260 + 16 * 184 == 3204
+        assert s.matches_paper
+
+    def test_snooper_matches_table1(self):
+        s = snooper_bits(16)
+        assert s.per_entry_bits == 68
+        assert s.total_bits == 160 + 16 * 68 == 1248
+        assert s.matches_paper
+
+
+class TestReport:
+    def test_total_is_sum_of_structures(self):
+        report = nvr_overhead()
+        assert report.total_bits == sum(s.total_bits for s in report.structures)
+
+    def test_default_total_value(self):
+        report = nvr_overhead()
+        assert report.total_bits == 1808 + 2512 + 3424 + 3204 + 1248
+
+    def test_storage_under_two_kib(self):
+        """Detector storage is tiny — negligible vs the NPU (paper's point)."""
+        report = nvr_overhead()
+        assert report.total_kib < 2.0
+
+    def test_area_fraction_without_nsb_small(self):
+        report = nvr_overhead()
+        assert report.area_fraction(with_nsb=False) < 0.05
+
+    def test_area_fraction_with_nsb_larger(self):
+        report = nvr_overhead()
+        assert report.area_fraction(True) > report.area_fraction(False)
+
+    def test_rows_structure(self):
+        rows = nvr_overhead().rows()
+        names = [r[0] for r in rows]
+        assert names == ["SD", "SCD", "LBD", "VMIG", "Snooper"]
+
+    def test_scaling_with_vector_width(self):
+        n8 = nvr_overhead(vector_width=8).total_bits
+        n32 = nvr_overhead(vector_width=32).total_bits
+        assert n8 < nvr_overhead().total_bits < n32
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigError):
+            nvr_overhead(vector_width=0)

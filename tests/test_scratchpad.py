@@ -1,0 +1,75 @@
+"""Tests for the banked scratchpad model."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.memory.scratchpad import Scratchpad, ScratchpadConfig
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = ScratchpadConfig()
+        assert cfg.size_bytes == 256 * 1024
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            ScratchpadConfig(size_bytes=0)
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ConfigError):
+            ScratchpadConfig(banks=0)
+
+    def test_unbalanced_banks_rejected(self):
+        with pytest.raises(ConfigError):
+            ScratchpadConfig(size_bytes=1000, banks=3)
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ConfigError):
+            ScratchpadConfig(ports_per_bank=0)
+
+
+class TestAllocation:
+    def test_allocate_release_cycle(self):
+        spad = Scratchpad(ScratchpadConfig(size_bytes=1024, banks=2))
+        spad.allocate(512)
+        assert spad.free_bytes == 512
+        spad.release(512)
+        assert spad.free_bytes == 1024
+
+    def test_overflow_raises(self):
+        spad = Scratchpad(ScratchpadConfig(size_bytes=1024, banks=2))
+        with pytest.raises(SimulationError):
+            spad.allocate(2048)
+
+    def test_over_release_raises(self):
+        spad = Scratchpad(ScratchpadConfig(size_bytes=1024, banks=2))
+        spad.allocate(100)
+        with pytest.raises(SimulationError):
+            spad.release(200)
+
+    def test_negative_allocate_raises(self):
+        spad = Scratchpad(ScratchpadConfig(size_bytes=1024, banks=2))
+        with pytest.raises(SimulationError):
+            spad.allocate(-1)
+
+
+class TestBandwidth:
+    def test_write_cycles_scale_with_bytes(self):
+        spad = Scratchpad(ScratchpadConfig())
+        assert spad.write(64 * 1024) > spad.write(1024)
+
+    def test_more_banks_fewer_cycles(self):
+        narrow = Scratchpad(ScratchpadConfig(banks=1))
+        wide = Scratchpad(ScratchpadConfig(banks=8))
+        assert wide.write(64 * 1024) < narrow.write(64 * 1024)
+
+    def test_traffic_recorded(self):
+        spad = Scratchpad(ScratchpadConfig())
+        spad.write(4096)
+        spad.read(1024)
+        assert spad.bytes_written == 4096
+        assert spad.bytes_read == 1024
+
+    def test_bank_bytes(self):
+        spad = Scratchpad(ScratchpadConfig(size_bytes=1024, banks=4))
+        assert spad.bank_bytes == 256

@@ -1,0 +1,130 @@
+"""Tests for the CSR matrix substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import WorkloadError
+from repro.sparse.csr import CSRMatrix
+
+
+def dense_strategy(max_dim=12):
+    shapes = st.tuples(
+        st.integers(min_value=1, max_value=max_dim),
+        st.integers(min_value=1, max_value=max_dim),
+    )
+    return shapes.flatmap(
+        lambda s: hnp.arrays(
+            dtype=np.float32,
+            shape=s,
+            elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, 2.5, -3.0]),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[1, 0, 2], [0, 0, 0], [0, 3, 0]], dtype=np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == 3
+        assert np.array_equal(csr.to_dense(), dense)
+
+    def test_from_coo_sorts_and_dedups(self):
+        csr = CSRMatrix.from_coo(
+            2, 3, rows=[1, 0, 1, 1], cols=[2, 1, 0, 2], values=[5, 1, 4, 9]
+        )
+        assert csr.nnz == 3  # duplicate (1,2) removed
+        cols, _ = csr.row_slice(1)
+        assert list(cols) == [0, 2]
+
+    def test_rejects_bad_rowptr_length(self):
+        with pytest.raises(WorkloadError):
+            CSRMatrix(
+                2,
+                2,
+                rowptr=np.array([0, 1], dtype=np.int64),
+                col_indices=np.array([0], dtype=np.int64),
+                values=np.ones(1, dtype=np.float32),
+            )
+
+    def test_rejects_decreasing_rowptr(self):
+        with pytest.raises(WorkloadError):
+            CSRMatrix(
+                2,
+                2,
+                rowptr=np.array([0, 2, 1], dtype=np.int64),
+                col_indices=np.array([0], dtype=np.int64),
+                values=np.ones(1, dtype=np.float32),
+            )
+
+    def test_rejects_out_of_range_col(self):
+        with pytest.raises(WorkloadError):
+            CSRMatrix(
+                1,
+                2,
+                rowptr=np.array([0, 1], dtype=np.int64),
+                col_indices=np.array([5], dtype=np.int64),
+                values=np.ones(1, dtype=np.float32),
+            )
+
+    def test_rejects_non_2d_dense(self):
+        with pytest.raises(WorkloadError):
+            CSRMatrix.from_dense(np.zeros(4, dtype=np.float32))
+
+
+class TestViews:
+    def test_density_and_sparsity(self):
+        dense = np.eye(4, dtype=np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.density == pytest.approx(0.25)
+        assert csr.sparsity == pytest.approx(0.75)
+
+    def test_row_nnz(self):
+        dense = np.array([[1, 1, 0], [0, 0, 0], [1, 1, 1]], dtype=np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        assert list(csr.row_nnz()) == [2, 0, 3]
+
+    def test_iter_rows_skips_empty(self):
+        dense = np.array([[1, 0], [0, 0]], dtype=np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        rows = [r for r, _, _ in csr.iter_rows()]
+        assert rows == [0]
+
+    def test_transpose(self):
+        dense = np.array([[1, 2, 0], [0, 0, 3]], dtype=np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.transpose().to_dense(), dense.T)
+
+    def test_repr_contains_shape(self):
+        csr = CSRMatrix.from_dense(np.eye(3, dtype=np.float32))
+        assert "3x3" in repr(csr)
+
+
+class TestProperties:
+    @settings(max_examples=60)
+    @given(dense_strategy())
+    def test_dense_roundtrip_identity(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.to_dense(), dense)
+
+    @settings(max_examples=60)
+    @given(dense_strategy())
+    def test_nnz_matches_dense(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == int(np.count_nonzero(dense))
+
+    @settings(max_examples=60)
+    @given(dense_strategy())
+    def test_double_transpose_identity(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.transpose().transpose().to_dense(), dense)
+
+    @settings(max_examples=60)
+    @given(dense_strategy())
+    def test_col_indices_sorted_per_row(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        for r in range(csr.n_rows):
+            cols, _ = csr.row_slice(r)
+            assert np.all(np.diff(cols) > 0) or len(cols) <= 1

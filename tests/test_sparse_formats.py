@@ -1,0 +1,107 @@
+"""Tests for bitmap and run-length sparse encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import WorkloadError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.formats import BitmapMatrix, RunLengthMatrix
+
+
+def dense_strategy(max_dim=10):
+    shapes = st.tuples(
+        st.integers(min_value=1, max_value=max_dim),
+        st.integers(min_value=1, max_value=max_dim),
+    )
+    return shapes.flatmap(
+        lambda s: hnp.arrays(
+            dtype=np.float32,
+            shape=s,
+            elements=st.sampled_from([0.0, 0.0, 1.0, -2.0, 7.5]),
+        )
+    )
+
+
+SAMPLE = np.array(
+    [[0, 1, 0, 0], [2, 0, 0, 3], [0, 0, 0, 0], [4, 5, 6, 0]], dtype=np.float32
+)
+
+
+class TestBitmap:
+    def test_roundtrip(self):
+        bm = BitmapMatrix.from_dense(SAMPLE)
+        assert np.array_equal(bm.to_dense(), SAMPLE)
+
+    def test_nnz(self):
+        assert BitmapMatrix.from_dense(SAMPLE).nnz == 6
+
+    def test_metadata_bits_is_dense_bitcount(self):
+        assert BitmapMatrix.from_dense(SAMPLE).metadata_bits == 16
+
+    def test_value_index_popcount(self):
+        bm = BitmapMatrix.from_dense(SAMPLE)
+        assert bm.value_index(0, 1) == 0
+        assert bm.value_index(1, 3) == 2
+        assert bm.value_index(3, 2) == 5
+
+    def test_value_index_on_zero_raises(self):
+        bm = BitmapMatrix.from_dense(SAMPLE)
+        with pytest.raises(WorkloadError):
+            bm.value_index(0, 0)
+
+    def test_from_csr(self):
+        csr = CSRMatrix.from_dense(SAMPLE)
+        bm = BitmapMatrix.from_csr(csr)
+        assert np.array_equal(bm.to_dense(), SAMPLE)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(WorkloadError):
+            BitmapMatrix.from_dense(np.zeros(3, dtype=np.float32))
+
+    @settings(max_examples=40)
+    @given(dense_strategy())
+    def test_roundtrip_property(self, dense):
+        bm = BitmapMatrix.from_dense(dense)
+        assert np.array_equal(bm.to_dense(), dense)
+
+
+class TestRunLength:
+    def test_roundtrip(self):
+        rl = RunLengthMatrix.from_dense(SAMPLE)
+        assert np.array_equal(rl.to_dense(), SAMPLE)
+
+    def test_nnz(self):
+        assert RunLengthMatrix.from_dense(SAMPLE).nnz == 6
+
+    def test_metadata_bits(self):
+        assert RunLengthMatrix.from_dense(SAMPLE).metadata_bits == 6 * 32
+
+    def test_runs_encode_zero_gaps(self):
+        rl = RunLengthMatrix.from_dense(SAMPLE)
+        # Row 0 is [0,1,0,0]: one value after a run of 1 zero.
+        assert rl.runs[0] == 1
+
+    def test_from_csr(self):
+        csr = CSRMatrix.from_dense(SAMPLE)
+        rl = RunLengthMatrix.from_csr(csr)
+        assert np.array_equal(rl.to_dense(), SAMPLE)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(WorkloadError):
+            RunLengthMatrix.from_dense(np.zeros(3, dtype=np.float32))
+
+    @settings(max_examples=40)
+    @given(dense_strategy())
+    def test_roundtrip_property(self, dense):
+        rl = RunLengthMatrix.from_dense(dense)
+        assert np.array_equal(rl.to_dense(), dense)
+
+    @settings(max_examples=40)
+    @given(dense_strategy())
+    def test_formats_agree(self, dense):
+        bm = BitmapMatrix.from_dense(dense)
+        rl = RunLengthMatrix.from_dense(dense)
+        assert np.array_equal(bm.to_dense(), rl.to_dense())

@@ -1,0 +1,123 @@
+"""Tests for repro.utils helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.utils import (
+    align_down,
+    align_up,
+    ceil_div,
+    geometric_mean,
+    human_bytes,
+    is_pow2,
+    log2_int,
+    make_rng,
+    require_pow2,
+)
+
+
+class TestPow2:
+    def test_is_pow2_accepts_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_is_pow2_rejects_non_powers(self):
+        for v in (0, -1, 3, 6, 12, 100):
+            assert not is_pow2(v)
+
+    def test_require_pow2_passthrough(self):
+        assert require_pow2(64, "x") == 64
+
+    def test_require_pow2_raises(self):
+        with pytest.raises(ConfigError):
+            require_pow2(48, "x")
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_log2_int_rejects_non_pow2(self):
+        with pytest.raises(ConfigError):
+            log2_int(12)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234, 64) == 0x1200
+
+    def test_align_up(self):
+        assert align_up(0x1201, 64) == 0x1240
+
+    def test_align_up_already_aligned(self):
+        assert align_up(0x1200, 64) == 0x1200
+
+    @given(st.integers(min_value=0, max_value=2**48), st.sampled_from([16, 64, 256]))
+    def test_align_invariants(self, addr, granule):
+        down = align_down(addr, granule)
+        up = align_up(addr, granule)
+        assert down <= addr <= up
+        assert down % granule == 0
+        assert up % granule == 0
+        assert up - down in (0, granule)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_bad_divisor(self):
+        with pytest.raises(ConfigError):
+            ceil_div(4, 0)
+
+
+class TestRng:
+    def test_deterministic(self):
+        a = make_rng(7).integers(0, 1000, size=16)
+        b = make_rng(7).integers(0, 1000, size=16)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9)
+        b = make_rng(2).integers(0, 10**9)
+        assert a != b
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert human_bytes(1536) == "1.5 KiB"
+
+    def test_mib(self):
+        assert human_bytes(4 * 1024 * 1024) == "4.0 MiB"
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10))
+    def test_bounded_by_min_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
