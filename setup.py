@@ -1,9 +1,12 @@
 """Legacy setup shim.
 
-The offline environment ships setuptools without the ``wheel`` package, so
-PEP 660 editable installs fail. This shim lets
-``pip install -e . --no-use-pep517`` fall back to ``setup.py develop``.
-All real metadata lives in pyproject.toml.
+All real metadata — including the ``src/`` package layout — lives in
+pyproject.toml; with network access a plain ``pip install -e .`` is all
+you need (CI exercises exactly that). This shim exists for the offline
+environment, which ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``;
+there, ``python setup.py develop`` installs the same editable layout
+without needing wheel.
 """
 
 from setuptools import setup

@@ -26,13 +26,18 @@ from .api import (
     make_system,
     run_workload,
 )
+from .runner import ResultCache, RunSpec, SweepRunner, expand
 
 __all__ = [
     "DTYPE_BYTES",
     "MECHANISMS",
     "MECHANISM_ORDER",
     "WORKLOADS",
+    "ResultCache",
+    "RunSpec",
+    "SweepRunner",
     "compare_mechanisms",
+    "expand",
     "make_system",
     "run_workload",
     "__version__",

@@ -3,21 +3,35 @@
 Usage::
 
     python -m repro run ds --mechanism nvr --dtype fp16 --scale 0.5
-    python -m repro compare gcn --nsb
+    python -m repro compare gcn --nsb --jobs 4
+    python -m repro sweep --workloads ds,gcn --mechanisms inorder,nvr
     python -m repro workloads
     python -m repro overhead
-    python -m repro figures --scale 0.6 -o EXPERIMENTS.md
+    python -m repro figures --scale 0.6 --jobs 4 -o EXPERIMENTS.md
+    python -m repro cache --clear
+
+``compare``, ``sweep`` and ``figures`` execute through the sweep runner:
+``--jobs N`` fans the plan out over N worker processes and every result
+is memoised in the on-disk cache (``.repro-cache/`` by default; disable
+with ``--no-cache``), so repeated and overlapping sweeps only simulate
+new points.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis import format_table, table1_overhead, table2_workloads
-from .analysis.paperfigs import main as figures_main
+from .analysis.paperfigs import (
+    add_runner_arguments,
+    main as figures_main,
+    runner_from_args,
+)
 from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms, run_workload
-from .workloads import WORKLOAD_INFO, WORKLOAD_ORDER
+from .runner import DEFAULT_CACHE_DIR, ResultCache, expand
+from .workloads import WORKLOAD_ORDER
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -45,6 +59,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     results = compare_mechanisms(
         args.workload,
+        runner=runner_from_args(args),
         dtype=args.dtype,
         nsb=args.nsb,
         scale=args.scale,
@@ -69,6 +84,93 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.workload} ({args.dtype}, nsb={args.nsb})",
         )
     )
+    return 0
+
+
+def _csv(text: str, known: tuple[str, ...], axis: str) -> tuple[str, ...]:
+    """Parse a comma-separated axis value; ``all`` selects every option."""
+    if text.strip().lower() == "all":
+        return known
+    values = tuple(v.strip() for v in text.split(",") if v.strip())
+    for value in values:
+        if value not in known:
+            raise SystemExit(
+                f"unknown {axis} '{value}' (known: {', '.join(known)})"
+            )
+    return values
+
+
+def _numbers(text: str, parse, axis: str) -> tuple:
+    try:
+        return tuple(parse(v) for v in text.split(","))
+    except ValueError:
+        raise SystemExit(f"invalid {axis} list '{text}'") from None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    specs = expand(
+        workloads=_csv(args.workloads, WORKLOAD_ORDER, "workload"),
+        mechanisms=_csv(
+            args.mechanisms, tuple(MECHANISM_ORDER) + ("preload",),
+            "mechanism",
+        ),
+        dtypes=_csv(args.dtypes, tuple(DTYPE_BYTES), "dtype"),
+        nsb=(False, True) if args.nsb == "both" else (args.nsb == "on",),
+        scales=_numbers(args.scales, float, "scale"),
+        seeds=_numbers(args.seeds, int, "seed"),
+        with_base=args.with_base,
+    )
+    runner = runner_from_args(args)
+    results = runner.run_plan(specs)
+    rows, records = [], []
+    for spec, result in zip(specs, results):
+        rows.append([
+            spec.workload, spec.mechanism, spec.dtype,
+            "y" if spec.nsb else "n", spec.scale, spec.seed,
+            result.total_cycles,
+            round(result.stats.prefetch.accuracy, 3),
+            round(result.stats.coverage(), 3),
+            result.stats.traffic.off_chip_total_bytes,
+        ])
+        records.append({
+            "spec": spec.to_dict(),
+            "total_cycles": result.total_cycles,
+            "base_cycles": result.base_cycles,
+            "accuracy": result.stats.prefetch.accuracy,
+            "coverage": result.stats.coverage(),
+            "off_chip_bytes": result.stats.traffic.off_chip_total_bytes,
+            "l2_demand_misses": result.stats.l2.demand_misses,
+        })
+    report = runner.last_report
+    print(
+        format_table(
+            ["workload", "mech", "dtype", "nsb", "scale", "seed", "cycles",
+             "accuracy", "coverage", "off-chip B"],
+            rows,
+            title=(
+                f"sweep: {report.total} points, {report.submitted} simulated,"
+                f" {report.cache_hits} cached"
+            ),
+        )
+    )
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(records, handle, indent=2)
+        print(f"wrote {args.json} ({len(records)} records)")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    entries = cache.entries()
+    size = cache.size_bytes()
+    print(f"cache dir : {cache.root}")
+    print(f"entries   : {len(entries)}")
+    print(f"size      : {size / 1024:.1f} KiB")
     return 0
 
 
@@ -127,7 +229,51 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--nsb", action="store_true")
     cmp_p.add_argument("--scale", type=float, default=0.5)
     cmp_p.add_argument("--seed", type=int, default=0)
+    add_runner_arguments(cmp_p)
     cmp_p.set_defaults(fn=_cmd_compare)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run an explicit (workload x mechanism x ...) plan"
+    )
+    sweep_p.add_argument(
+        "--workloads", default="all",
+        help="comma-separated workloads, or 'all'",
+    )
+    sweep_p.add_argument(
+        "--mechanisms", default=",".join(MECHANISM_ORDER),
+        help="comma-separated mechanisms, or 'all'",
+    )
+    sweep_p.add_argument(
+        "--dtypes", default="fp16", help="comma-separated dtypes, or 'all'"
+    )
+    sweep_p.add_argument(
+        "--nsb", choices=("off", "on", "both"), default="off",
+        help="sweep the NSB axis (default off)",
+    )
+    sweep_p.add_argument(
+        "--scales", default="0.5", help="comma-separated trace scales"
+    )
+    sweep_p.add_argument(
+        "--seeds", default="0", help="comma-separated RNG seeds"
+    )
+    sweep_p.add_argument(
+        "--with-base", action="store_true",
+        help="also run perfect-memory passes (base/stall split)",
+    )
+    sweep_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also dump one JSON record per point",
+    )
+    add_runner_arguments(sweep_p)
+    sweep_p.set_defaults(fn=_cmd_sweep)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    cache_p.add_argument("--clear", action="store_true")
+    cache_p.set_defaults(fn=_cmd_cache)
 
     wl_p = sub.add_parser("workloads", help="list Table II workloads")
     wl_p.add_argument("--scale", type=float, default=0.3)
@@ -141,9 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--scale", type=float, default=0.6)
     fig_p.add_argument("--seed", type=int, default=0)
     fig_p.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    add_runner_arguments(fig_p)
     fig_p.set_defaults(
         fn=lambda a: figures_main(
-            ["--scale", str(a.scale), "--seed", str(a.seed), "-o", a.output]
+            ["--scale", str(a.scale), "--seed", str(a.seed), "-o", a.output,
+             "--jobs", str(a.jobs), "--cache-dir", a.cache_dir]
+            + (["--no-cache"] if a.no_cache else [])
         )
     )
     return parser

@@ -1,19 +1,22 @@
 """One runner per paper table/figure (the DESIGN.md experiment index).
 
-Every runner is a pure function of (scale, seed): it builds the workloads,
-runs the simulator matrix and returns a structured result that both the
-benchmarks and EXPERIMENTS.md generation consume. ``scale`` trades run
-time for statistical weight; the shapes (who wins, by what factor, where
-crossovers fall) are stable from ``scale≈0.3`` upward.
+Every runner is a pure function of (scale, seed): it expresses its
+simulation matrix as a plan of :class:`~repro.runner.RunSpec` points,
+submits the plan through a :class:`~repro.runner.SweepRunner` and shapes
+the results into the structure that both the benchmarks and
+EXPERIMENTS.md generation consume. Pass a shared ``runner`` to reuse
+its worker pool and its on-disk result cache across figures — identical
+points then simulate exactly once per cache lifetime. ``scale`` trades
+run time for statistical weight; the shapes (who wins, by what factor,
+where crossovers fall) are stable from ``scale≈0.3`` upward.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..api import MECHANISM_ORDER, make_system, run_workload
+from ..api import MECHANISM_ORDER
 from ..core.overhead import OverheadReport, nvr_overhead
-from ..errors import ConfigError
 from ..llm import (
     NPUHardware,
     TransformerSpec,
@@ -22,34 +25,19 @@ from ..llm import (
     layer_miss_rates,
     prefill_throughput,
 )
+from ..runner import MemorySpec, RunSpec, SweepRunner, shape_l2
 from ..sim.memory.cache import CacheConfig
-from ..sim.memory.hierarchy import MemoryConfig
 from ..sim.soc import RunResult
 from ..utils import KIB, geometric_mean
-from ..workloads import WORKLOAD_INFO, WORKLOAD_ORDER, build_workload, trace_stats
-from .metrics import bandwidth_shares, normalised_latency
-from ..core.nsb import nsb_config
+from ..workloads import WORKLOAD_INFO, WORKLOAD_ORDER
+from .metrics import bandwidth_shares
 
 PREFETCHER_MECHS: tuple[str, ...] = ("stream", "imp", "dvr", "nvr")
 
 
 def l2_config(size_kib: int) -> CacheConfig:
-    """Shape an L2 of ``size_kib`` with power-of-two sets (Fig. 9 sweep)."""
-    size_bytes = size_kib * KIB
-    n_lines = size_bytes // 64
-    assoc = 8
-    while n_lines % assoc or (n_lines // assoc) & (n_lines // assoc - 1):
-        assoc += 1
-        if assoc > n_lines:
-            raise ConfigError(f"cannot shape a {size_kib} KiB L2")
-    return CacheConfig(
-        size_bytes=size_bytes,
-        assoc=assoc,
-        line_bytes=64,
-        hit_latency=18,
-        mshr_entries=64,
-        name="l2",
-    )
+    """Shape an L2 of ``size_kib`` (back-compat alias of ``shape_l2``)."""
+    return shape_l2(size_kib)
 
 
 # ---------------------------------------------------------------------------
@@ -76,6 +64,7 @@ def fig1b_sparsity_gap(
     ratios: tuple[int, ...] = (1, 2, 4, 8, 16),
     scale: float = 0.4,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> Fig1bResult:
     """Fig. 1b: 16x fewer parameters yields well under 16x speedup.
 
@@ -85,15 +74,19 @@ def fig1b_sparsity_gap(
     defeats exactly that engine, so the measured speedup falls short of
     the parameter reduction — the motivation gap.
     """
-    cycles, offchip = [], []
-    for ratio in ratios:
-        # drift=1.0: scores are re-ranked from scratch each step (worst-case
-        # TopK churn), isolating the miss penalty from selection locality.
-        program = build_workload(
-            "ds", scale=scale, seed=seed, topk_ratio=ratio, drift=1.0
+    runner = runner or SweepRunner()
+    # drift=1.0: scores are re-ranked from scratch each step (worst-case
+    # TopK churn), isolating the miss penalty from selection locality.
+    specs = [
+        RunSpec(
+            "ds", mechanism="stream", scale=scale, seed=seed,
+            workload_args=(("topk_ratio", ratio), ("drift", 1.0)),
         )
-        result = make_system(program, mechanism="stream").run()
-        steps = max(1, program.n_rows)
+        for ratio in ratios
+    ]
+    cycles, offchip = [], []
+    for result in runner.run_plan(specs):
+        steps = max(1, result.n_rows or 0)
         cycles.append(result.total_cycles / steps)
         offchip.append(result.stats.traffic.off_chip_total_bytes / steps)
     speedups = [cycles[0] / c for c in cycles]
@@ -157,19 +150,33 @@ def fig5_latency_breakdown(
     panels: tuple[str, ...] = ("int8", "fp16", "int32", "int32+nsb"),
     scale: float = 0.5,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> Fig5Result:
-    """Fig. 5: all four panels of the latency breakdown."""
+    """Fig. 5: all four panels of the latency breakdown.
+
+    The full figure is one plan of ``panels x workloads x mechanisms``
+    base+stall points — the hottest sweep of the reproduction, and the
+    reason the runner exists.
+    """
+    runner = runner or SweepRunner()
     panel_defs = [p for p in _FIG5_PANELS if p[0] in panels]
+    specs = [
+        RunSpec(
+            workload, mechanism=mech, dtype=dtype, nsb=nsb,
+            scale=scale, seed=seed, with_base=True,
+        )
+        for _, dtype, nsb in panel_defs
+        for workload in workloads
+        for mech in mechanisms
+    ]
+    results = iter(runner.run_plan(specs))
     out: dict[str, dict[str, dict[str, Fig5Cell]]] = {}
-    for panel_name, dtype, nsb in panel_defs:
+    for panel_name, _, _ in panel_defs:
         panel: dict[str, dict[str, Fig5Cell]] = {}
         for workload in workloads:
-            per_mech: dict[str, RunResult] = {}
-            for mech in mechanisms:
-                per_mech[mech] = run_workload(
-                    workload, mechanism=mech, dtype=dtype, nsb=nsb,
-                    scale=scale, seed=seed, with_base=True,
-                )
+            per_mech: dict[str, RunResult] = {
+                mech: next(results) for mech in mechanisms
+            }
             ino_total = per_mech["inorder"].total_cycles
             panel[workload] = {
                 mech: Fig5Cell(
@@ -205,15 +212,21 @@ def fig6_accuracy_coverage(
     mechanisms: tuple[str, ...] = PREFETCHER_MECHS,
     scale: float = 0.5,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> Fig6Result:
     """Fig. 6a/6b: prefetcher accuracy and coverage per workload."""
+    runner = runner or SweepRunner()
+    specs = [
+        RunSpec(workload, mechanism=mech, scale=scale, seed=seed)
+        for workload in workloads
+        for mech in mechanisms
+    ]
+    results = iter(runner.run_plan(specs))
     data: dict[str, dict[str, tuple[float, float]]] = {}
     for workload in workloads:
         data[workload] = {}
         for mech in mechanisms:
-            result = run_workload(
-                workload, mechanism=mech, scale=scale, seed=seed
-            )
+            result = next(results)
             data[workload][mech] = (
                 result.stats.prefetch.accuracy,
                 result.stats.coverage(),
@@ -240,7 +253,10 @@ class Fig6cResult:
 
 
 def fig6c_data_movement(
-    workload: str = "ds", scale: float = 0.5, seed: int = 0
+    workload: str = "ds",
+    scale: float = 0.5,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> Fig6cResult:
     """Fig. 6c: InO vs NVR vs NVR+NSB demand off-chip traffic.
 
@@ -248,16 +264,18 @@ def fig6c_data_movement(
     removed): NVR turns demand misses into overlappable prefetches
     (~30x), and the NSB removes re-fetches on top (~5x more).
     """
+    runner = runner or SweepRunner()
     configs = {
         "inorder": ("inorder", False),
         "nvr": ("nvr", False),
         "nvr+nsb": ("nvr", True),
     }
+    specs = [
+        RunSpec(workload, mechanism=mech, nsb=nsb, scale=scale, seed=seed)
+        for mech, nsb in configs.values()
+    ]
     offchip, in_chip = {}, {}
-    for name, (mech, nsb) in configs.items():
-        result = run_workload(
-            workload, mechanism=mech, nsb=nsb, scale=scale, seed=seed
-        )
+    for name, result in zip(configs, runner.run_plan(specs)):
         shares = bandwidth_shares(result.stats)
         offchip[name] = shares["off_chip_demand"]
         in_chip[name] = shares["l2_to_npu"] + shares["nsb_to_npu"]
@@ -312,7 +330,10 @@ class Fig7Result:
 
 
 def fig7_bandwidth_allocation(
-    workload: str = "ds", scale: float = 0.5, seed: int = 0
+    workload: str = "ds",
+    scale: float = 0.5,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> Fig7Result:
     """Fig. 7: who uses the memory system, with and without the NSB.
 
@@ -321,12 +342,15 @@ def fig7_bandwidth_allocation(
     line-granular speculative fetches plus residual demand misses
     replace its over-fetched bursts.
     """
-    program = build_workload(workload, scale=scale, seed=seed)
-    baseline = make_system(program, mechanism="preload").run()
+    runner = runner or SweepRunner()
+    baseline, no_nsb, with_nsb = runner.run_plan([
+        RunSpec(workload, mechanism="preload", scale=scale, seed=seed),
+        RunSpec(workload, mechanism="nvr", scale=scale, seed=seed),
+        RunSpec(workload, mechanism="nvr", nsb=True, scale=scale, seed=seed),
+    ])
     preload = max(1, baseline.stats.traffic.off_chip_total_bytes)
 
-    def shares(nsb: bool) -> dict[str, float]:
-        result = make_system(program, mechanism="nvr", nsb=nsb).run()
+    def shares(result: RunResult) -> dict[str, float]:
         s = bandwidth_shares(result.stats)
         return {
             "npu_demand": 100.0 * s["off_chip_demand"] / preload,
@@ -337,8 +361,8 @@ def fig7_bandwidth_allocation(
 
     return Fig7Result(
         preload_baseline=100.0,
-        without_nsb=shares(False),
-        with_nsb=shares(True),
+        without_nsb=shares(no_nsb),
+        with_nsb=shares(with_nsb),
     )
 
 
@@ -348,11 +372,11 @@ def fig7_bandwidth_allocation(
 
 
 def fig8a_layer_miss(
-    scale: float = 0.3, seed: int = 0
+    scale: float = 0.3, seed: int = 0, runner: SweepRunner | None = None
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """Fig. 8a: per-layer batch/element miss rates, InO vs NVR."""
     return layer_miss_rates(
-        mechanisms=("inorder", "nvr"), scale=scale, seed=seed
+        mechanisms=("inorder", "nvr"), scale=scale, seed=seed, runner=runner
     )
 
 
@@ -375,14 +399,17 @@ def fig8bc_llm_throughput(
     bandwidths: tuple[float, ...] = (100, 200, 400, 800, 1600, 2400, 3200, 4000),
     calib_scale: float = 0.3,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> Fig8bcResult:
     """Fig. 8b/8c: prefill and decode throughput vs bandwidth."""
     spec, hw = TransformerSpec(), NPUHardware()
     calibs = {
         "inorder": calibrate_memory_efficiency(
-            "inorder", scale=calib_scale, seed=seed
+            "inorder", scale=calib_scale, seed=seed, runner=runner
         ),
-        "nvr": calibrate_memory_efficiency("nvr", scale=calib_scale, seed=seed),
+        "nvr": calibrate_memory_efficiency(
+            "nvr", scale=calib_scale, seed=seed, runner=runner
+        ),
     }
     prefill: dict[str, dict[int, list[float]]] = {}
     decode: dict[str, dict[int, list[float]]] = {}
@@ -434,18 +461,25 @@ def fig9_nsb_sensitivity(
     workload: str = "ds",
     scale: float = 0.4,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> Fig9Result:
     """Fig. 9: NSB and L2 cache impact, perf = 1/(latency x area)."""
-    program = build_workload(workload, scale=scale, seed=seed)
+    runner = runner or SweepRunner()
+    specs = [
+        RunSpec(
+            workload, mechanism="nvr", scale=scale, seed=seed,
+            memory=MemorySpec(l2_kib=l2_kib, nsb_kib=nsb_kib),
+        )
+        for nsb_kib in nsb_sizes
+        for l2_kib in l2_sizes
+    ]
+    results = iter(runner.run_plan(specs))
     perf: list[list[float]] = []
     cycles: list[list[int]] = []
     for nsb_kib in nsb_sizes:
         perf_row, cyc_row = [], []
         for l2_kib in l2_sizes:
-            memory = MemoryConfig(
-                l2=l2_config(l2_kib), nsb=nsb_config(size_kib=nsb_kib)
-            )
-            result = make_system(program, mechanism="nvr", memory=memory).run()
+            result = next(results)
             area = nsb_kib + l2_kib
             perf_row.append(1e9 / (result.total_cycles * area))
             cyc_row.append(result.total_cycles)
@@ -479,12 +513,18 @@ class Table2Row:
     reuse_factor: float
 
 
-def table2_workloads(scale: float = 0.3, seed: int = 0) -> list[Table2Row]:
+def table2_workloads(
+    scale: float = 0.3, seed: int = 0, runner: SweepRunner | None = None
+) -> list[Table2Row]:
     """Table II: the workload suite, with measured trace statistics."""
+    runner = runner or SweepRunner()
+    specs = [
+        RunSpec(short, kind="trace", scale=scale, seed=seed)
+        for short in WORKLOAD_ORDER
+    ]
     rows = []
-    for short in WORKLOAD_ORDER:
+    for short, stats in zip(WORKLOAD_ORDER, runner.run_plan(specs)):
         info = WORKLOAD_INFO[short]
-        stats = trace_stats(build_workload(short, scale=scale, seed=seed))
         rows.append(
             Table2Row(
                 short=info.short,

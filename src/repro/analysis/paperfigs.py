@@ -14,6 +14,13 @@ import argparse
 import sys
 import time
 
+from ..runner import (
+    DEFAULT_CACHE_DIR,
+    NullProgress,
+    Progress,
+    ResultCache,
+    SweepRunner,
+)
 from ..utils import geometric_mean
 from ..workloads import WORKLOAD_ORDER
 from .experiments import (
@@ -31,7 +38,16 @@ from .experiments import (
 from .report import format_grid, format_series, format_table
 
 
-def _header(scale: float, seed: int, elapsed: float) -> str:
+def _header(scale: float, seed: int, elapsed: float, runner=None) -> str:
+    run_line = (
+        f"Run parameters: scale={scale}, seed={seed}, wall time "
+        f"{elapsed / 60:.1f} min."
+    )
+    if runner is not None:
+        run_line += (
+            f" Sweep: {runner.submitted} points simulated, "
+            f"{runner.cache_hits} served from cache ({runner.jobs} jobs)."
+        )
     return (
         "# EXPERIMENTS — paper vs measured\n\n"
         "Reproduction of every table and figure in *NVR: Vector Runahead on\n"
@@ -43,13 +59,12 @@ def _header(scale: float, seed: int, elapsed: float) -> str:
         "```\n"
         f"python -m repro.analysis.paperfigs --scale {scale} -o EXPERIMENTS.md\n"
         "```\n\n"
-        f"Run parameters: scale={scale}, seed={seed}, wall time "
-        f"{elapsed / 60:.1f} min.\n"
+        f"{run_line}\n"
     )
 
 
-def _fig1b(scale: float, seed: int) -> str:
-    res = fig1b_sparsity_gap(scale=scale, seed=seed)
+def _fig1b(scale: float, seed: int, runner=None) -> str:
+    res = fig1b_sparsity_gap(scale=scale, seed=seed, runner=runner)
     rows = [
         [f"1/{r}", round(s, 2), r, round(r / s, 2), int(o)]
         for r, s, o in zip(res.ratios, res.speedups, res.offchip_per_step)
@@ -73,8 +88,8 @@ def _fig1b(scale: float, seed: int) -> str:
     )
 
 
-def _fig5(scale: float, seed: int) -> str:
-    res = fig5_latency_breakdown(scale=scale, seed=seed)
+def _fig5(scale: float, seed: int, runner=None) -> str:
+    res = fig5_latency_breakdown(scale=scale, seed=seed, runner=runner)
     sections = []
     for panel, data in res.panels.items():
         rows = []
@@ -111,8 +126,8 @@ def _fig5(scale: float, seed: int) -> str:
     )
 
 
-def _fig6(scale: float, seed: int) -> str:
-    res = fig6_accuracy_coverage(scale=scale, seed=seed)
+def _fig6(scale: float, seed: int, runner=None) -> str:
+    res = fig6_accuracy_coverage(scale=scale, seed=seed, runner=runner)
     rows = []
     for workload in WORKLOAD_ORDER:
         per = res.data[workload]
@@ -141,8 +156,8 @@ def _fig6(scale: float, seed: int) -> str:
     )
 
 
-def _fig6c(scale: float, seed: int) -> str:
-    res = fig6c_data_movement(scale=scale, seed=seed)
+def _fig6c(scale: float, seed: int, runner=None) -> str:
+    res = fig6c_data_movement(scale=scale, seed=seed, runner=runner)
     rows = [
         [name, res.offchip_demand[name], res.in_chip[name],
          f"{res.reduction(name):.1f}x"]
@@ -164,8 +179,8 @@ def _fig6c(scale: float, seed: int) -> str:
     )
 
 
-def _fig7(scale: float, seed: int) -> str:
-    res = fig7_bandwidth_allocation(scale=scale, seed=seed)
+def _fig7(scale: float, seed: int, runner=None) -> str:
+    res = fig7_bandwidth_allocation(scale=scale, seed=seed, runner=runner)
     rows = [
         ["explicit preload (baseline)", 100.0, "-", "-", "-"],
         ["nvr"] + [round(res.without_nsb[k], 1) for k in
@@ -192,8 +207,8 @@ def _fig7(scale: float, seed: int) -> str:
     )
 
 
-def _fig8(scale: float, seed: int) -> str:
-    rates = fig8a_layer_miss(scale=scale, seed=seed)
+def _fig8(scale: float, seed: int, runner=None) -> str:
+    rates = fig8a_layer_miss(scale=scale, seed=seed, runner=runner)
     rows = [
         [layer,
          f"{per['inorder'][0]:.4f}", f"{per['inorder'][1]:.4f}",
@@ -204,7 +219,7 @@ def _fig8(scale: float, seed: int) -> str:
         ["layer", "InO batch", "InO element", "NVR batch", "NVR element"],
         rows, title="miss rates per attention layer",
     )
-    res = fig8bc_llm_throughput(calib_scale=scale, seed=seed)
+    res = fig8bc_llm_throughput(calib_scale=scale, seed=seed, runner=runner)
     prefill = format_series(
         "GB/s", res.bandwidths,
         {
@@ -241,8 +256,8 @@ def _fig8(scale: float, seed: int) -> str:
     )
 
 
-def _fig9(scale: float, seed: int) -> str:
-    res = fig9_nsb_sensitivity(scale=scale, seed=seed)
+def _fig9(scale: float, seed: int, runner=None) -> str:
+    res = fig9_nsb_sensitivity(scale=scale, seed=seed, runner=runner)
     grid = format_grid(
         [f"NSB {n}" for n in res.nsb_sizes],
         [f"L2 {l}" for l in res.l2_sizes],
@@ -294,11 +309,11 @@ def _table1() -> str:
     )
 
 
-def _table2(scale: float, seed: int) -> str:
+def _table2(scale: float, seed: int, runner=None) -> str:
     rows = [
         [r.short, r.full_name, r.domain, r.gather_elements,
          round(r.footprint_kib), round(r.reuse_factor, 1)]
-        for r in table2_workloads(scale=scale, seed=seed)
+        for r in table2_workloads(scale=scale, seed=seed, runner=runner)
     ]
     table = format_table(
         ["short", "workload", "domain", "gathers", "footprint KiB", "reuse"],
@@ -313,22 +328,56 @@ def _table2(scale: float, seed: int) -> str:
     )
 
 
-def generate_report(scale: float = 0.6, seed: int = 0) -> str:
-    """Produce the full EXPERIMENTS.md text."""
+def generate_report(
+    scale: float = 0.6, seed: int = 0, runner: SweepRunner | None = None
+) -> str:
+    """Produce the full EXPERIMENTS.md text.
+
+    All figures share ``runner`` (defaulting to a serial, uncached one).
+    When the runner carries a cache, points duplicated across figures
+    simulate once and a warm cache regenerates the whole report without
+    simulating at all.
+    """
     start = time.time()
+    runner = runner or SweepRunner()
     sections = [
-        _fig1b(scale, seed),
-        _fig5(scale, seed),
-        _fig6(scale, seed),
-        _fig6c(scale, seed),
-        _fig7(scale, seed),
-        _fig8(min(scale, 0.4), seed),
-        _fig9(min(scale, 0.5), seed),
+        _fig1b(scale, seed, runner),
+        _fig5(scale, seed, runner),
+        _fig6(scale, seed, runner),
+        _fig6c(scale, seed, runner),
+        _fig7(scale, seed, runner),
+        _fig8(min(scale, 0.4), seed, runner),
+        _fig9(min(scale, 0.5), seed, runner),
         _table1(),
-        _table2(scale, seed),
+        _table2(scale, seed, runner),
     ]
-    header = _header(scale, seed, time.time() - start)
+    header = _header(scale, seed, time.time() - start, runner)
     return header + "\n" + "\n".join(sections)
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared sweep-execution flags (figures/compare/sweep CLIs)."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep execution (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+
+
+def runner_from_args(
+    args: argparse.Namespace, quiet: bool = False
+) -> SweepRunner:
+    """Build the CLI's :class:`SweepRunner` from the shared flags."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = NullProgress() if quiet else Progress()
+    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -336,8 +385,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.6)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
-    text = generate_report(scale=args.scale, seed=args.seed)
+    runner = runner_from_args(args)
+    text = generate_report(scale=args.scale, seed=args.seed, runner=runner)
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output} ({len(text)} chars)")

@@ -114,12 +114,60 @@ def run_workload(
     return system.run_with_base() if with_base else system.run()
 
 
+_SPEC_FIELDS = ("dtype", "nsb", "scale", "seed", "with_base")
+
+
+def _specs_for(workload: str, mechanisms: tuple[str, ...], kwargs: dict):
+    """Express ``run_workload`` kwargs as runner specs, or ``None``.
+
+    Object-valued overrides (``memory=``/``nvr_config=``) and non-scalar
+    workload kwargs cannot be content-addressed, so those calls fall back
+    to the direct loop.
+    """
+    from .runner import RunSpec
+
+    if "memory" in kwargs or "nvr_config" in kwargs:
+        return None
+    spec_kwargs = {k: kwargs[k] for k in _SPEC_FIELDS if k in kwargs}
+    extra = {k: v for k, v in kwargs.items() if k not in spec_kwargs}
+    if not all(isinstance(v, (bool, int, float, str)) for v in extra.values()):
+        return None
+    return [
+        RunSpec(
+            workload,
+            mechanism=m,
+            workload_args=tuple(extra.items()),
+            **spec_kwargs,
+        )
+        for m in mechanisms
+    ]
+
+
 def compare_mechanisms(
     workload: str,
     mechanisms: tuple[str, ...] = MECHANISM_ORDER,
+    runner=None,
+    jobs: int = 1,
+    cache=None,
     **kwargs,
 ) -> dict[str, RunResult]:
-    """Run one workload under several mechanisms; returns name -> result."""
-    return {
-        m: run_workload(workload, mechanism=m, **kwargs) for m in mechanisms
-    }
+    """Run one workload under several mechanisms; returns name -> result.
+
+    Submits the mechanism sweep as one plan through
+    :class:`repro.runner.SweepRunner`, so points deduplicate, execute
+    across ``jobs`` worker processes and memoise in ``cache``. Pass an
+    existing ``runner`` to share its cache/pool with a larger sweep.
+    Object-valued overrides (``memory=``, ``nvr_config=``) bypass the
+    runner and execute serially in-process.
+    """
+    specs = _specs_for(workload, mechanisms, kwargs)
+    if specs is None:
+        return {
+            m: run_workload(workload, mechanism=m, **kwargs)
+            for m in mechanisms
+        }
+    if runner is None:
+        from .runner import SweepRunner
+
+        runner = SweepRunner(jobs=jobs, cache=cache)
+    return dict(zip(mechanisms, runner.run_plan(specs)))

@@ -25,9 +25,9 @@ and gather addresses come from the sparse unit or the SCD formula.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..errors import ConfigError, SimulationError
+from ..errors import ConfigError
 from ..prefetch.base import PrefetchPort
 from ..sim.npu.isa import STREAM_W_INDICES, STREAM_W_VALUES
 from ..sim.npu.program import SparseProgram, Tile

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
-from ..utils import KIB, log2_int
+from ..utils import KIB
 
 PC_BITS = 48
 ADDR_BITS = 48

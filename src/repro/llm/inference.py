@@ -30,8 +30,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..api import make_system, run_workload
+from ..api import make_system
 from ..errors import ConfigError
+from ..runner import RunSpec, SweepRunner
 from ..sim.memory.hierarchy import MemoryConfig
 from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
 from ..sparse.csr import CSRMatrix
@@ -60,6 +61,7 @@ def calibrate_memory_efficiency(
     nsb: bool = False,
     scale: float = 0.3,
     seed: int = 0,
+    runner: "SweepRunner | None" = None,
 ) -> MemoryCalibration:
     """Measure gather efficiency and traffic ratio on the DS trace.
 
@@ -67,14 +69,17 @@ def calibrate_memory_efficiency(
     in-order reference for the traffic baseline) and derives the two
     roofline inputs: ``gather_efficiency = ideal / (ideal + stall)``
     memory cycles, ``traffic_ratio`` = off-chip bytes vs no-prefetch.
+    The in-order reference is a plain runner spec, so the two Fig. 8
+    calibrations share one reference simulation whenever ``runner``
+    carries a cache (the specs are identical across both calls).
     """
-    ref = run_workload(
-        "ds", mechanism="inorder", scale=scale, seed=seed, with_base=True
-    )
-    res = run_workload(
-        "ds", mechanism=mechanism, nsb=nsb, scale=scale, seed=seed,
-        with_base=True,
-    )
+    runner = runner or SweepRunner()
+    ref, res = runner.run_plan([
+        RunSpec("ds", mechanism="inorder", scale=scale, seed=seed,
+                with_base=True),
+        RunSpec("ds", mechanism=mechanism, nsb=nsb, scale=scale, seed=seed,
+                with_base=True),
+    ])
     bytes_per_cycle = MemoryConfig().dram.bytes_per_cycle
     mem_ideal = max(1.0, res.stats.traffic.off_chip_total_bytes / bytes_per_cycle)
     efficiency = mem_ideal / (mem_ideal + res.stall_cycles)
@@ -158,32 +163,51 @@ def _qkv_program(scale: float, elem_bytes: int) -> SparseProgram:
     )
 
 
+_ELEM_DTYPE = {1: "int8", 2: "fp16", 4: "int32"}
+
+
 def layer_miss_rates(
     mechanisms: tuple[str, ...] = ("inorder", "nvr"),
     scale: float = 0.3,
     seed: int = 0,
     elem_bytes: int = 2,
+    runner: "SweepRunner | None" = None,
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """Batch and element miss rates per attention layer (Fig. 8a).
 
     Returns ``{layer: {mechanism: (batch_miss_rate, element_miss_rate)}}``
     for the QKV projection (streaming), QK^T (K-cache gather) and AV
-    (V-cache gather) layers.
+    (V-cache gather) layers. For the named element widths (1/2/4 bytes)
+    the gather layers are plain runner specs; exotic widths — and the
+    custom dense QKV program always — execute in-process.
     """
-    programs = {
-        "qkv": _qkv_program(scale, elem_bytes),
-        "qkt": build_workload("ds", scale=scale, seed=seed, elem_bytes=elem_bytes),
-        "av": build_workload(
-            "ds", scale=scale, seed=seed + 101, elem_bytes=elem_bytes
-        ),
-    }
+    runner = runner or SweepRunner()
+    dtype = _ELEM_DTYPE.get(elem_bytes)
+    qkv_program = _qkv_program(scale, elem_bytes)
+    gather_seeds = {"qkt": seed, "av": seed + 101}
     out: dict[str, dict[str, tuple[float, float]]] = {}
-    for layer, program in programs.items():
-        out[layer] = {}
-        for mech in mechanisms:
-            result = make_system(program, mechanism=mech).run()
-            out[layer][mech] = (
+    for mech in mechanisms:
+        qkv = make_system(qkv_program, mechanism=mech).run()
+        if dtype is not None:
+            gathers = runner.run_plan([
+                RunSpec("ds", mechanism=mech, dtype=dtype, scale=scale,
+                        seed=s)
+                for s in gather_seeds.values()
+            ])
+        else:
+            gathers = [
+                make_system(
+                    build_workload(
+                        "ds", scale=scale, seed=s, elem_bytes=elem_bytes
+                    ),
+                    mechanism=mech,
+                ).run()
+                for s in gather_seeds.values()
+            ]
+        for layer, result in zip(("qkv", *gather_seeds), (qkv, *gathers)):
+            out.setdefault(layer, {})[mech] = (
                 result.stats.batch.batch_miss_rate,
                 result.stats.batch.element_miss_rate,
             )
-    return out
+    # Figure order: qkv, qkt, av (insertion above is per-mechanism).
+    return {layer: out[layer] for layer in ("qkv", *gather_seeds)}

@@ -23,14 +23,9 @@ branch events, no sparse-unit registers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..sim.npu.isa import (
-    STREAM_IA_GATHER,
-    STREAM_IA_GATHER_2,
-    STREAM_W_INDICES,
-    STREAM_W_VALUES,
-)
+from ..sim.npu.isa import STREAM_IA_GATHER, STREAM_IA_GATHER_2
 from .base import Prefetcher
 
 _SHIFT_CANDIDATES = tuple(range(1, 13))  # 2-byte .. 4-KiB rows

@@ -1,0 +1,44 @@
+"""Sweep runner: plans, worker pool, on-disk result cache, progress.
+
+The subsystem that turns every paper sweep into an explicit, cacheable,
+parallel plan:
+
+* :mod:`repro.runner.plan` — :class:`RunSpec` points and cartesian
+  :func:`expand`-sion;
+* :mod:`repro.runner.pool` — :class:`SweepRunner`, the dedupe + cache +
+  ``ProcessPoolExecutor`` execution engine;
+* :mod:`repro.runner.cache` — :class:`ResultCache`, content-addressed
+  JSON memoisation under ``.repro-cache/``;
+* :mod:`repro.runner.progress` — optional live progress reporting.
+"""
+
+from .cache import (
+    CACHE_SALT,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    materialise,
+    payload_to_result,
+    result_to_payload,
+)
+from .plan import MemorySpec, NVRSpec, RunSpec, expand, shape_l2
+from .pool import PlanReport, SweepRunner, execute_spec
+from .progress import NullProgress, Progress
+
+__all__ = [
+    "CACHE_SALT",
+    "DEFAULT_CACHE_DIR",
+    "MemorySpec",
+    "NVRSpec",
+    "NullProgress",
+    "PlanReport",
+    "Progress",
+    "ResultCache",
+    "RunSpec",
+    "SweepRunner",
+    "execute_spec",
+    "expand",
+    "materialise",
+    "payload_to_result",
+    "result_to_payload",
+    "shape_l2",
+]

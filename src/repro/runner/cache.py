@@ -1,0 +1,215 @@
+"""Content-addressed on-disk result cache.
+
+Every executed :class:`~repro.runner.plan.RunSpec` is memoised as one JSON
+file under ``.repro-cache/``::
+
+    .repro-cache/
+        ab/
+            ab3f...e1.json     # sha256(salt + "\\n" + spec.key())
+
+The key covers the *full* spec (workload, mechanism, dtype, nsb, scale,
+seed, overrides) plus a salt that by default embeds a content hash of
+the ``repro`` package source: editing any simulator code — or bumping
+:data:`CACHE_SALT`, or passing a custom salt — invalidates every prior
+entry without touching the files, because lookups simply hash to fresh
+paths. Payloads are pure JSON so the cache survives interpreter and
+platform changes; a corrupt or truncated file (e.g. a killed writer on a
+filesystem without atomic rename) degrades to a miss.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep
+processes sharing one cache directory can never observe half-written
+entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from ..sim.soc import RunResult
+from ..sim.stats import (
+    BatchStats,
+    LevelStats,
+    PrefetchStats,
+    RunStats,
+    TrafficStats,
+)
+from ..workloads.base import TraceStats
+from .plan import RunSpec
+
+#: Schema/version prefix of the cache salt. The effective default salt
+#: also folds in a fingerprint of the ``repro`` package source (see
+#: :func:`code_fingerprint`), so *any* code edit invalidates the cache —
+#: conservative, but it can never serve results from a different
+#: simulator than the one on disk. Bump this to orphan old entries even
+#: when the code is unchanged (e.g. a payload schema change).
+CACHE_SALT = "nvr-sim-v1"
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Content hash of every ``repro`` source file (memoised per process).
+
+    Results are a pure function of (spec, simulator code); hashing the
+    package source makes the cache self-invalidating on code changes
+    instead of trusting a manually-bumped version constant.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def default_salt() -> str:
+    return f"{CACHE_SALT}:{code_fingerprint()}"
+
+_STATS_GROUPS = {
+    "nsb": LevelStats,
+    "l2": LevelStats,
+    "prefetch": PrefetchStats,
+    "traffic": TrafficStats,
+    "batch": BatchStats,
+}
+
+
+def result_to_payload(result: RunResult) -> dict:
+    """Serialise a :class:`RunResult` to a pure-JSON dict."""
+    d = asdict(result)
+    d.pop("stats")
+    return {"kind": "sim", "result": d, "stats": asdict(result.stats)}
+
+
+def payload_to_result(payload: dict) -> RunResult:
+    """Rebuild the :class:`RunResult` stored by :func:`result_to_payload`."""
+    stats_d = dict(payload["stats"])
+    groups = {
+        name: cls(**stats_d.pop(name)) for name, cls in _STATS_GROUPS.items()
+    }
+    return RunResult(stats=RunStats(**groups, **stats_d), **payload["result"])
+
+
+def trace_to_payload(stats: TraceStats) -> dict:
+    """Serialise Table II trace statistics to a pure-JSON dict."""
+    return {"kind": "trace", "trace": asdict(stats)}
+
+
+def payload_to_trace(payload: dict) -> TraceStats:
+    return TraceStats(**payload["trace"])
+
+
+def materialise(payload: dict) -> RunResult | TraceStats:
+    """Turn a cached payload back into its runner return value."""
+    if payload.get("kind") == "trace":
+        return payload_to_trace(payload)
+    return payload_to_result(payload)
+
+
+class ResultCache:
+    """On-disk memo of executed specs, keyed by content address."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike = DEFAULT_CACHE_DIR,
+        salt: str | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.salt = salt if salt is not None else default_salt()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- addressing ----------------------------------------------------------
+
+    def key_for(self, spec: RunSpec) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.salt.encode())
+        digest.update(b"\n")
+        digest.update(spec.key().encode())
+        return digest.hexdigest()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> dict | None:
+        """Cached payload for ``spec``, or ``None``; never raises."""
+        path = self.path_for(spec)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, spec: RunSpec, payload: dict) -> Path:
+        """Atomically store ``payload`` for ``spec``; returns the path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"salt": self.salt, "spec": spec.to_dict(), "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps ``.tmp`` files orphaned by killed writers (mkstemp
+        leaves them behind when a process dies between write and rename).
+        """
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.root.glob("??/*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,241 @@
+"""Sweep plans: declarative simulation points and their expansion.
+
+A :class:`RunSpec` is the unit of work of the whole reproduction: one
+(workload, mechanism, dtype, nsb, scale, seed) simulation point, plus the
+optional memory-hierarchy and NVR-tuning overrides the sensitivity studies
+sweep. Every figure runner, the ``sweep`` CLI and the benchmarks express
+their work as a flat list of specs — a *plan* — and hand it to
+:class:`~repro.runner.pool.SweepRunner`, which deduplicates, caches and
+parallelises the execution.
+
+Specs are deliberately restricted to JSON-able scalars so that
+
+* they pickle cheaply across worker processes,
+* :meth:`RunSpec.key` yields a canonical string that content-addresses
+  the on-disk result cache, and
+* identical points submitted by different figures collapse to one run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields
+
+from ..core.controller import NVRConfig
+from ..core.nsb import nsb_config
+from ..errors import ConfigError
+from ..sim.memory.cache import CacheConfig
+from ..sim.memory.hierarchy import MemoryConfig, default_l2_config
+from ..utils import KIB
+
+Scalar = bool | int | float | str
+
+
+def shape_l2(size_kib: int) -> CacheConfig:
+    """Shape an L2 of ``size_kib`` with power-of-two sets (Fig. 9 sweep)."""
+    size_bytes = size_kib * KIB
+    n_lines = size_bytes // 64
+    assoc = 8
+    while n_lines % assoc or (n_lines // assoc) & (n_lines // assoc - 1):
+        assoc += 1
+        if assoc > n_lines:
+            raise ConfigError(f"cannot shape a {size_kib} KiB L2")
+    return CacheConfig(
+        size_bytes=size_bytes,
+        assoc=assoc,
+        line_bytes=64,
+        hit_latency=18,
+        mshr_entries=64,
+        name="l2",
+    )
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """JSON-able memory hierarchy override for a :class:`RunSpec`.
+
+    ``None`` fields keep the paper's defaults (256 KiB L2, no NSB). The
+    NSB configured here takes precedence over ``RunSpec.nsb``, which only
+    toggles the default 16 KiB buffer.
+    """
+
+    l2_kib: int | None = None
+    nsb_kib: int | None = None
+    cpu_traffic: bool = False
+
+    def build(self) -> MemoryConfig:
+        l2 = (
+            shape_l2(self.l2_kib)
+            if self.l2_kib is not None
+            else default_l2_config()
+        )
+        nsb = (
+            nsb_config(size_kib=self.nsb_kib)
+            if self.nsb_kib is not None
+            else None
+        )
+        memory = MemoryConfig(l2=l2, nsb=nsb)
+        if self.cpu_traffic:
+            memory = memory.with_cpu_traffic()
+        return memory
+
+
+@dataclass(frozen=True)
+class NVRSpec:
+    """JSON-able NVR tuning override; ``None`` fields keep the defaults."""
+
+    vector_width: int | None = None
+    depth_tiles: int | None = None
+    fuzz_vectors: int | None = None
+    approximate: bool | None = None
+    approximate_confidence: int | None = None
+    confirm_stride: int | None = None
+
+    def build(self) -> NVRConfig:
+        overrides = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        }
+        return NVRConfig(**overrides)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One point of a sweep plan.
+
+    ``kind`` selects the worker: ``"sim"`` runs the full simulator and
+    yields a :class:`~repro.sim.soc.RunResult`; ``"trace"`` only lowers
+    the workload and yields its :class:`~repro.workloads.base.TraceStats`
+    (the Table II path).
+    """
+
+    workload: str
+    mechanism: str = "nvr"
+    dtype: str = "fp16"
+    nsb: bool = False
+    scale: float = 1.0
+    seed: int = 0
+    with_base: bool = False
+    memory: MemorySpec | None = None
+    nvr: NVRSpec | None = None
+    workload_args: tuple[tuple[str, Scalar], ...] = ()
+    kind: str = "sim"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sim", "trace"):
+            raise ConfigError(f"unknown spec kind '{self.kind}'")
+        # Validate here, in the submitting process, so a bad dtype is a
+        # ConfigError at plan build time rather than a KeyError re-raised
+        # out of a worker future.
+        from ..api import _elem_bytes
+
+        _elem_bytes(self.dtype)
+        for key, value in self.workload_args:
+            if not isinstance(value, (bool, int, float, str)):
+                raise ConfigError(
+                    f"workload arg '{key}' must be a scalar, got "
+                    f"{type(value).__name__}"
+                )
+        # Canonical types and argument order, so equal points (scale=1 vs
+        # scale=1.0, nsb=1 vs nsb=True) hash to equal content keys.
+        # workload_args values are deliberately NOT coerced: they are
+        # forwarded verbatim to the builders, so their type is part of
+        # the point's identity.
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "nsb", bool(self.nsb))
+        object.__setattr__(self, "with_base", bool(self.with_base))
+        object.__setattr__(
+            self, "workload_args", tuple(sorted(self.workload_args))
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict (JSON round-trippable via :meth:`from_dict`)."""
+        d = asdict(self)
+        d["workload_args"] = [list(pair) for pair in self.workload_args]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunSpec":
+        d = dict(d)
+        if d.get("memory") is not None:
+            d["memory"] = MemorySpec(**d["memory"])
+        if d.get("nvr") is not None:
+            d["nvr"] = NVRSpec(**d["nvr"])
+        d["workload_args"] = tuple(
+            (k, v) for k, v in d.get("workload_args", ())
+        )
+        return cls(**d)
+
+    def key(self) -> str:
+        """Canonical serialisation — the cache's content address."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def label(self) -> str:
+        """Short human-readable form for progress lines."""
+        parts = [self.workload, self.mechanism, self.dtype]
+        if self.nsb or (self.memory is not None and self.memory.nsb_kib):
+            parts.append("nsb")
+        text = "/".join(parts) + f" x{self.scale:g} s{self.seed}"
+        if self.memory is not None and self.memory.l2_kib:
+            text += f" l2={self.memory.l2_kib}K"
+        if self.workload_args:
+            text += " " + ",".join(f"{k}={v}" for k, v in self.workload_args)
+        if self.kind == "trace":
+            text = f"trace:{self.workload} x{self.scale:g} s{self.seed}"
+        return text
+
+
+def _tuple(value) -> tuple:
+    """Normalise an expansion axis: scalars become one-element tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+def expand(
+    workloads,
+    mechanisms="nvr",
+    dtypes="fp16",
+    nsb=False,
+    scales=1.0,
+    seeds=0,
+    with_base: bool = False,
+    memory: MemorySpec | None = None,
+    nvr: NVRSpec | None = None,
+    workload_args: tuple[tuple[str, Scalar], ...] = (),
+    kind: str = "sim",
+) -> list[RunSpec]:
+    """Cartesian-product plan expansion, in deterministic order.
+
+    Every axis accepts a scalar or a sequence; the expansion order is
+    workload-major (workload, mechanism, dtype, nsb, scale, seed), matching
+    the paper figures' bar order.
+    """
+    return [
+        RunSpec(
+            workload=w,
+            mechanism=m,
+            dtype=d,
+            nsb=n,
+            scale=sc,
+            seed=sd,
+            with_base=with_base,
+            memory=memory,
+            nvr=nvr,
+            workload_args=workload_args,
+            kind=kind,
+        )
+        for w, m, d, n, sc, sd in itertools.product(
+            _tuple(workloads),
+            _tuple(mechanisms),
+            _tuple(dtypes),
+            _tuple(nsb),
+            _tuple(scales),
+            _tuple(seeds),
+        )
+    ]

@@ -1,0 +1,200 @@
+"""Plan execution: dedupe, cache lookup, worker pool, reassembly.
+
+:class:`SweepRunner` is the single entry point every sweep goes through
+(figure runners, ``compare_mechanisms``, the ``sweep`` CLI, benchmarks):
+
+1. the plan's specs are deduplicated by content key — plans routinely
+   contain identical points (the in-order Fig. 8 calibration submits
+   its reference and its measurement as the same spec), and with a
+   cache attached the dedupe extends across calls and processes;
+2. each unique point is looked up in the optional
+   :class:`~repro.runner.cache.ResultCache`;
+3. the remaining points run through :func:`execute_spec` — inline when
+   ``jobs == 1``, across a ``ProcessPoolExecutor`` otherwise. Workers
+   receive the pickled spec and rebuild everything from it, so results
+   are a pure function of the spec and bit-identical for every ``jobs``
+   setting;
+4. results are reassembled in plan order.
+
+Determinism: the workload builders seed their RNGs from ``spec.seed``
+alone and the simulator is single-threaded per run, so scheduling order
+can never leak into results — the property the result cache and the
+serial-vs-parallel equality tests rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.soc import RunResult
+from ..workloads import build_workload, trace_stats
+from ..workloads.base import TraceStats
+from .cache import (
+    ResultCache,
+    materialise,
+    result_to_payload,
+    trace_to_payload,
+)
+from .plan import RunSpec
+from .progress import NullProgress
+
+
+def execute_spec(spec: RunSpec) -> dict:
+    """Run one spec and return its JSON payload (the worker entry point).
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    # Imported here, not at module top: repro.api imports this module's
+    # package lazily, and keeping the edge one-directional at import time
+    # avoids a cycle while letting workers share the parent's modules.
+    from ..api import DTYPE_BYTES, make_system
+
+    program = build_workload(
+        spec.workload,
+        scale=spec.scale,
+        elem_bytes=DTYPE_BYTES[spec.dtype],
+        seed=spec.seed,
+        **dict(spec.workload_args),
+    )
+    if spec.kind == "trace":
+        return trace_to_payload(trace_stats(program))
+    system = make_system(
+        program,
+        mechanism=spec.mechanism,
+        nsb=spec.nsb,
+        memory=spec.memory.build() if spec.memory is not None else None,
+        nvr_config=spec.nvr.build() if spec.nvr is not None else None,
+    )
+    result = system.run_with_base() if spec.with_base else system.run()
+    return result_to_payload(result)
+
+
+@dataclass
+class PlanReport:
+    """What one :meth:`SweepRunner.run_plan` call actually did."""
+
+    total: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    submitted: int = 0
+    elapsed: float = 0.0
+
+
+class SweepRunner:
+    """Executes plans of :class:`RunSpec` points with caching + workers.
+
+    Attributes:
+        jobs: worker processes; 1 executes inline in this process.
+        cache: optional on-disk result cache shared across plans/runs.
+        submitted / cache_hits: cumulative counters over the runner's
+            lifetime (the warm-run tests assert ``submitted == 0``).
+        last_report: per-plan breakdown of the most recent call.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        progress=None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress if progress is not None else NullProgress()
+        self.submitted = 0
+        self.cache_hits = 0
+        self.last_report: PlanReport | None = None
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        """The worker pool, created lazily and reused across plans.
+
+        Persistent so a multi-plan run (``figures`` submits one plan per
+        figure) pays worker spin-up once — this matters on spawn-start
+        platforms, where every worker re-imports the package.
+        """
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; runner stays usable)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(self, spec: RunSpec) -> RunResult | TraceStats:
+        """Execute a single point (one-element plan)."""
+        return self.run_plan([spec])[0]
+
+    def run_plan(
+        self, specs: Sequence[RunSpec]
+    ) -> list[RunResult | TraceStats]:
+        """Execute a plan; returns results aligned with ``specs``."""
+        start = time.time()
+        specs = list(specs)
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.key(), spec)
+
+        payloads: dict[str, dict] = {}
+        pending: list[tuple[str, RunSpec]] = []
+        for key, spec in unique.items():
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                payloads[key] = hit
+            else:
+                pending.append((key, spec))
+
+        self.progress.plan_started(
+            len(specs), len(unique), len(unique) - len(pending)
+        )
+        done = len(unique) - len(pending)
+        if self.jobs == 1 or len(pending) <= 1:
+            for key, spec in pending:
+                payloads[key] = execute_spec(spec)
+                self._store(spec, payloads[key])
+                done += 1
+                self.progress.point_done(
+                    spec.label(), "run", done, len(unique)
+                )
+        else:
+            futures = {
+                self._pool().submit(execute_spec, spec): (key, spec)
+                for key, spec in pending
+            }
+            for future in as_completed(futures):
+                key, spec = futures[future]
+                payloads[key] = future.result()
+                self._store(spec, payloads[key])
+                done += 1
+                self.progress.point_done(
+                    spec.label(), "run", done, len(unique)
+                )
+
+        hits = len(unique) - len(pending)
+        self.submitted += len(pending)
+        self.cache_hits += hits
+        self.last_report = PlanReport(
+            total=len(specs),
+            unique=len(unique),
+            cache_hits=hits,
+            submitted=len(pending),
+            elapsed=time.time() - start,
+        )
+        self.progress.plan_finished(
+            len(pending), hits, self.last_report.elapsed
+        )
+        return [materialise(payloads[spec.key()]) for spec in specs]
+
+    def _store(self, spec: RunSpec, payload: dict) -> None:
+        if self.cache is not None:
+            self.cache.put(spec, payload)

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ...errors import ConfigError
 from ..cpu import ControlCPU
 from ..request import Access, AccessType, HitLevel

@@ -11,7 +11,7 @@ single missing element stalls the whole batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -86,6 +86,7 @@ class RunResult:
     total_cycles: int
     stats: RunStats
     base_cycles: int | None = None
+    n_rows: int | None = None
 
     @property
     def stall_cycles(self) -> int | None:
@@ -154,6 +155,7 @@ class System:
             mode=self.mode,
             total_cycles=total,
             stats=stats,
+            n_rows=self.program.n_rows,
         )
 
     def run_with_base(self) -> RunResult:

@@ -19,7 +19,6 @@ from repro.analysis.experiments import (
     table1_overhead,
     table2_workloads,
 )
-from repro.errors import ConfigError
 from repro.workloads import build_workload
 
 SCALE = 0.2

@@ -1,6 +1,5 @@
 """Hypothesis property tests over random memory-hierarchy interleavings."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

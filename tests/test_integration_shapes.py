@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro import run_workload
 from repro.core import NVRPrefetcher
 from repro.prefetch import NullPrefetcher
-from repro.sim.memory.hierarchy import MemoryConfig
 from repro.sim.npu.program import ProgramConfig, build_one_side_program
 from repro.sim.soc import System
 from repro.sparse.csr import CSRMatrix

@@ -8,7 +8,6 @@ from repro.sim.memory.dram import DRAMConfig
 from repro.sim.memory.hierarchy import (
     MemoryConfig,
     MemorySystem,
-    default_l2_config,
     default_nsb_config,
 )
 from repro.sim.request import Access, AccessType, HitLevel

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ProgramError
 from repro.sim.npu.isa import (
-    MicroOpBatch,
     TileCompute,
     VectorGather,
     VectorLoad,

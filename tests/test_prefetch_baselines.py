@@ -1,7 +1,6 @@
 """Tests for the baseline prefetchers: mechanism-level behaviour."""
 
 import numpy as np
-import pytest
 
 from repro.prefetch import (
     DecoupledVectorRunahead,
@@ -13,7 +12,7 @@ from repro.sim.memory.hierarchy import MemoryConfig
 from repro.sim.npu.program import ProgramConfig, build_one_side_program
 from repro.sim.soc import System
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.generate import block_csr, uniform_csr
+from repro.sparse.generate import uniform_csr
 
 
 def sequential_program():

@@ -1,0 +1,381 @@
+"""The sweep runner: plan expansion, cache, pool, CLI integration.
+
+The acceptance properties of the subsystem:
+
+* plans expand deterministically and specs content-address stably;
+* the cache turns repeated runs into zero executor submissions;
+* changing the code-version salt invalidates every entry;
+* results are bit-identical for every ``--jobs`` setting.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.api import compare_mechanisms, run_workload
+from repro.runner import (
+    MemorySpec,
+    NVRSpec,
+    ResultCache,
+    RunSpec,
+    SweepRunner,
+    execute_spec,
+    expand,
+    payload_to_result,
+    result_to_payload,
+    shape_l2,
+)
+from repro.workloads.base import TraceStats
+
+SCALE = 0.05
+
+
+def small_plan():
+    return expand(["ds", "st"], ["inorder", "nvr"], scales=SCALE)
+
+
+def as_dicts(results):
+    return [dataclasses.asdict(r) for r in results]
+
+
+class TestPlan:
+    def test_expand_cartesian_order(self):
+        specs = expand(
+            ["ds", "st"], ["inorder", "nvr"], dtypes=["int8", "fp16"],
+            scales=[0.1, 0.2], seeds=[0, 1],
+        )
+        assert len(specs) == 2 * 2 * 2 * 2 * 2
+        # Workload-major order, matching the figures' bar order.
+        assert [s.workload for s in specs[:16]] == ["ds"] * 16
+        assert specs[0].mechanism == "inorder"
+        assert specs[0].dtype == "int8"
+        assert [s.seed for s in specs[:2]] == [0, 1]
+
+    def test_expand_scalar_axes(self):
+        specs = expand("gcn", "nvr", scales=0.3)
+        assert len(specs) == 1
+        assert specs[0] == RunSpec("gcn", "nvr", scale=0.3)
+
+    def test_key_stable_under_workload_arg_order(self):
+        a = RunSpec("ds", workload_args=(("drift", 1.0), ("topk_ratio", 4)))
+        b = RunSpec("ds", workload_args=(("topk_ratio", 4), ("drift", 1.0)))
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_every_axis(self):
+        base = RunSpec("ds")
+        variants = [
+            RunSpec("st"),
+            RunSpec("ds", mechanism="imp"),
+            RunSpec("ds", dtype="int8"),
+            RunSpec("ds", nsb=True),
+            RunSpec("ds", scale=0.5),
+            RunSpec("ds", seed=1),
+            RunSpec("ds", with_base=True),
+            RunSpec("ds", memory=MemorySpec(l2_kib=128)),
+            RunSpec("ds", nvr=NVRSpec(depth_tiles=4)),
+            RunSpec("ds", workload_args=(("topk_ratio", 4),)),
+            RunSpec("ds", kind="trace"),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_round_trip_through_dict(self):
+        spec = RunSpec(
+            "gcn", mechanism="nvr", nsb=True, scale=0.2, seed=3,
+            memory=MemorySpec(l2_kib=128, nsb_kib=8),
+            nvr=NVRSpec(depth_tiles=4),
+            workload_args=(("topk_ratio", 4),),
+        )
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_rejects_non_scalar_workload_args(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RunSpec("ds", workload_args=(("ratios", (1, 2)),))
+
+    def test_rejects_unknown_dtype_at_plan_build(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="fp32"):
+            RunSpec("ds", dtype="fp32")
+        with pytest.raises(ConfigError, match="fp32"):
+            compare_mechanisms("ds", mechanisms=("nvr",), dtype="fp32")
+
+    def test_numeric_types_normalised_in_key(self):
+        assert RunSpec("ds", scale=1).key() == RunSpec("ds", scale=1.0).key()
+        assert RunSpec("ds", seed=0).key() == RunSpec("ds", seed=False).key()
+        assert RunSpec("ds", nsb=1).key() == RunSpec("ds", nsb=True).key()
+        assert (RunSpec("ds", with_base=1).key()
+                == RunSpec("ds", with_base=True).key())
+
+    def test_cache_entry_with_non_object_json_is_a_miss(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("st", scale=SCALE)
+        path = cache.put(spec, {"x": 1})
+        path.write_text("null", encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_memory_spec_builds_shaped_hierarchy(self):
+        memory = MemorySpec(l2_kib=128, nsb_kib=8).build()
+        assert memory.l2.size_bytes == 128 * 1024
+        assert memory.nsb is not None
+        assert memory.nsb.size_bytes == 8 * 1024
+
+    def test_shape_l2_matches_legacy_alias(self):
+        from repro.analysis.experiments import l2_config
+
+        for kib in (64, 192, 256, 1024):
+            assert shape_l2(kib) == l2_config(kib)
+
+
+class TestPayloads:
+    def test_run_result_round_trip(self):
+        result = run_workload("st", mechanism="nvr", scale=SCALE,
+                              with_base=True)
+        clone = payload_to_result(
+            json.loads(json.dumps(result_to_payload(result)))
+        )
+        assert dataclasses.asdict(clone) == dataclasses.asdict(result)
+        assert clone.stall_cycles == result.stall_cycles
+        assert clone.stats.coverage() == result.stats.coverage()
+
+    def test_trace_spec_executes(self):
+        payload = execute_spec(RunSpec("gcn", kind="trace", scale=0.1))
+        stats = TraceStats(**payload["trace"])
+        assert stats.gather_elements > 0
+        assert stats.reuse_factor >= 1.0
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("st", scale=SCALE)
+        assert cache.get(spec) is None
+        cache.put(spec, {"kind": "sim", "x": 1})
+        assert cache.get(spec) == {"kind": "sim", "x": 1}
+        assert (cache.hits, cache.misses, cache.writes) == (1, 1, 1)
+        assert len(cache) == 1
+
+    def test_default_salt_embeds_code_fingerprint(self, tmp_path):
+        from repro.runner.cache import CACHE_SALT, code_fingerprint
+
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()  # memoised, stable
+        cache = ResultCache(tmp_path)
+        assert cache.salt == f"{CACHE_SALT}:{fp}"
+        # Default-salt caches interoperate within one code version.
+        spec = RunSpec("st", scale=SCALE)
+        cache.put(spec, {"x": 1})
+        assert ResultCache(tmp_path).get(spec) == {"x": 1}
+
+    def test_salt_change_invalidates(self, tmp_path):
+        spec = RunSpec("st", scale=SCALE)
+        ResultCache(tmp_path, salt="v1").put(spec, {"x": 1})
+        assert ResultCache(tmp_path, salt="v2").get(spec) is None
+        assert ResultCache(tmp_path, salt="v1").get(spec) == {"x": 1}
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("st", scale=SCALE)
+        path = cache.put(spec, {"x": 1})
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get(spec) is None
+        cache.put(spec, {"x": 2})
+        assert cache.get(spec) == {"x": 2}
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec("st"), {"x": 1})
+        cache.put(RunSpec("ds"), {"x": 2})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(RunSpec("st"), {"x": 1})
+        orphan = path.parent / "deadbeef0123.tmp"
+        orphan.write_text("partial", encoding="utf-8")
+        cache.clear()
+        assert not orphan.exists()
+
+
+class TestSweepRunner:
+    def test_dedupes_within_plan(self):
+        runner = SweepRunner()
+        spec = RunSpec("st", scale=SCALE)
+        results = runner.run_plan([spec, spec, spec])
+        assert runner.submitted == 1
+        assert runner.last_report.total == 3
+        assert runner.last_report.unique == 1
+        assert len({r.total_cycles for r in results}) == 1
+
+    def test_warm_cache_zero_submissions(self, tmp_path):
+        plan = small_plan()
+        cold = SweepRunner(cache=ResultCache(tmp_path))
+        cold_results = cold.run_plan(plan)
+        assert cold.submitted == len(plan)
+
+        warm = SweepRunner(cache=ResultCache(tmp_path))
+        warm_results = warm.run_plan(plan)
+        assert warm.submitted == 0
+        assert warm.cache_hits == len(plan)
+        assert as_dicts(warm_results) == as_dicts(cold_results)
+
+    def test_parallel_equals_serial(self, tmp_path):
+        plan = small_plan()
+        serial = SweepRunner(jobs=1).run_plan(plan)
+        with SweepRunner(jobs=2) as parallel_runner:
+            parallel = parallel_runner.run_plan(plan)
+        assert as_dicts(parallel) == as_dicts(serial)
+
+    def test_worker_pool_persists_across_plans(self):
+        with SweepRunner(jobs=2) as runner:
+            runner.run_plan(small_plan())
+            pool = runner._executor
+            assert pool is not None
+            runner.run_plan([RunSpec("gcn", scale=SCALE),
+                             RunSpec("gat", scale=SCALE)])
+            assert runner._executor is pool
+        assert runner._executor is None  # close() tore it down
+
+    def test_deterministic_across_jobs_with_cache(self, tmp_path):
+        plan = small_plan()
+        a = SweepRunner(jobs=2, cache=ResultCache(tmp_path / "a"))
+        b = SweepRunner(jobs=3, cache=ResultCache(tmp_path / "b"))
+        assert as_dicts(a.run_plan(plan)) == as_dicts(b.run_plan(plan))
+        # And the cached payload files are byte-identical too.
+        files_a = sorted(p.name for p in ResultCache(tmp_path / "a").entries())
+        files_b = sorted(p.name for p in ResultCache(tmp_path / "b").entries())
+        assert files_a == files_b
+        for name in files_a:
+            pa = next(ResultCache(tmp_path / "a").root.glob(f"??/{name}"))
+            pb = next(ResultCache(tmp_path / "b").root.glob(f"??/{name}"))
+            assert pa.read_bytes() == pb.read_bytes()
+
+    def test_runner_matches_direct_api(self):
+        spec = RunSpec("st", mechanism="nvr", scale=SCALE, with_base=True)
+        via_runner = SweepRunner().run(spec)
+        direct = run_workload("st", mechanism="nvr", scale=SCALE,
+                              with_base=True)
+        assert dataclasses.asdict(via_runner) == dataclasses.asdict(direct)
+
+    def test_trace_plan(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        specs = [RunSpec(w, kind="trace", scale=0.1) for w in ("ds", "st")]
+        first = runner.run_plan(specs)
+        assert all(isinstance(t, TraceStats) for t in first)
+        warm = SweepRunner(cache=ResultCache(tmp_path))
+        assert as_dicts(warm.run_plan(specs)) == as_dicts(first)
+        assert warm.submitted == 0
+
+
+class TestCompareMechanisms:
+    def test_routes_through_runner(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        table = compare_mechanisms(
+            "st", mechanisms=("inorder", "nvr"), runner=runner, scale=SCALE
+        )
+        assert set(table) == {"inorder", "nvr"}
+        assert runner.submitted == 2
+        # Direct (runner-less) call gives identical results.
+        direct = compare_mechanisms(
+            "st", mechanisms=("inorder", "nvr"), scale=SCALE
+        )
+        assert as_dicts(table.values()) == as_dicts(direct.values())
+
+    def test_object_overrides_fall_back(self):
+        from repro.sim.memory.hierarchy import MemoryConfig
+
+        table = compare_mechanisms(
+            "st", mechanisms=("inorder",), scale=SCALE,
+            memory=MemoryConfig(),
+        )
+        assert table["inorder"].total_cycles > 0
+
+    def test_workload_kwargs_stay_cacheable(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        compare_mechanisms(
+            "ds", mechanisms=("stream",), runner=runner, scale=SCALE,
+            topk_ratio=4,
+        )
+        warm = SweepRunner(cache=ResultCache(tmp_path))
+        compare_mechanisms(
+            "ds", mechanisms=("stream",), runner=warm, scale=SCALE,
+            topk_ratio=4,
+        )
+        assert warm.submitted == 0
+
+
+class TestFigureRunners:
+    def test_fig5_shares_plan_and_caches(self, tmp_path):
+        from repro.analysis.experiments import fig5_latency_breakdown
+
+        cold = SweepRunner(cache=ResultCache(tmp_path))
+        res = fig5_latency_breakdown(
+            workloads=("st",), panels=("fp16",), scale=SCALE, runner=cold
+        )
+        assert cold.submitted == 6
+        warm = SweepRunner(cache=ResultCache(tmp_path))
+        res2 = fig5_latency_breakdown(
+            workloads=("st",), panels=("fp16",), scale=SCALE, runner=warm
+        )
+        assert warm.submitted == 0
+        assert res2.panels == res.panels
+
+    def test_fig9_memory_override_grid(self, tmp_path):
+        from repro.analysis.experiments import fig9_nsb_sensitivity
+
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        res = fig9_nsb_sensitivity(
+            nsb_sizes=(4, 16), l2_sizes=(64, 256), scale=0.1, runner=runner
+        )
+        assert runner.submitted == 4
+        assert res.cell(16, 256) > 0
+
+
+class TestCLI:
+    def test_sweep_command(self, tmp_path, capsys):
+        rc = cli_main([
+            "sweep", "--workloads", "st", "--mechanisms", "inorder,nvr",
+            "--scales", str(SCALE), "--cache-dir", str(tmp_path / "c"),
+            "--json", str(tmp_path / "sweep.json"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 points" in out
+        records = json.loads((tmp_path / "sweep.json").read_text())
+        assert len(records) == 2
+        assert records[0]["spec"]["workload"] == "st"
+
+    def test_sweep_rejects_unknown_axis_value(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--workloads", "nope", "--no-cache"])
+
+    def test_compare_command_with_cache(self, tmp_path, capsys):
+        args = ["compare", "st", "--scale", str(SCALE),
+                "--cache-dir", str(tmp_path / "c")]
+        assert cli_main(args) == 0
+        cold = capsys.readouterr().out
+        assert cli_main(args) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_cache_command(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        cli_main(["sweep", "--workloads", "st", "--mechanisms", "inorder",
+                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert cli_main(["cache", "--cache-dir", str(cache_dir)]) == 0
+        assert "entries   : 1" in capsys.readouterr().out
+        assert cli_main(["cache", "--cache-dir", str(cache_dir),
+                         "--clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out

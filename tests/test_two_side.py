@@ -14,7 +14,6 @@ from repro.sim.npu.isa import STREAM_IA_GATHER, STREAM_IA_METADATA
 from repro.sim.npu.program import GatherStream, ProgramConfig
 from repro.sim.npu.two_side import build_two_side_program
 from repro.sim.soc import System
-from repro.sparse.csr import CSRMatrix
 from repro.sparse.generate import uniform_csr
 
 
