@@ -27,6 +27,7 @@ from .api import (
     run_workload,
 )
 from .runner import ResultCache, RunSpec, SweepRunner, expand
+from .spec import SystemSpec
 
 __all__ = [
     "DTYPE_BYTES",
@@ -36,6 +37,7 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "SweepRunner",
+    "SystemSpec",
     "compare_mechanisms",
     "expand",
     "make_system",

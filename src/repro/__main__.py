@@ -5,16 +5,20 @@ Usage::
     python -m repro run ds --mechanism nvr --dtype fp16 --scale 0.5
     python -m repro compare gcn --nsb --jobs 4
     python -m repro sweep --workloads ds,gcn --mechanisms inorder,nvr
+    python -m repro ablate nvr-depth --workloads ds,gcn --jobs 4
     python -m repro workloads
     python -m repro overhead
     python -m repro figures --scale 0.6 --jobs 4 -o EXPERIMENTS.md
-    python -m repro cache --clear
+    python -m repro cache
+    python -m repro cache gc --max-mb 64 --dry-run
+    python -m repro cache clear
 
-``compare``, ``sweep`` and ``figures`` execute through the sweep runner:
-``--jobs N`` fans the plan out over N worker processes and every result
-is memoised in the on-disk cache (``.repro-cache/`` by default; disable
-with ``--no-cache``), so repeated and overlapping sweeps only simulate
-new points.
+``compare``, ``sweep``, ``ablate`` and ``figures`` execute through the
+sweep runner: ``--jobs N`` fans the plan out over N worker processes and
+every result is memoised in the on-disk cache (``.repro-cache/`` by
+default; disable with ``--no-cache``), so repeated and overlapping
+sweeps only simulate new points. ``cache gc`` bounds the cache's size
+with least-recently-accessed eviction.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import json
 import sys
 
 from .analysis import format_table, table1_overhead, table2_workloads
+from .analysis.experiments import ABLATION_WORKLOADS, ABLATIONS
 from .analysis.paperfigs import (
     add_runner_arguments,
     main as figures_main,
@@ -100,6 +105,13 @@ def _csv(text: str, known: tuple[str, ...], axis: str) -> tuple[str, ...]:
     return values
 
 
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if not (value >= 0) or value == float("inf"):  # rejects NaN too
+        raise argparse.ArgumentTypeError(f"must be a finite value >= 0, got {text}")
+    return value
+
+
 def _numbers(text: str, parse, axis: str) -> tuple:
     try:
         return tuple(parse(v) for v in text.split(","))
@@ -160,17 +172,85 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir)
-    if args.clear:
-        removed = cache.clear()
-        print(f"cleared {removed} entries from {cache.root}")
-        return 0
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    study = ABLATIONS[args.study]
+    workloads = _csv(args.workloads, WORKLOAD_ORDER, "workload")
+    kwargs = dict(workloads=workloads, scale=args.scale, seed=args.seed)
+    if args.values is not None:
+        kwargs["values"] = _numbers(args.values, int, "values")
+    with runner_from_args(args) as runner:
+        result = study(runner=runner, **kwargs)
+    geomeans = result.geomean_speedups()
+    rows = [
+        [value]
+        + [result.cycles[w][i] for w in result.workloads]
+        + [round(geomeans[i], 3)]
+        for i, value in enumerate(result.values)
+    ]
+    print(
+        format_table(
+            [result.axis] + list(result.workloads) + ["geomean speedup"],
+            rows,
+            title=(
+                f"ablation {result.name}: cycles per {result.axis} "
+                f"(scale {args.scale:g}, seed {args.seed})"
+            ),
+        )
+    )
+    print(
+        f"# best {result.axis}: {result.best_value()} "
+        f"(geomean speedup {max(geomeans):.3f} over "
+        f"{result.axis}={result.values[0]})"
+    )
+    if args.json is not None:
+        record = {
+            "name": result.name,
+            "axis": result.axis,
+            "values": result.values,
+            "workloads": result.workloads,
+            "cycles": result.cycles,
+            "geomean_speedups": geomeans,
+            "scale": args.scale,
+            "seed": args.seed,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"# wrote {args.json}")
+    return 0
+
+
+def _print_cache_stats(cache: ResultCache) -> None:
     entries = cache.entries()
     size = cache.size_bytes()
     print(f"cache dir : {cache.root}")
     print(f"entries   : {len(entries)}")
     print(f"size      : {size / 1024:.1f} KiB")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    action = getattr(args, "cache_cmd", None)
+    if action is None:
+        action = "clear" if args.clear else "stats"
+    if action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    if action == "gc":
+        report = cache.gc(
+            int(args.max_mb * 1024 * 1024), dry_run=args.dry_run
+        )
+        verb = "would evict" if report.dry_run else "evicted"
+        print(
+            f"{verb} {report.removed}/{report.examined} entries "
+            f"({report.freed_bytes / 1024:.1f} KiB) from {cache.root}"
+        )
+        print(
+            f"kept      : {report.kept} entries "
+            f"({report.kept_bytes / 1024:.1f} KiB <= {args.max_mb:g} MB)"
+        )
+        return 0
+    _print_cache_stats(cache)
     return 0
 
 
@@ -267,12 +347,61 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_arguments(sweep_p)
     sweep_p.set_defaults(fn=_cmd_sweep)
 
-    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    abl_p = sub.add_parser(
+        "ablate", help="NVR/NSB sensitivity sweeps through the runner"
+    )
+    abl_p.add_argument("study", choices=sorted(ABLATIONS))
+    abl_p.add_argument(
+        "--values", default=None,
+        help="comma-separated axis values (default: the study's sweep)",
+    )
+    abl_p.add_argument(
+        "--workloads", default=",".join(ABLATION_WORKLOADS),
+        help="comma-separated workloads, or 'all'",
+    )
+    abl_p.add_argument("--scale", type=float, default=0.4)
+    abl_p.add_argument("--seed", type=int, default=0)
+    abl_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also dump the full ablation record as JSON",
+    )
+    add_runner_arguments(abl_p)
+    abl_p.set_defaults(fn=_cmd_ablate)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect, garbage-collect or clear the result cache"
+    )
     cache_p.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"cache directory (default {DEFAULT_CACHE_DIR})",
     )
-    cache_p.add_argument("--clear", action="store_true")
+    cache_p.add_argument(
+        "--clear", action="store_true", help="same as 'cache clear'"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_cmd")
+    gc_p = cache_sub.add_parser(
+        "gc", help="evict least-recently-accessed entries over a size bound"
+    )
+    gc_p.add_argument(
+        "--max-mb", type=_nonneg_float, required=True,
+        help="shrink the cache to at most this many megabytes",
+    )
+    gc_p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    # SUPPRESS keeps the parent's --cache-dir (flag or default) when the
+    # option is not repeated after the subcommand — a plain default here
+    # would silently clobber `repro cache --cache-dir X gc`.
+    gc_p.add_argument(
+        "--cache-dir", default=argparse.SUPPRESS,
+        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    clear_p = cache_sub.add_parser("clear", help="delete every entry")
+    clear_p.add_argument(
+        "--cache-dir", default=argparse.SUPPRESS,
+        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
+    )
     cache_p.set_defaults(fn=_cmd_cache)
 
     wl_p = sub.add_parser("workloads", help="list Table II workloads")

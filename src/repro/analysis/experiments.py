@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..api import MECHANISM_ORDER
+from ..core.controller import NVRConfig
 from ..core.overhead import OverheadReport, nvr_overhead
 from ..llm import (
     NPUHardware,
@@ -27,6 +28,7 @@ from ..llm import (
 )
 from ..runner import MemorySpec, RunSpec, SweepRunner, shape_l2
 from ..sim.memory.cache import CacheConfig
+from ..sim.npu.executor import ExecutorConfig
 from ..sim.soc import RunResult
 from ..utils import KIB, geometric_mean
 from ..workloads import WORKLOAD_INFO, WORKLOAD_ORDER
@@ -491,6 +493,151 @@ def fig9_nsb_sensitivity(
         perf=perf,
         cycles=cycles,
     )
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity ablations (Sec. V sensitivity space: runahead depth/width,
+# NSB sizing, issue width) — the first consumers built directly on the
+# SystemSpec layer: every point carries a full serialisable platform
+# description, so the studies cache and parallelise like the figures.
+# ---------------------------------------------------------------------------
+
+ABLATION_WORKLOADS: tuple[str, ...] = ("ds", "gcn", "st")
+
+
+@dataclass
+class AblationResult:
+    """One sensitivity table: rows = axis values, columns = workloads."""
+
+    name: str
+    axis: str
+    values: list[int]
+    workloads: list[str]
+    cycles: dict[str, list[int]]  # workload -> cycles aligned with values
+
+    def speedups(self, workload: str) -> list[float]:
+        """Per-value speedup over the first (baseline) axis value."""
+        base = self.cycles[workload][0]
+        return [base / max(c, 1) for c in self.cycles[workload]]
+
+    def geomean_speedups(self) -> list[float]:
+        """Per-value geometric-mean speedup across the workloads."""
+        return [
+            geometric_mean(
+                [self.speedups(w)[i] for w in self.workloads]
+            )
+            for i in range(len(self.values))
+        ]
+
+    def best_value(self) -> int:
+        """Axis value with the highest geomean speedup."""
+        means = self.geomean_speedups()
+        return self.values[means.index(max(means))]
+
+
+def _run_ablation(
+    name: str,
+    axis: str,
+    values: tuple[int, ...],
+    spec_for,
+    workloads: tuple[str, ...],
+    runner: SweepRunner | None,
+) -> AblationResult:
+    runner = runner or SweepRunner()
+    specs = [spec_for(w, v) for v in values for w in workloads]
+    results = iter(runner.run_plan(specs))
+    cycles: dict[str, list[int]] = {w: [] for w in workloads}
+    for _ in values:
+        for w in workloads:
+            cycles[w].append(next(results).total_cycles)
+    return AblationResult(
+        name=name,
+        axis=axis,
+        values=list(values),
+        workloads=list(workloads),
+        cycles=cycles,
+    )
+
+
+def ablate_nvr_depth(
+    values: tuple[int, ...] = (1, 2, 4, 8, 16),
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+    scale: float = 0.4,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
+) -> AblationResult:
+    """Runahead depth sweep: how far ahead NVR chases the W stream."""
+    return _run_ablation(
+        "nvr-depth", "depth_tiles", values,
+        lambda w, v: RunSpec(
+            w, mechanism="nvr", nvr=NVRConfig(depth_tiles=v),
+            scale=scale, seed=seed,
+        ),
+        workloads, runner,
+    )
+
+
+def ablate_nvr_width(
+    values: tuple[int, ...] = (4, 8, 16, 32),
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+    scale: float = 0.4,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
+) -> AblationResult:
+    """Vector width sweep: NVR's parallel-entry count N (Table I: 16)."""
+    return _run_ablation(
+        "nvr-width", "vector_width", values,
+        lambda w, v: RunSpec(
+            w, mechanism="nvr", nvr=NVRConfig(vector_width=v),
+            scale=scale, seed=seed,
+        ),
+        workloads, runner,
+    )
+
+
+def ablate_nsb_size(
+    values: tuple[int, ...] = (4, 8, 16, 32, 64),
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+    scale: float = 0.4,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
+) -> AblationResult:
+    """NSB capacity sweep at the default 256 KiB L2 (Fig. 9's row axis)."""
+    return _run_ablation(
+        "nsb-size", "nsb_kib", values,
+        lambda w, v: RunSpec(
+            w, mechanism="nvr", memory=MemorySpec(nsb_kib=v),
+            scale=scale, seed=seed,
+        ),
+        workloads, runner,
+    )
+
+
+def ablate_issue_width(
+    values: tuple[int, ...] = (1, 2, 4, 8),
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+    scale: float = 0.4,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
+) -> AblationResult:
+    """Load-pipeline issue width sweep (line requests per cycle)."""
+    return _run_ablation(
+        "issue-width", "issue_width", values,
+        lambda w, v: RunSpec(
+            w, mechanism="nvr", executor=ExecutorConfig(issue_width=v),
+            scale=scale, seed=seed,
+        ),
+        workloads, runner,
+    )
+
+
+#: Named ablation studies, the `repro ablate` CLI's menu.
+ABLATIONS = {
+    "nvr-depth": ablate_nvr_depth,
+    "nvr-width": ablate_nvr_width,
+    "nsb-size": ablate_nsb_size,
+    "issue-width": ablate_issue_width,
+}
 
 
 # ---------------------------------------------------------------------------

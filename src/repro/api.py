@@ -8,56 +8,40 @@ two calls::
     result = run_workload("gcn", mechanism="nvr")
     table = compare_mechanisms("ds", dtype="int8", nsb=True)
 
-Every knob the experiments sweep (dtype, NSB, scale, seed, runahead depth)
-is exposed as a keyword argument.
+Every knob the experiments sweep (dtype, NSB, scale, seed, runahead
+depth/width, memory geometry, issue width) is exposed as a keyword
+argument, and every knob is spec-able: mechanism names resolve through
+:data:`repro.registry.MECHANISMS`, and object-valued overrides
+(``memory=``, ``nvr_config=``, ``executor=``) are folded into a
+serialisable :class:`~repro.spec.SystemSpec`, so *every*
+``compare_mechanisms`` call — sensitivity sweeps included — executes
+through the shared :class:`~repro.runner.SweepRunner` cache/pool. There
+is no serial fallback path.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from .core import NVRConfig, NVRPrefetcher
-from .errors import ConfigError
-from .prefetch import (
-    DecoupledVectorRunahead,
-    IndirectMemoryPrefetcher,
-    NullPrefetcher,
-    Prefetcher,
-    StreamPrefetcher,
-)
+from .core import NVRConfig
+from .registry import MECHANISM_ORDER, MECHANISMS
 from .sim.memory.hierarchy import MemoryConfig
+from .sim.npu.executor import ExecutorConfig
 from .sim.npu.program import SparseProgram
 from .sim.soc import RunResult, System
+from .spec import SystemSpec
 from .workloads import WORKLOAD_ORDER, build_workload
-
-# Mechanism name -> (prefetcher factory, executor mode). The paper's six
-# Fig. 5 bars, plus 'preload': Gemmini's native explicit-DMA operating
-# mode (the Sec. II baseline whose over-fetch motivates Figs. 1b/7).
-MECHANISMS: dict[str, tuple[Callable[[], Prefetcher], str]] = {
-    "inorder": (NullPrefetcher, "inorder"),
-    "ooo": (NullPrefetcher, "ooo"),
-    "stream": (StreamPrefetcher, "inorder"),
-    "imp": (IndirectMemoryPrefetcher, "inorder"),
-    "dvr": (DecoupledVectorRunahead, "inorder"),
-    "nvr": (NVRPrefetcher, "inorder"),
-    "preload": (NullPrefetcher, "preload"),
-}
-
-MECHANISM_ORDER: tuple[str, ...] = (
-    "inorder", "ooo", "stream", "imp", "dvr", "nvr",
-)
+from .workloads.registry import DTYPE_BYTES, elem_bytes as _elem_bytes
 
 WORKLOADS: tuple[str, ...] = WORKLOAD_ORDER
 
-DTYPE_BYTES = {"int8": 1, "fp16": 2, "int32": 4}
-
-
-def _elem_bytes(dtype: str) -> int:
-    if dtype not in DTYPE_BYTES:
-        raise ConfigError(
-            f"unknown dtype '{dtype}' (known: {', '.join(DTYPE_BYTES)})"
-        )
-    return DTYPE_BYTES[dtype]
+__all__ = [
+    "DTYPE_BYTES",
+    "MECHANISMS",
+    "MECHANISM_ORDER",
+    "WORKLOADS",
+    "compare_mechanisms",
+    "make_system",
+    "run_workload",
+]
 
 
 def make_system(
@@ -66,21 +50,23 @@ def make_system(
     nsb: bool = False,
     memory: MemoryConfig | None = None,
     nvr_config: NVRConfig | None = None,
+    executor: ExecutorConfig | None = None,
 ) -> System:
-    """Wire a lowered program to a mechanism and memory hierarchy."""
-    if mechanism not in MECHANISMS:
-        raise ConfigError(
-            f"unknown mechanism '{mechanism}' (known: {', '.join(MECHANISMS)})"
-        )
-    factory, mode = MECHANISMS[mechanism]
-    if mechanism == "nvr" and nvr_config is not None:
-        factory = lambda: NVRPrefetcher(nvr_config)  # noqa: E731
-    mem = memory if memory is not None else MemoryConfig()
-    if nsb and mem.nsb is None:
-        mem = mem.with_nsb(True)
-    return System(
-        program=program, memory=mem, prefetcher_factory=factory, mode=mode
+    """Wire a lowered program to a mechanism and memory hierarchy.
+
+    Incompatible combinations raise :class:`~repro.errors.ConfigError`
+    rather than being silently resolved: an ``nvr_config`` for a mechanism that
+    does not use one, or ``nsb=True`` alongside a ``memory`` override
+    that already configures an NSB.
+    """
+    spec = SystemSpec(
+        mechanism=mechanism,
+        nsb=nsb,
+        memory=memory,
+        nvr=nvr_config,
+        executor=executor,
     )
+    return spec.build(program)
 
 
 def run_workload(
@@ -93,54 +79,35 @@ def run_workload(
     with_base: bool = False,
     memory: MemoryConfig | None = None,
     nvr_config: NVRConfig | None = None,
+    executor: ExecutorConfig | None = None,
     **workload_kwargs,
 ) -> RunResult:
     """Build one Table II workload and run it under one mechanism.
 
     Args:
         workload: DS, GAT, GCN, GSABT, H2O, MK, SCN or ST.
-        mechanism: inorder, ooo, stream, imp, dvr or nvr.
+        mechanism: any registered mechanism (inorder, ooo, stream, imp,
+            dvr, nvr, preload, ...).
         dtype: int8 / fp16 / int32 (the Fig. 5 panels).
         nsb: enable the 16 KiB Non-blocking Speculative Buffer.
         scale: trace size multiplier (1.0 = evaluation default).
         with_base: also run a perfect-memory pass to fill
             ``result.base_cycles`` (the Fig. 5 base/stall split).
+
+    Executes directly in-process (it is a single point, not a sweep);
+    use :func:`compare_mechanisms` or a
+    :class:`~repro.runner.SweepRunner` plan for anything cached or
+    parallel.
     """
     program = build_workload(
         workload, scale=scale, elem_bytes=_elem_bytes(dtype), seed=seed,
         **workload_kwargs,
     )
-    system = make_system(program, mechanism, nsb, memory, nvr_config)
+    system = make_system(program, mechanism, nsb, memory, nvr_config, executor)
     return system.run_with_base() if with_base else system.run()
 
 
 _SPEC_FIELDS = ("dtype", "nsb", "scale", "seed", "with_base")
-
-
-def _specs_for(workload: str, mechanisms: tuple[str, ...], kwargs: dict):
-    """Express ``run_workload`` kwargs as runner specs, or ``None``.
-
-    Object-valued overrides (``memory=``/``nvr_config=``) and non-scalar
-    workload kwargs cannot be content-addressed, so those calls fall back
-    to the direct loop.
-    """
-    from .runner import RunSpec
-
-    if "memory" in kwargs or "nvr_config" in kwargs:
-        return None
-    spec_kwargs = {k: kwargs[k] for k in _SPEC_FIELDS if k in kwargs}
-    extra = {k: v for k, v in kwargs.items() if k not in spec_kwargs}
-    if not all(isinstance(v, (bool, int, float, str)) for v in extra.values()):
-        return None
-    return [
-        RunSpec(
-            workload,
-            mechanism=m,
-            workload_args=tuple(extra.items()),
-            **spec_kwargs,
-        )
-        for m in mechanisms
-    ]
 
 
 def compare_mechanisms(
@@ -149,6 +116,9 @@ def compare_mechanisms(
     runner=None,
     jobs: int = 1,
     cache=None,
+    memory: MemoryConfig | None = None,
+    nvr_config: NVRConfig | None = None,
+    executor: ExecutorConfig | None = None,
     **kwargs,
 ) -> dict[str, RunResult]:
     """Run one workload under several mechanisms; returns name -> result.
@@ -157,15 +127,40 @@ def compare_mechanisms(
     :class:`repro.runner.SweepRunner`, so points deduplicate, execute
     across ``jobs`` worker processes and memoise in ``cache``. Pass an
     existing ``runner`` to share its cache/pool with a larger sweep.
-    Object-valued overrides (``memory=``, ``nvr_config=``) bypass the
-    runner and execute serially in-process.
+
+    Object-valued overrides are first-class plan content: ``memory=``
+    and ``executor=`` apply to every mechanism, while ``nvr_config=``
+    tunes exactly the mechanisms that declare ``uses_nvr_config``
+    (passing it alongside baselines is how the paper's sensitivity
+    sweeps are expressed). Remaining keyword arguments are forwarded to
+    the workload builder and must be scalars — they are part of each
+    point's content address.
     """
-    specs = _specs_for(workload, mechanisms, kwargs)
-    if specs is None:
-        return {
-            m: run_workload(workload, mechanism=m, **kwargs)
-            for m in mechanisms
-        }
+    from .errors import ConfigError
+    from .runner import RunSpec
+
+    if nvr_config is not None and not any(
+        MECHANISMS.get(m).uses_nvr_config for m in mechanisms
+    ):
+        raise ConfigError(
+            "nvr_config was passed but none of the compared mechanisms "
+            f"({', '.join(mechanisms)}) uses one — the sweep would "
+            "silently ignore it"
+        )
+    spec_kwargs = {k: kwargs.pop(k) for k in _SPEC_FIELDS if k in kwargs}
+    workload_args = tuple(kwargs.items())
+    specs = [
+        RunSpec(
+            workload,
+            mechanism=m,
+            memory=memory,
+            nvr=nvr_config if MECHANISMS.get(m).uses_nvr_config else None,
+            executor=executor,
+            workload_args=workload_args,
+            **spec_kwargs,
+        )
+        for m in mechanisms
+    ]
     if runner is None:
         from .runner import SweepRunner
 

@@ -68,6 +68,18 @@ class NVRConfig:
         if self.resolve_cycles_per_elem < 0:
             raise ConfigError("resolve_cycles_per_elem must be >= 0")
 
+    def to_dict(self) -> dict:
+        """Canonical plain-scalar dict (see :mod:`repro.spec.serde`)."""
+        from ..spec import serde
+
+        return serde.nvr_config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "NVRConfig":
+        from ..spec import serde
+
+        return serde.nvr_config_from_dict(d)
+
 
 @dataclass
 class _PendingWindow:

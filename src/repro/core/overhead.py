@@ -15,7 +15,7 @@ which is the dominant area term of Gemmini-class NPUs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..utils import KIB

@@ -12,9 +12,11 @@ parallel plan:
 * :mod:`repro.runner.progress` — optional live progress reporting.
 """
 
+from ..spec import SystemSpec
 from .cache import (
     CACHE_SALT,
     DEFAULT_CACHE_DIR,
+    GCReport,
     ResultCache,
     materialise,
     payload_to_result,
@@ -27,6 +29,7 @@ from .progress import NullProgress, Progress
 __all__ = [
     "CACHE_SALT",
     "DEFAULT_CACHE_DIR",
+    "GCReport",
     "MemorySpec",
     "NVRSpec",
     "NullProgress",
@@ -35,6 +38,7 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "SweepRunner",
+    "SystemSpec",
     "execute_spec",
     "expand",
     "materialise",

@@ -27,7 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import asdict
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..sim.soc import RunResult
@@ -118,6 +118,19 @@ def materialise(payload: dict) -> RunResult | TraceStats:
     return payload_to_result(payload)
 
 
+@dataclass
+class GCReport:
+    """What one :meth:`ResultCache.gc` pass did (or would do)."""
+
+    examined: int = 0
+    total_bytes: int = 0
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    dry_run: bool = field(default=False, compare=False)
+
+
 class ResultCache:
     """On-disk memo of executed specs, keyed by content address."""
 
@@ -157,6 +170,12 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
+        try:
+            # Touch the entry so LRU eviction (gc) sees hits even on
+            # filesystems mounted noatime.
+            os.utime(path)
+        except OSError:
+            pass
         self.hits += 1
         return payload
 
@@ -207,9 +226,53 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self._sweep_tmp_files()
+        return removed
+
+    def _sweep_tmp_files(self) -> None:
         for path in self.root.glob("??/*.tmp"):
             try:
                 path.unlink()
             except OSError:
                 pass
-        return removed
+
+    def gc(self, max_bytes: int, dry_run: bool = False) -> "GCReport":
+        """Size-bounded LRU eviction: shrink the cache to ``max_bytes``.
+
+        Entries are ranked by last access (``get`` touches entries on
+        hit, so warm results survive) and the least-recently-used are
+        deleted oldest-first until the remaining payload fits. With
+        ``dry_run=True`` nothing is deleted — the report describes what
+        *would* go. Orphaned ``.tmp`` files are swept as a side effect
+        of a real (non-dry) collection.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((max(stat.st_atime, stat.st_mtime), path, stat.st_size))
+        entries.sort()  # least recently accessed first
+        total = sum(size for _, _, size in entries)
+        report = GCReport(
+            examined=len(entries), total_bytes=total, dry_run=dry_run
+        )
+        for _, path, size in entries:
+            if total <= max_bytes:
+                break
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            total -= size
+            report.removed += 1
+            report.freed_bytes += size
+        report.kept = report.examined - report.removed
+        report.kept_bytes = report.total_bytes - report.freed_bytes
+        if not dry_run:
+            self._sweep_tmp_files()
+        return report

@@ -1,33 +1,41 @@
 """Sweep plans: declarative simulation points and their expansion.
 
 A :class:`RunSpec` is the unit of work of the whole reproduction: one
-(workload, mechanism, dtype, nsb, scale, seed) simulation point, plus the
-optional memory-hierarchy and NVR-tuning overrides the sensitivity studies
-sweep. Every figure runner, the ``sweep`` CLI and the benchmarks express
-their work as a flat list of specs — a *plan* — and hand it to
+(workload, dtype, scale, seed) trace paired with a full
+:class:`~repro.spec.SystemSpec` platform description. Every figure
+runner, the ``sweep``/``ablate`` CLIs and the benchmarks express their
+work as a flat list of specs — a *plan* — and hand it to
 :class:`~repro.runner.pool.SweepRunner`, which deduplicates, caches and
 parallelises the execution.
 
-Specs are deliberately restricted to JSON-able scalars so that
+Specs serialise to canonical JSON (:meth:`RunSpec.key`), including every
+object-valued override — memory hierarchies, NVR tuning, executor
+widths — so that
 
 * they pickle cheaply across worker processes,
-* :meth:`RunSpec.key` yields a canonical string that content-addresses
-  the on-disk result cache, and
+* the key content-addresses the on-disk result cache, and
 * identical points submitted by different figures collapse to one run.
+
+The ``mechanism``/``nsb``/``memory``/``nvr``/``executor`` constructor
+arguments are conveniences: ``__post_init__`` folds them into one
+canonical ``system`` field, so two specs describing the same platform
+compare (and hash) equal however they were written.
 """
 
 from __future__ import annotations
 
 import itertools
-import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass, fields
 
 from ..core.controller import NVRConfig
 from ..core.nsb import nsb_config
 from ..errors import ConfigError
 from ..sim.memory.cache import CacheConfig
 from ..sim.memory.hierarchy import MemoryConfig, default_l2_config
+from ..sim.npu.executor import ExecutorConfig
+from ..spec import SystemSpec, canonical_json
 from ..utils import KIB
+from ..workloads.registry import elem_bytes
 
 Scalar = bool | int | float | str
 
@@ -53,11 +61,14 @@ def shape_l2(size_kib: int) -> CacheConfig:
 
 @dataclass(frozen=True)
 class MemorySpec:
-    """JSON-able memory hierarchy override for a :class:`RunSpec`.
+    """Shorthand memory override: sizes in KiB, defaults elsewhere.
 
-    ``None`` fields keep the paper's defaults (256 KiB L2, no NSB). The
-    NSB configured here takes precedence over ``RunSpec.nsb``, which only
-    toggles the default 16 KiB buffer.
+    A convenience for the Fig. 9-style grids; ``build()`` expands it to
+    the full :class:`~repro.sim.memory.hierarchy.MemoryConfig` that the
+    canonical :class:`~repro.spec.SystemSpec` carries. An NSB belongs in
+    exactly one place: size it here via ``nsb_kib``, *or* request the
+    default 16 KiB buffer with ``RunSpec.nsb=True`` — combining the two
+    is a :class:`~repro.errors.ConfigError`.
     """
 
     l2_kib: int | None = None
@@ -83,7 +94,7 @@ class MemorySpec:
 
 @dataclass(frozen=True)
 class NVRSpec:
-    """JSON-able NVR tuning override; ``None`` fields keep the defaults."""
+    """Shorthand NVR tuning override; ``None`` fields keep the defaults."""
 
     vector_width: int | None = None
     depth_tiles: int | None = None
@@ -109,19 +120,27 @@ class RunSpec:
     yields a :class:`~repro.sim.soc.RunResult`; ``"trace"`` only lowers
     the workload and yields its :class:`~repro.workloads.base.TraceStats`
     (the Table II path).
+
+    The platform side lives in ``system``; pass either a ready
+    :class:`~repro.spec.SystemSpec` or the convenience arguments
+    (``mechanism``, ``nsb``, ``memory``, ``nvr``, ``executor``) — never
+    both. ``memory``/``nvr`` accept the shorthand
+    :class:`MemorySpec`/:class:`NVRSpec` or full config objects.
     """
 
     workload: str
-    mechanism: str = "nvr"
+    mechanism: str | None = None  # default "nvr"; None detects conflicts
     dtype: str = "fp16"
-    nsb: bool = False
+    nsb: bool | None = None  # default False; None detects conflicts
     scale: float = 1.0
     seed: int = 0
     with_base: bool = False
-    memory: MemorySpec | None = None
-    nvr: NVRSpec | None = None
+    memory: MemorySpec | MemoryConfig | None = None
+    nvr: NVRSpec | NVRConfig | None = None
+    executor: ExecutorConfig | None = None
     workload_args: tuple[tuple[str, Scalar], ...] = ()
     kind: str = "sim"
+    system: SystemSpec | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("sim", "trace"):
@@ -129,9 +148,7 @@ class RunSpec:
         # Validate here, in the submitting process, so a bad dtype is a
         # ConfigError at plan build time rather than a KeyError re-raised
         # out of a worker future.
-        from ..api import _elem_bytes
-
-        _elem_bytes(self.dtype)
+        elem_bytes(self.dtype)
         for key, value in self.workload_args:
             if not isinstance(value, (bool, int, float, str)):
                 raise ConfigError(
@@ -145,48 +162,124 @@ class RunSpec:
         # the point's identity.
         object.__setattr__(self, "scale", float(self.scale))
         object.__setattr__(self, "seed", int(self.seed))
-        object.__setattr__(self, "nsb", bool(self.nsb))
         object.__setattr__(self, "with_base", bool(self.with_base))
         object.__setattr__(
             self, "workload_args", tuple(sorted(self.workload_args))
         )
+        # Fold the convenience platform arguments into one canonical
+        # SystemSpec, then clear them: the spec's identity (equality,
+        # key(), pickle payload) lives in `system` alone.
+        if self.system is not None:
+            if (
+                self.memory is not None
+                or self.nvr is not None
+                or self.executor is not None
+            ):
+                raise ConfigError(
+                    "pass the platform either as system= or as "
+                    "memory=/nvr=/executor= overrides, not both"
+                )
+            # mechanism/nsb may be omitted or repeated consistently —
+            # but an *explicit conflicting* value must not be silently
+            # overwritten by the system's (hence the None sentinels).
+            if (
+                self.mechanism is not None
+                and self.mechanism != self.system.mechanism
+            ):
+                raise ConfigError(
+                    f"mechanism='{self.mechanism}' conflicts with "
+                    f"system.mechanism='{self.system.mechanism}'"
+                )
+            if self.nsb is not None and bool(self.nsb) != self.system.nsb:
+                raise ConfigError(
+                    f"nsb={bool(self.nsb)} conflicts with "
+                    f"system.nsb={self.system.nsb} (set nsb on the "
+                    "SystemSpec instead)"
+                )
+        else:
+            memory = (
+                self.memory.build()
+                if isinstance(self.memory, MemorySpec)
+                else self.memory
+            )
+            nvr = (
+                self.nvr.build() if isinstance(self.nvr, NVRSpec) else self.nvr
+            )
+            object.__setattr__(
+                self,
+                "system",
+                SystemSpec(
+                    mechanism=(
+                        self.mechanism if self.mechanism is not None else "nvr"
+                    ),
+                    nsb=bool(self.nsb) if self.nsb is not None else False,
+                    memory=memory,
+                    nvr=nvr,
+                    executor=self.executor,
+                ),
+            )
+        object.__setattr__(self, "mechanism", self.system.mechanism)
+        object.__setattr__(self, "nsb", self.system.nsb)
+        object.__setattr__(self, "memory", None)
+        object.__setattr__(self, "nvr", None)
+        object.__setattr__(self, "executor", None)
+        # The spec is frozen, so its content key can never go stale —
+        # compute it once here rather than re-serialising the nested
+        # system dict at every dedupe/cache/hash call site.
+        object.__setattr__(self, "_key", canonical_json(self.to_dict()))
 
     # -- identity ------------------------------------------------------------
 
     def to_dict(self) -> dict:
         """Plain-scalar dict (JSON round-trippable via :meth:`from_dict`)."""
-        d = asdict(self)
-        d["workload_args"] = [list(pair) for pair in self.workload_args]
-        return d
+        return {
+            "workload": self.workload,
+            "dtype": self.dtype,
+            "scale": self.scale,
+            "seed": self.seed,
+            "with_base": self.with_base,
+            "workload_args": [list(pair) for pair in self.workload_args],
+            "kind": self.kind,
+            "system": self.system.to_dict(),
+        }
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunSpec":
         d = dict(d)
+        d["workload_args"] = tuple(
+            (k, v) for k, v in d.get("workload_args", ())
+        )
+        if "system" in d:
+            d["system"] = SystemSpec.from_dict(d["system"])
+            return cls(**d)
+        # Legacy (PR-1) layout: mechanism/nsb at top level, shorthand
+        # memory/nvr override dicts.
         if d.get("memory") is not None:
             d["memory"] = MemorySpec(**d["memory"])
         if d.get("nvr") is not None:
             d["nvr"] = NVRSpec(**d["nvr"])
-        d["workload_args"] = tuple(
-            (k, v) for k, v in d.get("workload_args", ())
-        )
         return cls(**d)
 
     def key(self) -> str:
         """Canonical serialisation — the cache's content address."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return self._key
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would raise on the
+        # (non-frozen) config objects inside `system`; the canonical key
+        # already is the spec's identity.
+        return hash(self._key)
 
     def label(self) -> str:
         """Short human-readable form for progress lines."""
-        parts = [self.workload, self.mechanism, self.dtype]
-        if self.nsb or (self.memory is not None and self.memory.nsb_kib):
-            parts.append("nsb")
-        text = "/".join(parts) + f" x{self.scale:g} s{self.seed}"
-        if self.memory is not None and self.memory.l2_kib:
-            text += f" l2={self.memory.l2_kib}K"
+        if self.kind == "trace":
+            return f"trace:{self.workload} x{self.scale:g} s{self.seed}"
+        text = (
+            f"{self.workload}/{self.system.label()}/{self.dtype}"
+            f" x{self.scale:g} s{self.seed}"
+        )
         if self.workload_args:
             text += " " + ",".join(f"{k}={v}" for k, v in self.workload_args)
-        if self.kind == "trace":
-            text = f"trace:{self.workload} x{self.scale:g} s{self.seed}"
         return text
 
 
@@ -205,8 +298,9 @@ def expand(
     scales=1.0,
     seeds=0,
     with_base: bool = False,
-    memory: MemorySpec | None = None,
-    nvr: NVRSpec | None = None,
+    memory: MemorySpec | MemoryConfig | None = None,
+    nvr: NVRSpec | NVRConfig | None = None,
+    executor: ExecutorConfig | None = None,
     workload_args: tuple[tuple[str, Scalar], ...] = (),
     kind: str = "sim",
 ) -> list[RunSpec]:
@@ -227,6 +321,7 @@ def expand(
             with_base=with_base,
             memory=memory,
             nvr=nvr,
+            executor=executor,
             workload_args=workload_args,
             kind=kind,
         )

@@ -32,6 +32,7 @@ from typing import Sequence
 from ..sim.soc import RunResult
 from ..workloads import build_workload, trace_stats
 from ..workloads.base import TraceStats
+from ..workloads.registry import elem_bytes
 from .cache import (
     ResultCache,
     materialise,
@@ -46,28 +47,20 @@ def execute_spec(spec: RunSpec) -> dict:
     """Run one spec and return its JSON payload (the worker entry point).
 
     Module-level so it pickles under every multiprocessing start method.
+    The platform side is rebuilt entirely from ``spec.system`` — the
+    declarative :class:`~repro.spec.SystemSpec` — so results are a pure
+    function of the spec and bit-identical for every ``jobs`` setting.
     """
-    # Imported here, not at module top: repro.api imports this module's
-    # package lazily, and keeping the edge one-directional at import time
-    # avoids a cycle while letting workers share the parent's modules.
-    from ..api import DTYPE_BYTES, make_system
-
     program = build_workload(
         spec.workload,
         scale=spec.scale,
-        elem_bytes=DTYPE_BYTES[spec.dtype],
+        elem_bytes=elem_bytes(spec.dtype),
         seed=spec.seed,
         **dict(spec.workload_args),
     )
     if spec.kind == "trace":
         return trace_to_payload(trace_stats(program))
-    system = make_system(
-        program,
-        mechanism=spec.mechanism,
-        nsb=spec.nsb,
-        memory=spec.memory.build() if spec.memory is not None else None,
-        nvr_config=spec.nvr.build() if spec.nvr is not None else None,
-    )
+    system = spec.system.build(program)
     result = system.run_with_base() if spec.with_base else system.run()
     return result_to_payload(result)
 

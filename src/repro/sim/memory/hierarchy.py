@@ -116,6 +116,18 @@ class MemoryConfig:
             cpu_traffic=config or CPUTrafficConfig(),
         )
 
+    def to_dict(self) -> dict:
+        """Canonical plain-scalar dict (see :mod:`repro.spec.serde`)."""
+        from ...spec import serde
+
+        return serde.memory_config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MemoryConfig":
+        from ...spec import serde
+
+        return serde.memory_config_from_dict(d)
+
 
 class MemorySystem:
     """The NPU-visible memory system.

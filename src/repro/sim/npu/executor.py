@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...errors import ConfigError
+from ...registry import Registry
 from ..cpu import ControlCPU
 from ..request import Access, AccessType, HitLevel
 from ..stats import RunStats
@@ -62,6 +63,25 @@ class ExecutorConfig:
             raise ConfigError("preload_granule must be a power of two >= 64")
         if self.scratchpad_read_latency < 1:
             raise ConfigError("scratchpad_read_latency must be >= 1")
+
+    def to_dict(self) -> dict:
+        """Canonical plain-scalar dict (see :mod:`repro.spec.serde`)."""
+        from ...spec import serde
+
+        return serde.executor_config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExecutorConfig":
+        from ...spec import serde
+
+        return serde.executor_config_from_dict(d)
+
+
+#: Execution-engine registry: mode name -> engine class. The built-in
+#: modes are registered below next to their classes; plug a new engine in
+#: with ``@ENGINES.register("mymode")`` and any mechanism declaring that
+#: mode resolves to it through :func:`build_engine`.
+ENGINES = Registry("executor mode")
 
 
 class _EngineBase:
@@ -179,6 +199,7 @@ class _EngineBase:
         return start + tile.compute.cycles
 
 
+@ENGINES.register("inorder")
 class InOrderEngine(_EngineBase):
     """Serial load → gather → compute per tile (baseline Gemmini)."""
 
@@ -193,6 +214,7 @@ class InOrderEngine(_EngineBase):
         return now
 
 
+@ENGINES.register("ooo")
 class IdealOoOEngine(_EngineBase):
     """Memory pipeline runs ahead of compute within a tile window."""
 
@@ -217,6 +239,7 @@ class IdealOoOEngine(_EngineBase):
         return total
 
 
+@ENGINES.register("preload")
 class ExplicitPreloadEngine(_EngineBase):
     """Gemmini's native operating mode: coarse DMA into the scratchpad.
 
@@ -289,12 +312,6 @@ def build_engine(
     stats: RunStats,
     config: ExecutorConfig,
 ):
-    """Factory: ``mode`` is 'inorder', 'ooo' or 'preload'."""
-    engines = {
-        "inorder": InOrderEngine,
-        "ooo": IdealOoOEngine,
-        "preload": ExplicitPreloadEngine,
-    }
-    if mode not in engines:
-        raise ConfigError(f"unknown executor mode '{mode}'")
-    return engines[mode](program, mem, prefetcher, sparse_unit, stats, config)
+    """Factory: resolve ``mode`` through the :data:`ENGINES` registry."""
+    engine_cls = ENGINES.get(mode)
+    return engine_cls(program, mem, prefetcher, sparse_unit, stats, config)

@@ -1,0 +1,37 @@
+"""Declarative, serialisable system descriptions.
+
+The config-as-data layer: every simulator knob — memory hierarchy, NVR
+tuning, executor widths, mechanism choice — round-trips through plain
+JSON-able dicts with stable content hashes, so any scenario the
+simulator can express flows through the sweep runner's cache and worker
+pool.
+
+* :mod:`repro.spec.serde` — canonical ``to_dict``/``from_dict`` for each
+  config dataclass, plus :func:`stable_hash`;
+* :mod:`repro.spec.system` — :class:`SystemSpec`, the composed platform
+  description consumed by :class:`repro.runner.RunSpec`.
+"""
+
+from .serde import (
+    canonical_json,
+    executor_config_from_dict,
+    executor_config_to_dict,
+    memory_config_from_dict,
+    memory_config_to_dict,
+    nvr_config_from_dict,
+    nvr_config_to_dict,
+    stable_hash,
+)
+from .system import SystemSpec
+
+__all__ = [
+    "SystemSpec",
+    "canonical_json",
+    "executor_config_from_dict",
+    "executor_config_to_dict",
+    "memory_config_from_dict",
+    "memory_config_to_dict",
+    "nvr_config_from_dict",
+    "nvr_config_to_dict",
+    "stable_hash",
+]

@@ -1,10 +1,28 @@
-"""Workload registry: Table II short names → builders."""
+"""Workload registry: Table II short names → builders.
+
+Built on the shared :class:`repro.registry.Registry`, so new workloads
+plug in next to their implementation::
+
+    from repro.workloads.registry import register_workload
+
+    @register_workload("mine", info=WorkloadInfo("MINE", ...))
+    def build(scale=1.0, elem_bytes=2, seed=0, **kwargs):
+        return ...  # a SparseProgram
+
+and are immediately runnable by name through ``run_workload``, the sweep
+runner and the CLI. :data:`WORKLOAD_ORDER` stays the paper's fixed
+Table II row order — extensions are runnable but do not silently join
+the paper figures. For parallel sweeps, register at import time of a
+module the worker processes also import (see :mod:`repro.registry` on
+the spawn start method).
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
-from ..errors import WorkloadError
+from ..errors import ConfigError, WorkloadError
+from ..registry import Registry
 from ..sim.npu.program import SparseProgram
 from . import (
     double_sparsity,
@@ -17,6 +35,19 @@ from . import (
     switch_transformer,
 )
 from .base import WorkloadInfo
+
+#: Data-width axis of the Fig. 5 panels: dtype name -> element bytes.
+DTYPE_BYTES: dict[str, int] = {"int8": 1, "fp16": 2, "int32": 4}
+
+
+def elem_bytes(dtype: str) -> int:
+    """Element width of a dtype name; :class:`ConfigError` on unknowns."""
+    if dtype not in DTYPE_BYTES:
+        raise ConfigError(
+            f"unknown dtype '{dtype}' (known: {', '.join(DTYPE_BYTES)})"
+        )
+    return DTYPE_BYTES[dtype]
+
 
 # Table II, in the paper's row order.
 WORKLOAD_INFO: dict[str, WorkloadInfo] = {
@@ -55,16 +86,35 @@ WORKLOAD_ORDER: tuple[str, ...] = (
     "ds", "gat", "gcn", "gsabt", "h2o", "mk", "scn", "st",
 )
 
-_BUILDERS: dict[str, Callable[..., SparseProgram]] = {
-    "ds": double_sparsity.build,
-    "gat": gat.build,
-    "gcn": gcn.build,
-    "gsabt": gsabt.build,
-    "h2o": h2o.build,
-    "mk": minkowski.build,
-    "scn": scn.build,
-    "st": switch_transformer.build,
-}
+#: Short name -> trace builder; extend with :func:`register_workload`.
+WORKLOAD_BUILDERS = Registry("workload", error=WorkloadError)
+
+
+def register_workload(
+    short: str,
+    builder: Callable[..., SparseProgram] | None = None,
+    *,
+    info: WorkloadInfo | None = None,
+    replace: bool = False,
+):
+    """Register a workload builder (plain call or decorator form)."""
+    def _register(fn: Callable[..., SparseProgram]):
+        WORKLOAD_BUILDERS.register(short.lower(), fn, replace=replace)
+        if info is not None:
+            WORKLOAD_INFO[short.lower()] = info
+        return fn
+
+    return _register if builder is None else _register(builder)
+
+
+register_workload("ds", double_sparsity.build)
+register_workload("gat", gat.build)
+register_workload("gcn", gcn.build)
+register_workload("gsabt", gsabt.build)
+register_workload("h2o", h2o.build)
+register_workload("mk", minkowski.build)
+register_workload("scn", scn.build)
+register_workload("st", switch_transformer.build)
 
 
 def build_workload(
@@ -74,20 +124,16 @@ def build_workload(
     seed: int = 0,
     **kwargs,
 ) -> SparseProgram:
-    """Build one Table II workload by short name (case-insensitive).
+    """Build one registered workload by short name (case-insensitive).
 
     Args:
-        short: one of DS, GAT, GCN, GSABT, H2O, MK, SCN, ST.
+        short: one of DS, GAT, GCN, GSABT, H2O, MK, SCN, ST — or any
+            name added via :func:`register_workload`.
         scale: sizes the trace (1.0 = evaluation default, smaller for
             quick runs).
         elem_bytes: data width — 1 (INT8), 2 (FP16) or 4 (INT32).
         seed: RNG seed; identical seeds replay identical traces.
         **kwargs: workload-specific knobs (see each module's ``build``).
     """
-    key = short.lower()
-    if key not in _BUILDERS:
-        known = ", ".join(sorted(_BUILDERS))
-        raise WorkloadError(f"unknown workload '{short}' (known: {known})")
-    return _BUILDERS[key](
-        scale=scale, elem_bytes=elem_bytes, seed=seed, **kwargs
-    )
+    builder = WORKLOAD_BUILDERS.get(short.lower())
+    return builder(scale=scale, elem_bytes=elem_bytes, seed=seed, **kwargs)

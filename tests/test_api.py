@@ -87,3 +87,26 @@ class TestMakeSystem:
         program = build_workload("gcn", scale=0.2)
         system = make_system(program, mechanism="nvr", nsb=True)
         assert system.memory.nsb is not None
+
+    def test_rejects_nvr_config_for_baseline(self):
+        program = build_workload("gcn", scale=0.2)
+        with pytest.raises(ConfigError, match="nvr config"):
+            make_system(program, mechanism="inorder", nvr_config=NVRConfig())
+
+    def test_rejects_nsb_flag_with_nsb_memory(self):
+        program = build_workload("gcn", scale=0.2)
+        with pytest.raises(ConfigError, match="nsb=True conflicts"):
+            make_system(
+                program, mechanism="nvr", nsb=True,
+                memory=MemoryConfig().with_nsb(True),
+            )
+
+    def test_executor_override(self):
+        from repro.sim.npu.executor import ExecutorConfig
+
+        program = build_workload("gcn", scale=0.2)
+        system = make_system(
+            program, mechanism="inorder",
+            executor=ExecutorConfig(issue_width=8),
+        )
+        assert system.executor.issue_width == 8

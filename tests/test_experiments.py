@@ -6,6 +6,9 @@ the same harnesses at larger scale.
 import pytest
 
 from repro.analysis.experiments import (
+    ABLATIONS,
+    ablate_nsb_size,
+    ablate_nvr_depth,
     explicit_preload_bytes,
     fig1b_sparsity_gap,
     fig5_latency_breakdown,
@@ -154,6 +157,40 @@ class TestFig9:
         # Latency saturates, so area-normalised perf must fall with L2.
         for row in fig9.perf:
             assert row[0] > row[-1]
+
+
+class TestAblations:
+    def test_depth_sweep_improves_over_shallow(self):
+        res = ablate_nvr_depth(
+            values=(1, 8), workloads=("ds", "st"), scale=SCALE
+        )
+        assert res.values == [1, 8]
+        assert set(res.cycles) == {"ds", "st"}
+        # Deeper runahead hides more latency than depth 1 on these
+        # gather-bound traces (the paper's depth sensitivity).
+        assert res.geomean_speedups()[1] > 1.0
+        assert res.best_value() == 8
+        assert res.speedups("ds")[0] == 1.0
+
+    def test_nsb_size_sweep_runs_cached(self, tmp_path):
+        from repro.runner import ResultCache, SweepRunner
+
+        cold = SweepRunner(cache=ResultCache(tmp_path))
+        res = ablate_nsb_size(values=(4, 16), workloads=("st",),
+                              scale=SCALE, runner=cold)
+        assert cold.submitted == 2
+        warm = SweepRunner(cache=ResultCache(tmp_path))
+        rerun = ablate_nsb_size(values=(4, 16), workloads=("st",),
+                                scale=SCALE, runner=warm)
+        assert warm.submitted == 0
+        assert rerun == res
+
+    def test_every_registered_ablation_runs(self):
+        # One tiny point each: the study menu stays wired end to end.
+        for name, study in ABLATIONS.items():
+            res = study(values=(2,), workloads=("st",), scale=0.05)
+            assert res.name == name
+            assert res.cycles["st"][0] > 0
 
 
 class TestTables:

@@ -10,6 +10,7 @@ The acceptance properties of the subsystem:
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -65,6 +66,10 @@ class TestPlan:
         assert a.key() == b.key()
 
     def test_key_distinguishes_every_axis(self):
+        from repro.core import NVRConfig
+        from repro.sim.memory.hierarchy import MemoryConfig
+        from repro.sim.npu.executor import ExecutorConfig
+
         base = RunSpec("ds")
         variants = [
             RunSpec("st"),
@@ -75,7 +80,10 @@ class TestPlan:
             RunSpec("ds", seed=1),
             RunSpec("ds", with_base=True),
             RunSpec("ds", memory=MemorySpec(l2_kib=128)),
+            RunSpec("ds", memory=MemoryConfig().with_cpu_traffic()),
             RunSpec("ds", nvr=NVRSpec(depth_tiles=4)),
+            RunSpec("ds", nvr=NVRConfig(depth_tiles=2)),
+            RunSpec("ds", executor=ExecutorConfig(issue_width=4)),
             RunSpec("ds", workload_args=(("topk_ratio", 4),)),
             RunSpec("ds", kind="trace"),
         ]
@@ -84,7 +92,7 @@ class TestPlan:
 
     def test_round_trip_through_dict(self):
         spec = RunSpec(
-            "gcn", mechanism="nvr", nsb=True, scale=0.2, seed=3,
+            "gcn", mechanism="nvr", scale=0.2, seed=3,
             memory=MemorySpec(l2_kib=128, nsb_kib=8),
             nvr=NVRSpec(depth_tiles=4),
             workload_args=(("topk_ratio", 4),),
@@ -92,6 +100,58 @@ class TestPlan:
         clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert clone == spec
         assert clone.key() == spec.key()
+
+    def test_convenience_args_fold_into_system(self):
+        # Shorthand overrides and an explicit SystemSpec describing the
+        # same platform are the *same point*: equal, same content key.
+        from repro.spec import SystemSpec
+
+        shorthand = RunSpec("ds", mechanism="nvr", nsb=True, scale=0.2)
+        explicit = RunSpec(
+            "ds", scale=0.2,
+            system=SystemSpec(mechanism="nvr", nsb=True),
+        )
+        assert shorthand == explicit
+        assert shorthand.key() == explicit.key()
+        assert explicit.mechanism == "nvr" and explicit.nsb is True
+
+    def test_system_plus_overrides_rejected(self):
+        from repro.errors import ConfigError
+        from repro.spec import SystemSpec
+
+        with pytest.raises(ConfigError, match="not both"):
+            RunSpec(
+                "ds", system=SystemSpec(), memory=MemorySpec(l2_kib=128)
+            )
+
+    def test_system_plus_conflicting_scalars_rejected(self):
+        from repro.errors import ConfigError
+        from repro.spec import SystemSpec
+
+        with pytest.raises(ConfigError, match="conflicts with"):
+            RunSpec("ds", mechanism="inorder", system=SystemSpec())
+        with pytest.raises(ConfigError, match="conflicts with"):
+            # Explicit 'nvr' conflicting with the system is caught too
+            # (the default is None, not 'nvr', exactly so this cannot
+            # be silently resolved).
+            RunSpec("ds", mechanism="nvr", system=SystemSpec(mechanism="imp"))
+        with pytest.raises(ConfigError, match="conflicts with"):
+            RunSpec("ds", nsb=True, system=SystemSpec(mechanism="nvr"))
+        # Consistent repetition stays fine.
+        spec = RunSpec(
+            "ds", mechanism="imp", system=SystemSpec(mechanism="imp")
+        )
+        assert spec.mechanism == "imp"
+
+    def test_specs_are_hashable_with_object_overrides(self):
+        from repro.sim.memory.hierarchy import MemoryConfig
+
+        a = RunSpec("ds", memory=MemoryConfig().with_nsb(True))
+        b = RunSpec("ds", memory=MemoryConfig().with_nsb(True))
+        c = RunSpec("ds")
+        assert hash(a) == hash(b)
+        assert a.system is not None and hash(a.system) == hash(b.system)
+        assert {a, b, c} == {a, c}  # set dedupe mirrors key() dedupe
 
     def test_rejects_non_scalar_workload_args(self):
         from repro.errors import ConfigError
@@ -207,6 +267,58 @@ class TestCache:
         assert not orphan.exists()
 
 
+class TestCacheGC:
+    def _fill(self, tmp_path, n=4):
+        cache = ResultCache(tmp_path)
+        workloads = ("st", "ds", "gcn", "gat")[:n]
+        paths = {}
+        for i, w in enumerate(workloads):
+            spec = RunSpec(w, scale=SCALE)
+            paths[w] = cache.put(spec, {"kind": "sim", "pad": "x" * 200})
+            # Distinct, strictly increasing access times: st oldest.
+            os.utime(paths[w], (1_000_000 + i, 1_000_000 + i))
+        return cache, paths
+
+    def test_gc_evicts_least_recently_accessed_first(self, tmp_path):
+        cache, paths = self._fill(tmp_path)
+        total = cache.size_bytes()
+        oldest_two = (
+            paths["st"].stat().st_size + paths["ds"].stat().st_size
+        )
+        report = cache.gc(max_bytes=total - oldest_two)
+        assert report.removed == 2
+        assert not paths["st"].exists() and not paths["ds"].exists()
+        assert paths["gcn"].exists() and paths["gat"].exists()
+        assert report.kept == 2
+        assert report.kept_bytes == total - oldest_two
+
+    def test_gc_hit_refreshes_recency(self, tmp_path):
+        cache, paths = self._fill(tmp_path)
+        # A cache hit touches the entry, so the oldest-by-write survives.
+        assert cache.get(RunSpec("st", scale=SCALE)) is not None
+        evict_two = cache.size_bytes() - (
+            paths["gat"].stat().st_size + paths["st"].stat().st_size
+        )
+        cache.gc(max_bytes=evict_two)
+        assert paths["st"].exists()
+        assert not paths["ds"].exists()
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        cache, paths = self._fill(tmp_path)
+        report = cache.gc(max_bytes=0, dry_run=True)
+        assert report.removed == report.examined == 4
+        assert report.dry_run
+        assert all(p.exists() for p in paths.values())
+        assert len(cache) == 4
+
+    def test_gc_noop_when_under_bound(self, tmp_path):
+        cache, paths = self._fill(tmp_path)
+        report = cache.gc(max_bytes=10 * 1024 * 1024)
+        assert report.removed == 0
+        assert report.freed_bytes == 0
+        assert len(cache) == 4
+
+
 class TestSweepRunner:
     def test_dedupes_within_plan(self):
         runner = SweepRunner()
@@ -292,14 +404,59 @@ class TestCompareMechanisms:
         )
         assert as_dicts(table.values()) == as_dicts(direct.values())
 
-    def test_object_overrides_fall_back(self):
+    def test_object_overrides_route_through_runner(self, tmp_path):
+        # The acceptance property of the SystemSpec layer: memory= and
+        # nvr_config= overrides are plan content, not a serial fallback —
+        # a warm rerun is served entirely from the cache.
+        from repro.core import NVRConfig
         from repro.sim.memory.hierarchy import MemoryConfig
 
-        table = compare_mechanisms(
-            "st", mechanisms=("inorder",), scale=SCALE,
-            memory=MemoryConfig(),
+        kwargs = dict(
+            mechanisms=("inorder", "nvr"), scale=SCALE,
+            memory=MemoryConfig().with_nsb(True),
+            nvr_config=NVRConfig(depth_tiles=2),
         )
-        assert table["inorder"].total_cycles > 0
+        cold = SweepRunner(cache=ResultCache(tmp_path))
+        table = compare_mechanisms("gcn", runner=cold, **kwargs)
+        assert cold.submitted == 2
+        assert table["inorder"].stats.nsb.demand_accesses > 0
+
+        warm = SweepRunner(cache=ResultCache(tmp_path))
+        rerun = compare_mechanisms("gcn", runner=warm, **kwargs)
+        assert warm.submitted == 0
+        assert warm.cache_hits == 2
+        assert as_dicts(rerun.values()) == as_dicts(table.values())
+
+    def test_nvr_config_with_no_nvr_mechanism_rejected(self):
+        # If *no* compared mechanism uses the config, the sweep would
+        # silently ignore it — that is an error, mirroring run_workload.
+        from repro.core import NVRConfig
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="none of the compared"):
+            compare_mechanisms(
+                "st", mechanisms=("inorder", "stream"), scale=SCALE,
+                nvr_config=NVRConfig(depth_tiles=16),
+            )
+
+    def test_nvr_config_applies_only_to_nvr_family(self):
+        # nvr_config= alongside baseline mechanisms tunes only the
+        # mechanisms that declare uses_nvr_config; the baselines' points
+        # stay identical to an untuned run (same cache identity).
+        from repro.core import NVRConfig
+
+        runner = SweepRunner()
+        tuned = compare_mechanisms(
+            "st", mechanisms=("inorder", "nvr"), runner=runner,
+            scale=SCALE, nvr_config=NVRConfig(depth_tiles=2),
+        )
+        plain = compare_mechanisms(
+            "st", mechanisms=("inorder",), runner=runner, scale=SCALE
+        )
+        assert (
+            tuned["inorder"].total_cycles == plain["inorder"].total_cycles
+        )
+        assert tuned["nvr"].total_cycles > 0
 
     def test_workload_kwargs_stay_cacheable(self, tmp_path):
         runner = SweepRunner(cache=ResultCache(tmp_path))
@@ -379,3 +536,76 @@ class TestCLI:
         assert cli_main(["cache", "--cache-dir", str(cache_dir),
                          "--clear"]) == 0
         assert "cleared 1" in capsys.readouterr().out
+
+    def test_cache_gc_subcommand(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        cli_main(["sweep", "--workloads", "st,ds", "--mechanisms", "inorder",
+                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        rc = cli_main(["cache", "gc", "--max-mb", "0", "--dry-run",
+                       "--cache-dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "would evict 2/2" in out
+        assert len(ResultCache(cache_dir)) == 2  # dry run kept everything
+        assert cli_main(["cache", "gc", "--max-mb", "0",
+                         "--cache-dir", str(cache_dir)]) == 0
+        assert "evicted 2/2" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 0
+
+    def test_cache_gc_honours_parent_cache_dir_flag(self, tmp_path, capsys):
+        # `repro cache --cache-dir X gc` must operate on X, not on the
+        # default directory (the subparser must not clobber the flag).
+        cache_dir = tmp_path / "c"
+        cli_main(["sweep", "--workloads", "st", "--mechanisms", "inorder",
+                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert cli_main(["cache", "--cache-dir", str(cache_dir),
+                         "gc", "--max-mb", "0"]) == 0
+        assert "evicted 1/1" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 0
+
+    def test_cache_gc_rejects_negative_max_mb(self, tmp_path, capsys):
+        for bad in ("-1", "nan"):
+            with pytest.raises(SystemExit):
+                cli_main(["cache", "gc", "--max-mb", bad,
+                          "--cache-dir", str(tmp_path)])
+            assert "finite value >= 0" in capsys.readouterr().err
+
+    def test_cache_clear_subcommand(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        cli_main(["sweep", "--workloads", "st", "--mechanisms", "inorder",
+                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert cli_main(["cache", "clear", "--cache-dir",
+                         str(cache_dir)]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+
+    def test_ablate_command_bit_identical_across_jobs(self, tmp_path, capsys):
+        base = ["ablate", "nvr-depth", "--values", "1,4",
+                "--workloads", "ds", "--scale", str(SCALE)]
+        assert cli_main(base + ["--jobs", "1",
+                                "--cache-dir", str(tmp_path / "a")]) == 0
+        serial = capsys.readouterr().out
+        assert cli_main(base + ["--jobs", "2",
+                                "--cache-dir", str(tmp_path / "b")]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "depth_tiles" in serial and "geomean speedup" in serial
+        # Warm rerun from the first cache is identical too.
+        assert cli_main(base + ["--jobs", "1",
+                                "--cache-dir", str(tmp_path / "a")]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_ablate_json_record(self, tmp_path, capsys):
+        out_json = tmp_path / "abl.json"
+        rc = cli_main([
+            "ablate", "nsb-size", "--values", "4,16", "--workloads", "st",
+            "--scale", str(SCALE), "--no-cache", "--json", str(out_json),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        record = json.loads(out_json.read_text())
+        assert record["axis"] == "nsb_kib"
+        assert record["values"] == [4, 16]
+        assert len(record["cycles"]["st"]) == 2
