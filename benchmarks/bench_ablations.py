@@ -16,7 +16,9 @@ from repro.sim.memory.hierarchy import MemoryConfig
 def _depth_sweep():
     return {
         depth: run_workload(
-            "ds", mechanism="nvr", scale=BENCH_SCALE,
+            "ds",
+            mechanism="nvr",
+            scale=BENCH_SCALE,
             nvr_config=NVRConfig(depth_tiles=depth),
         )
         for depth in (1, 4, 8)
@@ -33,7 +35,9 @@ def test_ablation_runahead_depth(benchmark):
 def _fuzz_sweep():
     return {
         fuzz: run_workload(
-            "gcn", mechanism="nvr", scale=BENCH_SCALE,
+            "gcn",
+            mechanism="nvr",
+            scale=BENCH_SCALE,
             nvr_config=NVRConfig(fuzz_vectors=fuzz),
         )
         for fuzz in (0, 2)
@@ -52,7 +56,9 @@ def test_ablation_fuzzy_boundaries(benchmark):
 def _approx_sweep():
     return {
         approx: run_workload(
-            "ds", mechanism="nvr", scale=BENCH_SCALE,
+            "ds",
+            mechanism="nvr",
+            scale=BENCH_SCALE,
             nvr_config=NVRConfig(approximate=approx),
         )
         for approx in (False, True)
@@ -105,8 +111,5 @@ def test_ablation_nsb_associativity(benchmark):
     # (GSABT) conflict-misses in low-associativity NSBs. (On cyclic-reuse
     # traces LRU thrashing can invert this - a classic replacement
     # pathology, not a conflict effect.)
-    assert (
-        results[16].stats.nsb.demand_hits
-        >= results[2].stats.nsb.demand_hits
-    )
+    assert results[16].stats.nsb.demand_hits >= results[2].stats.nsb.demand_hits
     assert results[16].total_cycles <= results[2].total_cycles

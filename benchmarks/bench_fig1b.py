@@ -7,7 +7,9 @@ from repro.analysis import fig1b_sparsity_gap
 
 def test_fig1b_sparsity_gap(benchmark):
     result = run_once(
-        benchmark, fig1b_sparsity_gap, ratios=(1, 2, 4, 8, 16),
+        benchmark,
+        fig1b_sparsity_gap,
+        ratios=(1, 2, 4, 8, 16),
         scale=BENCH_SCALE,
     )
     # Speedup grows with the reduction ratio but stays at/below ideal.

@@ -8,7 +8,9 @@ from repro.workloads import WORKLOAD_ORDER
 
 def test_fig6ab_accuracy_coverage(benchmark):
     result = run_once(
-        benchmark, fig6_accuracy_coverage, workloads=WORKLOAD_ORDER,
+        benchmark,
+        fig6_accuracy_coverage,
+        workloads=WORKLOAD_ORDER,
         scale=BENCH_SCALE,
     )
     # Paper: NVR keeps both metrics above ~90% across most workloads.

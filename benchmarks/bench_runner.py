@@ -15,8 +15,10 @@ from repro.runner import ResultCache, SweepRunner, expand
 
 def _plan():
     return expand(
-        ["ds", "st"], ["inorder", "ooo", "stream", "imp", "dvr", "nvr"],
-        scales=BENCH_SCALE, with_base=True,
+        ["ds", "st"],
+        ["inorder", "ooo", "stream", "imp", "dvr", "nvr"],
+        scales=BENCH_SCALE,
+        with_base=True,
     )
 
 

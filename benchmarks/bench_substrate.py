@@ -52,9 +52,7 @@ def test_spmm_reference_kernel(benchmark):
 def test_program_lowering(benchmark):
     weights = uniform_csr(128, 2048, 0.03, seed=3)
 
-    program = benchmark(
-        build_one_side_program, "bench", weights, ProgramConfig()
-    )
+    program = benchmark(build_one_side_program, "bench", weights, ProgramConfig())
     assert program.nnz == weights.nnz
 
 

@@ -8,7 +8,14 @@ from repro.analysis import table2_workloads
 def test_table2_workloads(benchmark):
     rows = run_once(benchmark, table2_workloads, scale=BENCH_SCALE)
     assert [r.short for r in rows] == [
-        "DS", "GAT", "GCN", "GSABT", "H2O", "MK", "SCN", "ST",
+        "DS",
+        "GAT",
+        "GCN",
+        "GSABT",
+        "H2O",
+        "MK",
+        "SCN",
+        "ST",
     ]
     domains = {r.short: r.domain for r in rows}
     assert domains["DS"] == "large language model"

@@ -1,0 +1,122 @@
+"""Gate pytest-benchmark results against a committed baseline.
+
+The ``benchmarks-regression`` CI job runs the runner + one figure
+benchmark, then compares the medians against ``benchmarks/baseline.json``
+with a deliberately generous threshold: the goal is catching *gross*
+regressions (an accidentally quadratic cache scan, a sweep that stopped
+deduplicating), not micro-variance between runner machines.
+
+A benchmark only fails the gate when its median exceeds **both**
+``baseline * threshold`` and ``baseline + slack`` — the absolute slack
+keeps millisecond-scale benchmarks (the warm cache run) from flaking on
+scheduler noise while still catching order-of-magnitude blowups.
+
+Usage::
+
+    python benchmarks/compare_baseline.py benchmark.json
+    python benchmarks/compare_baseline.py benchmark.json --threshold 2.0
+    python benchmarks/compare_baseline.py benchmark.json --update
+
+``--update`` rewrites the baseline from the given results; commit the
+file when benchmark timings change intentionally (new hardware target,
+benchmark-scale change, real optimisation) and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def load_medians(results_path: Path) -> dict[str, float]:
+    """fullname -> median seconds from a pytest-benchmark JSON file."""
+    with open(results_path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {bench["fullname"]: bench["stats"]["median"] for bench in data["benchmarks"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"committed baseline file (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when median > baseline * threshold (default 2.0)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.5,
+        help="and median > baseline + slack seconds (default 0.5; "
+        "absorbs noise on millisecond-scale benchmarks)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from these results instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    medians = load_medians(Path(args.results))
+    baseline_path = Path(args.baseline)
+    if args.update:
+        document = {
+            "_comment": (
+                "Median seconds per benchmark, gated by "
+                "compare_baseline.py; regenerate with --update on "
+                "intentional timing changes."
+            ),
+            "benchmarks": {
+                name: round(median, 4) for name, median in sorted(medians.items())
+            },
+        }
+        baseline_path.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {baseline_path} ({len(medians)} benchmarks)")
+        return 0
+
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)["benchmarks"]
+
+    failures = []
+    for name, median in sorted(medians.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW      {name}: {median:.3f}s (no baseline; add with " "--update)")
+            continue
+        bound = max(base * args.threshold, base + args.slack)
+        status = "FAIL" if median > bound else "ok"
+        print(
+            f"{status:<8} {name}: {median:.3f}s "
+            f"(baseline {base:.3f}s, bound {bound:.3f}s)"
+        )
+        if median > bound:
+            failures.append(name)
+    missing = sorted(set(baseline) - set(medians))
+    for name in missing:
+        print(f"MISSING  {name}: in baseline but not in results")
+
+    if failures:
+        print(
+            f"\n{len(failures)} gross regression(s) over "
+            f"{args.threshold}x+{args.slack}s bound; if intentional, "
+            "regenerate the baseline with --update and explain in the PR."
+        )
+        return 1
+    print("\nall benchmarks within bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

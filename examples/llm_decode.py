@@ -45,17 +45,18 @@ def main() -> None:
     print("\n-- Fig. 8c: decode throughput (tokens/s per sequence) --")
     for context in (512, 1024, 2048):
         series = {
-            name: [
-                decode_throughput(spec, hw, context, bw, c)
-                for bw in bandwidths
-            ]
+            name: [decode_throughput(spec, hw, context, bw, c) for bw in bandwidths]
             for name, c in calibs.items()
         }
         gain = series["nvr"][-1] / series["baseline"][-1] - 1
-        print(format_series(
-            "GB/s", bandwidths, series,
-            title=f"context length {context} (NVR gain {gain * 100:+.0f}%)",
-        ))
+        print(
+            format_series(
+                "GB/s",
+                bandwidths,
+                series,
+                title=f"context length {context} (NVR gain {gain * 100:+.0f}%)",
+            )
+        )
         print()
 
     print("-- Fig. 8a: per-layer miss rates (batch / element) --")

@@ -55,7 +55,15 @@ def main() -> None:
 
     print(
         format_table(
-            ["mechanism", "cycles", "norm", "stall%", "accuracy", "coverage", "L2 misses"],
+            [
+                "mechanism",
+                "cycles",
+                "norm",
+                "stall%",
+                "accuracy",
+                "coverage",
+                "L2 misses",
+            ],
             rows,
             title="GCN sparse aggregation - mechanism comparison",
         )

@@ -33,19 +33,21 @@ def main() -> None:
     rows = []
     for depth in (1, 2, 4, 8, 16):
         result = run_workload(
-            "ds", mechanism="nvr", scale=0.4,
+            "ds",
+            mechanism="nvr",
+            scale=0.4,
             nvr_config=NVRConfig(depth_tiles=depth),
         )
-        rows.append(
-            [depth, result.total_cycles, round(result.stats.coverage(), 3)]
-        )
+        rows.append([depth, result.total_cycles, round(result.stats.coverage(), 3)])
     print(format_table(["depth", "cycles", "coverage"], rows))
 
     print("\n-- Ablation: fuzzy boundary prefetch --")
     rows = []
     for fuzz in (0, 1, 2, 4):
         result = run_workload(
-            "gcn", mechanism="nvr", scale=0.4,
+            "gcn",
+            mechanism="nvr",
+            scale=0.4,
             nvr_config=NVRConfig(fuzz_vectors=fuzz),
         )
         rows.append(

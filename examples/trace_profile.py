@@ -30,9 +30,7 @@ def main() -> None:
         l2_lines = 256 * 1024 // 64
         analytic = miss_rate_curve(trace, [l2_lines])[l2_lines]
         result = run_workload(workload, mechanism="inorder", scale=SCALE)
-        simulated = (
-            result.stats.l2.demand_misses / result.stats.l2.demand_accesses
-        )
+        simulated = result.stats.l2.demand_misses / result.stats.l2.demand_accesses
         rows.append(
             [
                 workload,
@@ -47,8 +45,13 @@ def main() -> None:
     print(
         format_table(
             [
-                "workload", "accesses", "unique", "cold frac",
-                "median RD", "analytic miss @256K", "simulated miss",
+                "workload",
+                "accesses",
+                "unique",
+                "cold frac",
+                "median RD",
+                "analytic miss @256K",
+                "simulated miss",
             ],
             rows,
             title="gather-trace reuse profiles vs simulated L2 behaviour",

@@ -5,10 +5,15 @@ Usage::
     python -m repro run ds --mechanism nvr --dtype fp16 --scale 0.5
     python -m repro compare gcn --nsb --jobs 4
     python -m repro sweep --workloads ds,gcn --mechanisms inorder,nvr
+    python -m repro sweep --spec plan.json --backend shards --jobs 4
     python -m repro ablate nvr-depth --workloads ds,gcn --jobs 4
     python -m repro workloads
     python -m repro overhead
     python -m repro figures --scale 0.6 --jobs 4 -o EXPERIMENTS.md
+    python -m repro plan export --figures --scale 0.1 --out plan.json
+    python -m repro plan shard plan.json --shards 4 --out-dir shards/
+    python -m repro worker run shards/plan-shard-0-of-4.json --out r0.json
+    python -m repro plan merge r0.json r1.json ...
     python -m repro cache
     python -m repro cache gc --max-mb 64 --dry-run
     python -m repro cache clear
@@ -17,8 +22,14 @@ Usage::
 sweep runner: ``--jobs N`` fans the plan out over N worker processes and
 every result is memoised in the on-disk cache (``.repro-cache/`` by
 default; disable with ``--no-cache``), so repeated and overlapping
-sweeps only simulate new points. ``cache gc`` bounds the cache's size
-with least-recently-accessed eviction.
+sweeps only simulate new points. ``--backend shards`` runs the missing
+points as share-nothing ``repro worker`` subprocesses over serialized
+shards instead — the same wire format the ``plan``/``worker`` commands
+expose for multi-machine sweeps: *export* a plan, *shard* it, run each
+shard with ``worker run`` wherever, and *merge* the result files back
+into the cache; figure runs then consume them as ordinary warm hits.
+``cache gc`` bounds the cache's size with least-recently-accessed
+eviction.
 """
 
 from __future__ import annotations
@@ -26,16 +37,30 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from .analysis import format_table, table1_overhead, table2_workloads
 from .analysis.experiments import ABLATION_WORKLOADS, ABLATIONS
 from .analysis.paperfigs import (
     add_runner_arguments,
+    figures_plan,
     main as figures_main,
     runner_from_args,
 )
 from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms, run_workload
-from .runner import DEFAULT_CACHE_DIR, ResultCache, expand
+from .errors import ReproError
+from .runner import (
+    DEFAULT_CACHE_DIR,
+    Plan,
+    ResultCache,
+    expand,
+    merge_results,
+    result_to_payload,
+    run_shard,
+    trace_to_payload,
+    write_results,
+)
+from .runner.progress import Progress
 from .workloads import WORKLOAD_ORDER
 
 
@@ -62,14 +87,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    results = compare_mechanisms(
-        args.workload,
-        runner=runner_from_args(args),
-        dtype=args.dtype,
-        nsb=args.nsb,
-        scale=args.scale,
-        seed=args.seed,
-    )
+    with runner_from_args(args) as runner:
+        results = compare_mechanisms(
+            args.workload,
+            runner=runner,
+            dtype=args.dtype,
+            nsb=args.nsb,
+            scale=args.scale,
+            seed=args.seed,
+        )
     base = results["inorder"].total_cycles
     rows = [
         [
@@ -99,9 +125,7 @@ def _csv(text: str, known: tuple[str, ...], axis: str) -> tuple[str, ...]:
     values = tuple(v.strip() for v in text.split(",") if v.strip())
     for value in values:
         if value not in known:
-            raise SystemExit(
-                f"unknown {axis} '{value}' (known: {', '.join(known)})"
-            )
+            raise SystemExit(f"unknown {axis} '{value}' (known: {', '.join(known)})")
     return values
 
 
@@ -119,11 +143,13 @@ def _numbers(text: str, parse, axis: str) -> tuple:
         raise SystemExit(f"invalid {axis} list '{text}'") from None
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    specs = expand(
+def _sweep_specs(args: argparse.Namespace) -> list:
+    """Expand the sweep CLI's axis flags into a plan."""
+    return expand(
         workloads=_csv(args.workloads, WORKLOAD_ORDER, "workload"),
         mechanisms=_csv(
-            args.mechanisms, tuple(MECHANISM_ORDER) + ("preload",),
+            args.mechanisms,
+            tuple(MECHANISM_ORDER) + ("preload",),
             "mechanism",
         ),
         dtypes=_csv(args.dtypes, tuple(DTYPE_BYTES), "dtype"),
@@ -132,32 +158,94 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=_numbers(args.seeds, int, "seed"),
         with_base=args.with_base,
     )
-    runner = runner_from_args(args)
-    results = runner.run_plan(specs)
+
+
+def _payload_records(specs, results) -> list[dict]:
+    """Content-addressed records, re-serialised exactly as a worker would.
+
+    ``repro sweep --spec --json`` and ``repro worker run`` outputs are
+    directly comparable: payloads are a pure function of the spec, so a
+    local run and a shard-merged run of the same plan dump identical
+    records — the byte-for-byte check ``distributed-smoke`` performs.
+    """
+    return [
+        {
+            "key": spec.key(),
+            "spec": spec.to_dict(),
+            "payload": (
+                trace_to_payload(result)
+                if spec.kind == "trace"
+                else result_to_payload(result)
+            ),
+        }
+        for spec, result in zip(specs, results)
+    ]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        # Spec-file input: execute an exported wire-format plan as-is.
+        # Plans mix kinds (sim/trace/with_base), so the per-point metrics
+        # table is skipped in favour of raw payload records.
+        plan = Plan.load(args.spec)
+        with runner_from_args(args) as runner:
+            results = runner.run_plan(plan.specs)
+        report = runner.last_report
+        print(
+            f"plan {args.spec}: {report.total} points, "
+            f"{report.submitted} simulated, {report.cache_hits} cached"
+        )
+        if args.json is not None:
+            records = _payload_records(plan.specs, results)
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(records, handle, indent=1, sort_keys=True)
+            print(f"wrote {args.json} ({len(records)} records)")
+        return 0
+    specs = _sweep_specs(args)
+    with runner_from_args(args) as runner:
+        results = runner.run_plan(specs)
     rows, records = [], []
     for spec, result in zip(specs, results):
-        rows.append([
-            spec.workload, spec.mechanism, spec.dtype,
-            "y" if spec.nsb else "n", spec.scale, spec.seed,
-            result.total_cycles,
-            round(result.stats.prefetch.accuracy, 3),
-            round(result.stats.coverage(), 3),
-            result.stats.traffic.off_chip_total_bytes,
-        ])
-        records.append({
-            "spec": spec.to_dict(),
-            "total_cycles": result.total_cycles,
-            "base_cycles": result.base_cycles,
-            "accuracy": result.stats.prefetch.accuracy,
-            "coverage": result.stats.coverage(),
-            "off_chip_bytes": result.stats.traffic.off_chip_total_bytes,
-            "l2_demand_misses": result.stats.l2.demand_misses,
-        })
+        rows.append(
+            [
+                spec.workload,
+                spec.mechanism,
+                spec.dtype,
+                "y" if spec.nsb else "n",
+                spec.scale,
+                spec.seed,
+                result.total_cycles,
+                round(result.stats.prefetch.accuracy, 3),
+                round(result.stats.coverage(), 3),
+                result.stats.traffic.off_chip_total_bytes,
+            ]
+        )
+        records.append(
+            {
+                "spec": spec.to_dict(),
+                "total_cycles": result.total_cycles,
+                "base_cycles": result.base_cycles,
+                "accuracy": result.stats.prefetch.accuracy,
+                "coverage": result.stats.coverage(),
+                "off_chip_bytes": result.stats.traffic.off_chip_total_bytes,
+                "l2_demand_misses": result.stats.l2.demand_misses,
+            }
+        )
     report = runner.last_report
     print(
         format_table(
-            ["workload", "mech", "dtype", "nsb", "scale", "seed", "cycles",
-             "accuracy", "coverage", "off-chip B"],
+            [
+                "workload",
+                "mech",
+                "dtype",
+                "nsb",
+                "scale",
+                "seed",
+                "cycles",
+                "accuracy",
+                "coverage",
+                "off-chip B",
+            ],
             rows,
             title=(
                 f"sweep: {report.total} points, {report.submitted} simulated,"
@@ -219,6 +307,70 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_export(args: argparse.Namespace) -> int:
+    if args.figures:
+        plan = figures_plan(scale=args.scale, seed=args.seed)
+    else:
+        plan = Plan(specs=_sweep_specs(args), meta={"source": "sweep"})
+    path = plan.save(args.out)
+    print(f"wrote {path}: {len(plan)} points " f"({len(plan.unique_specs())} unique)")
+    return 0
+
+
+def _cmd_plan_shard(args: argparse.Namespace) -> int:
+    plan = Plan.load(args.plan)
+    shards = plan.shard(args.shards)
+    out_dir = Path(args.out_dir) if args.out_dir else Path(args.plan).parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = Path(args.plan).stem
+    for shard in shards:
+        index = shard.meta["shard"]["index"]
+        path = shard.save(out_dir / f"{stem}-shard-{index}-of-{args.shards}.json")
+        print(f"{path}: {len(shard)} points")
+    return 0
+
+
+def _cmd_plan_merge(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    report = merge_results(args.results, cache)
+    print(
+        f"merged {report.records} results from {report.files} file(s) "
+        f"into {cache.root} ({report.merged} new, "
+        f"{report.refreshed} refreshed)"
+    )
+    return 0
+
+
+def _cmd_worker_run(args: argparse.Namespace) -> int:
+    plan = Plan.load(args.shard)
+    records = run_shard(plan, jobs=args.jobs, progress=Progress())
+    path = write_results(args.out, records)
+    print(f"wrote {path} ({len(records)} results)")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    argv = [
+        "--scale",
+        str(args.scale),
+        "--seed",
+        str(args.seed),
+        "-o",
+        args.output,
+        "--jobs",
+        str(args.jobs),
+        "--cache-dir",
+        args.cache_dir,
+        "--backend",
+        args.backend,
+    ]
+    if args.work_dir:
+        argv += ["--work-dir", args.work_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return figures_main(argv)
+
+
 def _print_cache_stats(cache: ResultCache) -> None:
     entries = cache.entries()
     size = cache.size_bytes()
@@ -237,9 +389,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cleared {removed} entries from {cache.root}")
         return 0
     if action == "gc":
-        report = cache.gc(
-            int(args.max_mb * 1024 * 1024), dry_run=args.dry_run
-        )
+        report = cache.gc(int(args.max_mb * 1024 * 1024), dry_run=args.dry_run)
         verb = "would evict" if report.dry_run else "evicted"
         print(
             f"{verb} {report.removed}/{report.examined} entries "
@@ -256,8 +406,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
     rows = [
-        [r.short, r.full_name, r.domain, r.gather_elements,
-         round(r.footprint_kib), round(r.reuse_factor, 1)]
+        [
+            r.short,
+            r.full_name,
+            r.domain,
+            r.gather_elements,
+            round(r.footprint_kib),
+            round(r.reuse_factor, 1),
+        ]
         for r in table2_workloads(scale=args.scale, seed=args.seed)
     ]
     print(
@@ -287,6 +443,36 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sweep_axis_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-plan expansion axes (shared by ``sweep``/``plan export``)."""
+    parser.add_argument(
+        "--workloads",
+        default="all",
+        help="comma-separated workloads, or 'all'",
+    )
+    parser.add_argument(
+        "--mechanisms",
+        default=",".join(MECHANISM_ORDER),
+        help="comma-separated mechanisms, or 'all'",
+    )
+    parser.add_argument(
+        "--dtypes", default="fp16", help="comma-separated dtypes, or 'all'"
+    )
+    parser.add_argument(
+        "--nsb",
+        choices=("off", "on", "both"),
+        default="off",
+        help="sweep the NSB axis (default off)",
+    )
+    parser.add_argument("--scales", default="0.5", help="comma-separated trace scales")
+    parser.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
+    parser.add_argument(
+        "--with-base",
+        action="store_true",
+        help="also run perfect-memory passes (base/stall split)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -294,7 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one workload/mechanism")
     run_p.add_argument("workload", choices=list(WORKLOAD_ORDER))
     run_p.add_argument(
-        "--mechanism", default="nvr",
+        "--mechanism",
+        default="nvr",
         choices=list(MECHANISM_ORDER) + ["preload"],
     )
     run_p.add_argument("--dtype", default="fp16", choices=list(DTYPE_BYTES))
@@ -315,33 +502,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser(
         "sweep", help="run an explicit (workload x mechanism x ...) plan"
     )
+    _add_sweep_axis_arguments(sweep_p)
     sweep_p.add_argument(
-        "--workloads", default="all",
-        help="comma-separated workloads, or 'all'",
+        "--spec",
+        default=None,
+        metavar="PLAN",
+        help="execute an exported plan file instead of the axis flags "
+        "(prints a summary; use --json for the result records)",
     )
     sweep_p.add_argument(
-        "--mechanisms", default=",".join(MECHANISM_ORDER),
-        help="comma-separated mechanisms, or 'all'",
-    )
-    sweep_p.add_argument(
-        "--dtypes", default="fp16", help="comma-separated dtypes, or 'all'"
-    )
-    sweep_p.add_argument(
-        "--nsb", choices=("off", "on", "both"), default="off",
-        help="sweep the NSB axis (default off)",
-    )
-    sweep_p.add_argument(
-        "--scales", default="0.5", help="comma-separated trace scales"
-    )
-    sweep_p.add_argument(
-        "--seeds", default="0", help="comma-separated RNG seeds"
-    )
-    sweep_p.add_argument(
-        "--with-base", action="store_true",
-        help="also run perfect-memory passes (base/stall split)",
-    )
-    sweep_p.add_argument(
-        "--json", default=None, metavar="PATH",
+        "--json",
+        default=None,
+        metavar="PATH",
         help="also dump one JSON record per point",
     )
     add_runner_arguments(sweep_p)
@@ -352,54 +524,143 @@ def build_parser() -> argparse.ArgumentParser:
     )
     abl_p.add_argument("study", choices=sorted(ABLATIONS))
     abl_p.add_argument(
-        "--values", default=None,
+        "--values",
+        default=None,
         help="comma-separated axis values (default: the study's sweep)",
     )
     abl_p.add_argument(
-        "--workloads", default=",".join(ABLATION_WORKLOADS),
+        "--workloads",
+        default=",".join(ABLATION_WORKLOADS),
         help="comma-separated workloads, or 'all'",
     )
     abl_p.add_argument("--scale", type=float, default=0.4)
     abl_p.add_argument("--seed", type=int, default=0)
     abl_p.add_argument(
-        "--json", default=None, metavar="PATH",
+        "--json",
+        default=None,
+        metavar="PATH",
         help="also dump the full ablation record as JSON",
     )
     add_runner_arguments(abl_p)
     abl_p.set_defaults(fn=_cmd_ablate)
 
+    plan_p = sub.add_parser(
+        "plan",
+        help="export, shard and merge wire-format sweep plans "
+        "(the multi-machine workflow)",
+    )
+    plan_sub = plan_p.add_subparsers(dest="plan_cmd", required=True)
+    exp_p = plan_sub.add_parser(
+        "export", help="compile a plan to a JSON file workers can execute"
+    )
+    exp_p.add_argument(
+        "--out",
+        "-o",
+        default="plan.json",
+        help="plan file to write (default plan.json)",
+    )
+    exp_p.add_argument(
+        "--figures",
+        action="store_true",
+        help="export the full paper-figures plan (everything a "
+        "'repro figures' run would simulate; ignores the axis flags)",
+    )
+    exp_p.add_argument(
+        "--scale",
+        type=float,
+        default=0.6,
+        help="figure scale for --figures (default 0.6)",
+    )
+    exp_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for --figures (default 0)",
+    )
+    _add_sweep_axis_arguments(exp_p)
+    exp_p.set_defaults(fn=_cmd_plan_export)
+    shard_p = plan_sub.add_parser(
+        "shard", help="partition a plan into deterministic shard files"
+    )
+    shard_p.add_argument("plan", help="plan file from 'plan export'")
+    shard_p.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        help="how many shard files to write",
+    )
+    shard_p.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory for the shard files (default: next to the plan)",
+    )
+    shard_p.set_defaults(fn=_cmd_plan_shard)
+    merge_p = plan_sub.add_parser(
+        "merge",
+        help="fold 'worker run' result files into the result cache",
+    )
+    merge_p.add_argument("results", nargs="+", help="result files from 'worker run'")
+    merge_p.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    merge_p.set_defaults(fn=_cmd_plan_merge)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="execute plan shards (the distributed worker side)",
+    )
+    worker_sub = worker_p.add_subparsers(dest="worker_cmd", required=True)
+    wrun_p = worker_sub.add_parser(
+        "run", help="execute one shard file and write its result file"
+    )
+    wrun_p.add_argument("shard", help="shard (or whole plan) file")
+    wrun_p.add_argument("--out", required=True, help="result file to write")
+    wrun_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="local worker processes for this shard (default 1)",
+    )
+    wrun_p.set_defaults(fn=_cmd_worker_run)
+
     cache_p = sub.add_parser(
         "cache", help="inspect, garbage-collect or clear the result cache"
     )
     cache_p.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
         help=f"cache directory (default {DEFAULT_CACHE_DIR})",
     )
-    cache_p.add_argument(
-        "--clear", action="store_true", help="same as 'cache clear'"
-    )
+    cache_p.add_argument("--clear", action="store_true", help="same as 'cache clear'")
     cache_sub = cache_p.add_subparsers(dest="cache_cmd")
     gc_p = cache_sub.add_parser(
         "gc", help="evict least-recently-accessed entries over a size bound"
     )
     gc_p.add_argument(
-        "--max-mb", type=_nonneg_float, required=True,
+        "--max-mb",
+        type=_nonneg_float,
+        required=True,
         help="shrink the cache to at most this many megabytes",
     )
     gc_p.add_argument(
-        "--dry-run", action="store_true",
+        "--dry-run",
+        action="store_true",
         help="report what would be evicted without deleting anything",
     )
     # SUPPRESS keeps the parent's --cache-dir (flag or default) when the
     # option is not repeated after the subcommand — a plain default here
     # would silently clobber `repro cache --cache-dir X gc`.
     gc_p.add_argument(
-        "--cache-dir", default=argparse.SUPPRESS,
+        "--cache-dir",
+        default=argparse.SUPPRESS,
         help=f"cache directory (default {DEFAULT_CACHE_DIR})",
     )
     clear_p = cache_sub.add_parser("clear", help="delete every entry")
     clear_p.add_argument(
-        "--cache-dir", default=argparse.SUPPRESS,
+        "--cache-dir",
+        default=argparse.SUPPRESS,
         help=f"cache directory (default {DEFAULT_CACHE_DIR})",
     )
     cache_p.set_defaults(fn=_cmd_cache)
@@ -417,19 +678,20 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seed", type=int, default=0)
     fig_p.add_argument("-o", "--output", default="EXPERIMENTS.md")
     add_runner_arguments(fig_p)
-    fig_p.set_defaults(
-        fn=lambda a: figures_main(
-            ["--scale", str(a.scale), "--seed", str(a.seed), "-o", a.output,
-             "--jobs", str(a.jobs), "--cache-dir", a.cache_dir]
-            + (["--no-cache"] if a.no_cache else [])
-        )
-    )
+    fig_p.set_defaults(fn=_cmd_figures)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # Config mistakes (a corrupt plan/shard file, an inconsistent
+        # override) are user input errors: report them as one clean line,
+        # not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

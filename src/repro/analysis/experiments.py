@@ -62,6 +62,28 @@ class Fig1bResult:
         return ratio / self.speedups[i]
 
 
+def fig1b_plan(
+    ratios: tuple[int, ...] = (1, 2, 4, 8, 16),
+    scale: float = 0.4,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """The Fig. 1b TopK sweep as plan content.
+
+    drift=1.0: scores are re-ranked from scratch each step (worst-case
+    TopK churn), isolating the miss penalty from selection locality.
+    """
+    return [
+        RunSpec(
+            "ds",
+            mechanism="stream",
+            scale=scale,
+            seed=seed,
+            workload_args=(("topk_ratio", ratio), ("drift", 1.0)),
+        )
+        for ratio in ratios
+    ]
+
+
 def fig1b_sparsity_gap(
     ratios: tuple[int, ...] = (1, 2, 4, 8, 16),
     scale: float = 0.4,
@@ -77,15 +99,7 @@ def fig1b_sparsity_gap(
     the parameter reduction — the motivation gap.
     """
     runner = runner or SweepRunner()
-    # drift=1.0: scores are re-ranked from scratch each step (worst-case
-    # TopK churn), isolating the miss penalty from selection locality.
-    specs = [
-        RunSpec(
-            "ds", mechanism="stream", scale=scale, seed=seed,
-            workload_args=(("topk_ratio", ratio), ("drift", 1.0)),
-        )
-        for ratio in ratios
-    ]
+    specs = fig1b_plan(ratios, scale=scale, seed=seed)
     cycles, offchip = [], []
     for result in runner.run_plan(specs):
         steps = max(1, result.n_rows or 0)
@@ -146,6 +160,30 @@ _FIG5_PANELS: tuple[tuple[str, str, bool], ...] = (
 )
 
 
+def fig5_plan(
+    workloads: tuple[str, ...] = WORKLOAD_ORDER,
+    mechanisms: tuple[str, ...] = MECHANISM_ORDER,
+    panels: tuple[str, ...] = ("int8", "fp16", "int32", "int32+nsb"),
+    scale: float = 0.5,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """The Fig. 5 ``panels x workloads x mechanisms`` grid as plan content."""
+    return [
+        RunSpec(
+            workload,
+            mechanism=mech,
+            dtype=dtype,
+            nsb=nsb,
+            scale=scale,
+            seed=seed,
+            with_base=True,
+        )
+        for _, dtype, nsb in [p for p in _FIG5_PANELS if p[0] in panels]
+        for workload in workloads
+        for mech in mechanisms
+    ]
+
+
 def fig5_latency_breakdown(
     workloads: tuple[str, ...] = WORKLOAD_ORDER,
     mechanisms: tuple[str, ...] = MECHANISM_ORDER,
@@ -162,15 +200,7 @@ def fig5_latency_breakdown(
     """
     runner = runner or SweepRunner()
     panel_defs = [p for p in _FIG5_PANELS if p[0] in panels]
-    specs = [
-        RunSpec(
-            workload, mechanism=mech, dtype=dtype, nsb=nsb,
-            scale=scale, seed=seed, with_base=True,
-        )
-        for _, dtype, nsb in panel_defs
-        for workload in workloads
-        for mech in mechanisms
-    ]
+    specs = fig5_plan(workloads, mechanisms, panels, scale=scale, seed=seed)
     results = iter(runner.run_plan(specs))
     out: dict[str, dict[str, dict[str, Fig5Cell]]] = {}
     for panel_name, _, _ in panel_defs:
@@ -209,6 +239,20 @@ class Fig6Result:
         return sum(w[mechanism][1] for w in self.data.values()) / len(self.data)
 
 
+def fig6_plan(
+    workloads: tuple[str, ...] = WORKLOAD_ORDER,
+    mechanisms: tuple[str, ...] = PREFETCHER_MECHS,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """The Fig. 6a/6b accuracy/coverage grid as plan content."""
+    return [
+        RunSpec(workload, mechanism=mech, scale=scale, seed=seed)
+        for workload in workloads
+        for mech in mechanisms
+    ]
+
+
 def fig6_accuracy_coverage(
     workloads: tuple[str, ...] = WORKLOAD_ORDER,
     mechanisms: tuple[str, ...] = PREFETCHER_MECHS,
@@ -218,11 +262,7 @@ def fig6_accuracy_coverage(
 ) -> Fig6Result:
     """Fig. 6a/6b: prefetcher accuracy and coverage per workload."""
     runner = runner or SweepRunner()
-    specs = [
-        RunSpec(workload, mechanism=mech, scale=scale, seed=seed)
-        for workload in workloads
-        for mech in mechanisms
-    ]
+    specs = fig6_plan(workloads, mechanisms, scale=scale, seed=seed)
     results = iter(runner.run_plan(specs))
     data: dict[str, dict[str, tuple[float, float]]] = {}
     for workload in workloads:
@@ -254,6 +294,24 @@ class Fig6cResult:
         return self.offchip_demand[versus] / ours
 
 
+#: The Fig. 6c bars: config label -> (mechanism, nsb).
+_FIG6C_CONFIGS: dict[str, tuple[str, bool]] = {
+    "inorder": ("inorder", False),
+    "nvr": ("nvr", False),
+    "nvr+nsb": ("nvr", True),
+}
+
+
+def fig6c_plan(
+    workload: str = "ds", scale: float = 0.5, seed: int = 0
+) -> list[RunSpec]:
+    """The Fig. 6c InO / NVR / NVR+NSB triple as plan content."""
+    return [
+        RunSpec(workload, mechanism=mech, nsb=nsb, scale=scale, seed=seed)
+        for mech, nsb in _FIG6C_CONFIGS.values()
+    ]
+
+
 def fig6c_data_movement(
     workload: str = "ds",
     scale: float = 0.5,
@@ -267,17 +325,9 @@ def fig6c_data_movement(
     (~30x), and the NSB removes re-fetches on top (~5x more).
     """
     runner = runner or SweepRunner()
-    configs = {
-        "inorder": ("inorder", False),
-        "nvr": ("nvr", False),
-        "nvr+nsb": ("nvr", True),
-    }
-    specs = [
-        RunSpec(workload, mechanism=mech, nsb=nsb, scale=scale, seed=seed)
-        for mech, nsb in configs.values()
-    ]
+    specs = fig6c_plan(workload, scale=scale, seed=seed)
     offchip, in_chip = {}, {}
-    for name, result in zip(configs, runner.run_plan(specs)):
+    for name, result in zip(_FIG6C_CONFIGS, runner.run_plan(specs)):
         shares = bandwidth_shares(result.stats)
         offchip[name] = shares["off_chip_demand"]
         in_chip[name] = shares["l2_to_npu"] + shares["nsb_to_npu"]
@@ -331,6 +381,15 @@ class Fig7Result:
         return 1.0 - offchip / 100.0
 
 
+def fig7_plan(workload: str = "ds", scale: float = 0.5, seed: int = 0) -> list[RunSpec]:
+    """The Fig. 7 preload / NVR / NVR+NSB triple as plan content."""
+    return [
+        RunSpec(workload, mechanism="preload", scale=scale, seed=seed),
+        RunSpec(workload, mechanism="nvr", scale=scale, seed=seed),
+        RunSpec(workload, mechanism="nvr", nsb=True, scale=scale, seed=seed),
+    ]
+
+
 def fig7_bandwidth_allocation(
     workload: str = "ds",
     scale: float = 0.5,
@@ -345,11 +404,9 @@ def fig7_bandwidth_allocation(
     replace its over-fetched bursts.
     """
     runner = runner or SweepRunner()
-    baseline, no_nsb, with_nsb = runner.run_plan([
-        RunSpec(workload, mechanism="preload", scale=scale, seed=seed),
-        RunSpec(workload, mechanism="nvr", scale=scale, seed=seed),
-        RunSpec(workload, mechanism="nvr", nsb=True, scale=scale, seed=seed),
-    ])
+    baseline, no_nsb, with_nsb = runner.run_plan(
+        fig7_plan(workload, scale=scale, seed=seed)
+    )
     preload = max(1, baseline.stats.traffic.off_chip_total_bytes)
 
     def shares(result: RunResult) -> dict[str, float]:
@@ -424,9 +481,7 @@ def fig8bc_llm_throughput(
             l: [decode_throughput(spec, hw, l, bw, calib) for bw in bandwidths]
             for l in decode_lens
         }
-    return Fig8bcResult(
-        bandwidths=list(bandwidths), prefill=prefill, decode=decode
-    )
+    return Fig8bcResult(bandwidths=list(bandwidths), prefill=prefill, decode=decode)
 
 
 # ---------------------------------------------------------------------------
@@ -444,9 +499,7 @@ class Fig9Result:
     cycles: list[list[int]]
 
     def cell(self, nsb_kib: int, l2_kib: int) -> float:
-        return self.perf[self.nsb_sizes.index(nsb_kib)][
-            self.l2_sizes.index(l2_kib)
-        ]
+        return self.perf[self.nsb_sizes.index(nsb_kib)][self.l2_sizes.index(l2_kib)]
 
     def nsb_vs_l2_benefit(self) -> float:
         """The paper's headline comparison: at 256 KiB L2, growing the NSB
@@ -455,6 +508,27 @@ class Fig9Result:
         nsb_gain = self.cell(16, 256) / self.cell(4, 256)
         l2_gain = self.cell(4, 1024) / self.cell(4, 256)
         return nsb_gain / max(l2_gain, 1e-9)
+
+
+def fig9_plan(
+    nsb_sizes: tuple[int, ...] = (4, 8, 16, 32),
+    l2_sizes: tuple[int, ...] = (64, 128, 192, 256, 384, 512, 1024),
+    workload: str = "ds",
+    scale: float = 0.4,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """The Fig. 9 NSB-size x L2-size grid as plan content."""
+    return [
+        RunSpec(
+            workload,
+            mechanism="nvr",
+            scale=scale,
+            seed=seed,
+            memory=MemorySpec(l2_kib=l2_kib, nsb_kib=nsb_kib),
+        )
+        for nsb_kib in nsb_sizes
+        for l2_kib in l2_sizes
+    ]
 
 
 def fig9_nsb_sensitivity(
@@ -467,14 +541,7 @@ def fig9_nsb_sensitivity(
 ) -> Fig9Result:
     """Fig. 9: NSB and L2 cache impact, perf = 1/(latency x area)."""
     runner = runner or SweepRunner()
-    specs = [
-        RunSpec(
-            workload, mechanism="nvr", scale=scale, seed=seed,
-            memory=MemorySpec(l2_kib=l2_kib, nsb_kib=nsb_kib),
-        )
-        for nsb_kib in nsb_sizes
-        for l2_kib in l2_sizes
-    ]
+    specs = fig9_plan(nsb_sizes, l2_sizes, workload, scale=scale, seed=seed)
     results = iter(runner.run_plan(specs))
     perf: list[list[float]] = []
     cycles: list[list[int]] = []
@@ -523,9 +590,7 @@ class AblationResult:
     def geomean_speedups(self) -> list[float]:
         """Per-value geometric-mean speedup across the workloads."""
         return [
-            geometric_mean(
-                [self.speedups(w)[i] for w in self.workloads]
-            )
+            geometric_mean([self.speedups(w)[i] for w in self.workloads])
             for i in range(len(self.values))
         ]
 
@@ -570,8 +635,11 @@ def ablate_nvr_depth(
     return _run_ablation(
         "nvr-depth", "depth_tiles", values,
         lambda w, v: RunSpec(
-            w, mechanism="nvr", nvr=NVRConfig(depth_tiles=v),
-            scale=scale, seed=seed,
+            w,
+            mechanism="nvr",
+            nvr=NVRConfig(depth_tiles=v),
+            scale=scale,
+            seed=seed,
         ),
         workloads, runner,
     )
@@ -588,8 +656,11 @@ def ablate_nvr_width(
     return _run_ablation(
         "nvr-width", "vector_width", values,
         lambda w, v: RunSpec(
-            w, mechanism="nvr", nvr=NVRConfig(vector_width=v),
-            scale=scale, seed=seed,
+            w,
+            mechanism="nvr",
+            nvr=NVRConfig(vector_width=v),
+            scale=scale,
+            seed=seed,
         ),
         workloads, runner,
     )
@@ -606,8 +677,11 @@ def ablate_nsb_size(
     return _run_ablation(
         "nsb-size", "nsb_kib", values,
         lambda w, v: RunSpec(
-            w, mechanism="nvr", memory=MemorySpec(nsb_kib=v),
-            scale=scale, seed=seed,
+            w,
+            mechanism="nvr",
+            memory=MemorySpec(nsb_kib=v),
+            scale=scale,
+            seed=seed,
         ),
         workloads, runner,
     )
@@ -624,8 +698,11 @@ def ablate_issue_width(
     return _run_ablation(
         "issue-width", "issue_width", values,
         lambda w, v: RunSpec(
-            w, mechanism="nvr", executor=ExecutorConfig(issue_width=v),
-            scale=scale, seed=seed,
+            w,
+            mechanism="nvr",
+            executor=ExecutorConfig(issue_width=v),
+            scale=scale,
+            seed=seed,
         ),
         workloads, runner,
     )
@@ -660,15 +737,20 @@ class Table2Row:
     reuse_factor: float
 
 
+def table2_plan(scale: float = 0.3, seed: int = 0) -> list[RunSpec]:
+    """The Table II trace-statistics pass as plan content."""
+    return [
+        RunSpec(short, kind="trace", scale=scale, seed=seed)
+        for short in WORKLOAD_ORDER
+    ]
+
+
 def table2_workloads(
     scale: float = 0.3, seed: int = 0, runner: SweepRunner | None = None
 ) -> list[Table2Row]:
     """Table II: the workload suite, with measured trace statistics."""
     runner = runner or SweepRunner()
-    specs = [
-        RunSpec(short, kind="trace", scale=scale, seed=seed)
-        for short in WORKLOAD_ORDER
-    ]
+    specs = table2_plan(scale=scale, seed=seed)
     rows = []
     for short, stats in zip(WORKLOAD_ORDER, runner.run_plan(specs)):
         info = WORKLOAD_INFO[short]

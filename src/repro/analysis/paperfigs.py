@@ -14,28 +14,44 @@ import argparse
 import sys
 import time
 
+from ..llm import calibration_plan, layer_miss_plan
 from ..runner import (
+    BACKEND_NAMES,
     DEFAULT_CACHE_DIR,
     NullProgress,
+    Plan,
     Progress,
     ResultCache,
     SweepRunner,
+    make_backend,
 )
 from ..utils import geometric_mean
 from ..workloads import WORKLOAD_ORDER
 from .experiments import (
+    fig1b_plan,
     fig1b_sparsity_gap,
     fig5_latency_breakdown,
+    fig5_plan,
     fig6_accuracy_coverage,
+    fig6_plan,
     fig6c_data_movement,
+    fig6c_plan,
     fig7_bandwidth_allocation,
+    fig7_plan,
     fig8a_layer_miss,
     fig8bc_llm_throughput,
     fig9_nsb_sensitivity,
+    fig9_plan,
     table1_overhead,
+    table2_plan,
     table2_workloads,
 )
 from .report import format_grid, format_series, format_table
+
+#: ``generate_report`` caps the heavier figures below the headline scale;
+#: :func:`figures_plan` must apply the same caps to cover the same points.
+FIG8_SCALE_CAP = 0.4
+FIG9_SCALE_CAP = 0.5
 
 
 def _header(scale: float, seed: int, elapsed: float, runner=None) -> str:
@@ -70,15 +86,21 @@ def _fig1b(scale: float, seed: int, runner=None) -> str:
         for r, s, o in zip(res.ratios, res.speedups, res.offchip_per_step)
     ]
     body = format_table(
-        ["params", "measured speedup", "ideal", "gap (ideal/measured)",
-         "off-chip B/step"],
+        [
+            "params",
+            "measured speedup",
+            "ideal",
+            "gap (ideal/measured)",
+            "off-chip B/step",
+        ],
         rows,
     )
     return (
         "## Fig. 1b — sparsity vs actual speedup gap\n\n"
         "**Paper:** 16x parameter reduction yields only ~5x measured speedup\n"
         "on a 256 KiB-L2 NPU — cache misses erode the sparsity gain.\n\n"
-        f"**Measured** (DS TopK sweep, streaming-prefetch baseline):\n\n```\n{body}\n```\n\n"
+        "**Measured** (DS TopK sweep, streaming-prefetch baseline):"
+        f"\n\n```\n{body}\n```\n\n"
         "**Shape:** speedup stays at or below ideal and the absolute gap\n"
         "widens with sparsity. Our gap is smaller than the paper's because\n"
         "the simulated in-order NPU retains intra-vector MLP through its\n"
@@ -103,12 +125,11 @@ def _fig5(scale: float, seed: int, runner=None) -> str:
                 ]
             )
         table = format_table(
-            ["workload", "InO", "OoO", "Stream", "IMP", "DVR", "NVR"], rows,
+            ["workload", "InO", "OoO", "Stream", "IMP", "DVR", "NVR"],
+            rows,
             title=f"[{panel}] normalised latency (base+stall, InO total = 1.00)",
         )
-        speedups = [
-            1.0 / max(data[w]["nvr"].total, 1e-9) for w in WORKLOAD_ORDER
-        ]
+        speedups = [1.0 / max(data[w]["nvr"].total, 1e-9) for w in WORKLOAD_ORDER]
         sections.append(
             f"```\n{table}\n```\n"
             f"- NVR mean stall-time reduction vs InO: "
@@ -137,8 +158,17 @@ def _fig6(scale: float, seed: int, runner=None) -> str:
             + [round(per[m][1], 2) for m in ("stream", "imp", "dvr", "nvr")]
         )
     table = format_table(
-        ["workload", "acc:stream", "acc:imp", "acc:dvr", "acc:nvr",
-         "cov:stream", "cov:imp", "cov:dvr", "cov:nvr"],
+        [
+            "workload",
+            "acc:stream",
+            "acc:imp",
+            "acc:dvr",
+            "acc:nvr",
+            "cov:stream",
+            "cov:imp",
+            "cov:dvr",
+            "cov:nvr",
+        ],
         rows,
     )
     return (
@@ -159,12 +189,17 @@ def _fig6(scale: float, seed: int, runner=None) -> str:
 def _fig6c(scale: float, seed: int, runner=None) -> str:
     res = fig6c_data_movement(scale=scale, seed=seed, runner=runner)
     rows = [
-        [name, res.offchip_demand[name], res.in_chip[name],
-         f"{res.reduction(name):.1f}x"]
+        [
+            name,
+            res.offchip_demand[name],
+            res.in_chip[name],
+            f"{res.reduction(name):.1f}x",
+        ]
         for name in ("inorder", "nvr", "nvr+nsb")
     ]
     table = format_table(
-        ["config", "off-chip demand B", "in-chip B", "reduction vs InO"], rows,
+        ["config", "off-chip demand B", "in-chip B", "reduction vs InO"],
+        rows,
     )
     return (
         "## Fig. 6c — data movement during actual load execution\n\n"
@@ -181,16 +216,14 @@ def _fig6c(scale: float, seed: int, runner=None) -> str:
 
 def _fig7(scale: float, seed: int, runner=None) -> str:
     res = fig7_bandwidth_allocation(scale=scale, seed=seed, runner=runner)
+    shares = ("npu_demand", "nvr_prefetch", "l2_to_npu", "nsb_to_npu")
     rows = [
         ["explicit preload (baseline)", 100.0, "-", "-", "-"],
-        ["nvr"] + [round(res.without_nsb[k], 1) for k in
-                   ("npu_demand", "nvr_prefetch", "l2_to_npu", "nsb_to_npu")],
-        ["nvr+nsb"] + [round(res.with_nsb[k], 1) for k in
-                       ("npu_demand", "nvr_prefetch", "l2_to_npu", "nsb_to_npu")],
+        ["nvr"] + [round(res.without_nsb[k], 1) for k in shares],
+        ["nvr+nsb"] + [round(res.with_nsb[k], 1) for k in shares],
     ]
     table = format_table(
-        ["config", "off-chip demand", "off-chip prefetch", "L2->NPU",
-         "NSB->NPU"],
+        ["config", "off-chip demand", "off-chip prefetch", "L2->NPU", "NSB->NPU"],
         rows,
         title="traffic, % of the explicit-preload baseline's off-chip volume",
     )
@@ -210,30 +243,31 @@ def _fig7(scale: float, seed: int, runner=None) -> str:
 def _fig8(scale: float, seed: int, runner=None) -> str:
     rates = fig8a_layer_miss(scale=scale, seed=seed, runner=runner)
     rows = [
-        [layer,
-         f"{per['inorder'][0]:.4f}", f"{per['inorder'][1]:.4f}",
-         f"{per['nvr'][0]:.4f}", f"{per['nvr'][1]:.4f}"]
+        [
+            layer,
+            f"{per['inorder'][0]:.4f}",
+            f"{per['inorder'][1]:.4f}",
+            f"{per['nvr'][0]:.4f}",
+            f"{per['nvr'][1]:.4f}",
+        ]
         for layer, per in rates.items()
     ]
     table_a = format_table(
         ["layer", "InO batch", "InO element", "NVR batch", "NVR element"],
-        rows, title="miss rates per attention layer",
+        rows,
+        title="miss rates per attention layer",
     )
     res = fig8bc_llm_throughput(calib_scale=scale, seed=seed, runner=runner)
     prefill = format_series(
         "GB/s", res.bandwidths,
-        {
-            f"base l={l}": res.prefill["inorder"][l] for l in res.prefill["inorder"]
-        } | {
+        {f"base l={l}": res.prefill["inorder"][l] for l in res.prefill["inorder"]} | {
             f"nvr l={l}": res.prefill["nvr"][l] for l in res.prefill["nvr"]
         },
         floatfmt=".0f",
     )
     decode = format_series(
         "GB/s", res.bandwidths,
-        {
-            f"base l={l}": res.decode["inorder"][l] for l in res.decode["inorder"]
-        } | {
+        {f"base l={l}": res.decode["inorder"][l] for l in res.decode["inorder"]} | {
             f"nvr l={l}": res.decode["nvr"][l] for l in res.decode["nvr"]
         },
         floatfmt=".1f",
@@ -311,8 +345,14 @@ def _table1() -> str:
 
 def _table2(scale: float, seed: int, runner=None) -> str:
     rows = [
-        [r.short, r.full_name, r.domain, r.gather_elements,
-         round(r.footprint_kib), round(r.reuse_factor, 1)]
+        [
+            r.short,
+            r.full_name,
+            r.domain,
+            r.gather_elements,
+            round(r.footprint_kib),
+            round(r.reuse_factor, 1),
+        ]
         for r in table2_workloads(scale=scale, seed=seed, runner=runner)
     ]
     table = format_table(
@@ -346,8 +386,8 @@ def generate_report(
         _fig6(scale, seed, runner),
         _fig6c(scale, seed, runner),
         _fig7(scale, seed, runner),
-        _fig8(min(scale, 0.4), seed, runner),
-        _fig9(min(scale, 0.5), seed, runner),
+        _fig8(min(scale, FIG8_SCALE_CAP), seed, runner),
+        _fig9(min(scale, FIG9_SCALE_CAP), seed, runner),
         _table1(),
         _table2(scale, seed, runner),
     ]
@@ -355,29 +395,76 @@ def generate_report(
     return header + "\n" + "\n".join(sections)
 
 
+def figures_plan(scale: float = 0.6, seed: int = 0) -> Plan:
+    """Every runner point a full :func:`generate_report` pass submits.
+
+    Built from the same per-figure plan builders the figure runners use
+    (same scale caps included), so executing this plan — locally, or
+    sharded across worker machines and merged — warms a cache from which
+    a subsequent ``repro figures`` run is served without simulating
+    anything. The ``distributed-smoke`` CI job pins exactly that.
+    """
+    fig8_scale = min(scale, FIG8_SCALE_CAP)
+    specs = [
+        *fig1b_plan(scale=scale, seed=seed),
+        *fig5_plan(scale=scale, seed=seed),
+        *fig6_plan(scale=scale, seed=seed),
+        *fig6c_plan(scale=scale, seed=seed),
+        *fig7_plan(scale=scale, seed=seed),
+        *layer_miss_plan(("inorder", "nvr"), scale=fig8_scale, seed=seed),
+        *calibration_plan("inorder", scale=fig8_scale, seed=seed),
+        *calibration_plan("nvr", scale=fig8_scale, seed=seed),
+        *fig9_plan(scale=min(scale, FIG9_SCALE_CAP), seed=seed),
+        *table2_plan(scale=scale, seed=seed),
+    ]
+    return Plan(specs=specs, meta={"source": "figures", "scale": scale, "seed": seed})
+
+
 def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     """The shared sweep-execution flags (figures/compare/sweep CLIs)."""
     parser.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs",
+        type=int,
+        default=1,
         help="worker processes for sweep execution (default 1 = serial)",
     )
     parser.add_argument(
-        "--no-cache", action="store_true",
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="local",
+        help="how cache-missed points execute: 'local' in-process "
+        "workers, 'shards' via share-nothing 'repro worker run' "
+        "subprocesses over serialized plan shards (default local)",
+    )
+    parser.add_argument(
+        "--work-dir",
+        default=None,
+        metavar="DIR",
+        help="keep the shards backend's shard/result files in DIR "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
         help="disable the on-disk result cache",
     )
     parser.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
     )
 
 
-def runner_from_args(
-    args: argparse.Namespace, quiet: bool = False
-) -> SweepRunner:
+def runner_from_args(args: argparse.Namespace, quiet: bool = False) -> SweepRunner:
     """Build the CLI's :class:`SweepRunner` from the shared flags."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = NullProgress() if quiet else Progress()
-    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+    backend = make_backend(
+        getattr(args, "backend", "local"),
+        jobs=args.jobs,
+        work_dir=getattr(args, "work_dir", None),
+    )
+    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress, backend=backend)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -387,8 +474,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
-    runner = runner_from_args(args)
-    text = generate_report(scale=args.scale, seed=args.seed, runner=runner)
+    with runner_from_args(args) as runner:
+        text = generate_report(scale=args.scale, seed=args.seed, runner=runner)
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output} ({len(text)} chars)")

@@ -115,9 +115,7 @@ def profile_trace(program: SparseProgram, line_bytes: int = 64) -> TraceProfile:
     )
 
 
-def miss_rate_curve(
-    trace: np.ndarray, cache_lines: list[int]
-) -> dict[int, float]:
+def miss_rate_curve(trace: np.ndarray, cache_lines: list[int]) -> dict[int, float]:
     """Fully-associative LRU miss rate at each capacity (Mattson).
 
     An access misses when its stack distance is ``>= capacity`` (or it is

@@ -100,7 +100,10 @@ def run_workload(
     parallel.
     """
     program = build_workload(
-        workload, scale=scale, elem_bytes=_elem_bytes(dtype), seed=seed,
+        workload,
+        scale=scale,
+        elem_bytes=_elem_bytes(dtype),
+        seed=seed,
         **workload_kwargs,
     )
     system = make_system(program, mechanism, nsb, memory, nvr_config, executor)
@@ -116,6 +119,7 @@ def compare_mechanisms(
     runner=None,
     jobs: int = 1,
     cache=None,
+    backend=None,
     memory: MemoryConfig | None = None,
     nvr_config: NVRConfig | None = None,
     executor: ExecutorConfig | None = None,
@@ -126,7 +130,9 @@ def compare_mechanisms(
     Submits the mechanism sweep as one plan through
     :class:`repro.runner.SweepRunner`, so points deduplicate, execute
     across ``jobs`` worker processes and memoise in ``cache``. Pass an
-    existing ``runner`` to share its cache/pool with a larger sweep.
+    existing ``runner`` to share its cache/pool with a larger sweep, or
+    a ``backend`` (e.g. :class:`repro.runner.FileShardBackend`) to run
+    missing points through share-nothing worker processes.
 
     Object-valued overrides are first-class plan content: ``memory=``
     and ``executor=`` apply to every mechanism, while ``nvr_config=``
@@ -164,5 +170,5 @@ def compare_mechanisms(
     if runner is None:
         from .runner import SweepRunner
 
-        runner = SweepRunner(jobs=jobs, cache=cache)
+        runner = SweepRunner(jobs=jobs, cache=cache, backend=backend)
     return dict(zip(mechanisms, runner.run_plan(specs)))

@@ -119,9 +119,7 @@ class RunaheadController:
             n_entries=2 * config.vector_width,
             delta_confidence=config.approximate_confidence,
         )
-        self.vmig = VMIG(
-            vector_width=config.vector_width, line_bytes=port.line_bytes
-        )
+        self.vmig = VMIG(vector_width=config.vector_width, line_bytes=port.line_bytes)
         self._w_frontier = 0  # W-stream position prefetched so far
         self._pending: list[_PendingWindow] = []
         self.windows_opened = 0
@@ -130,7 +128,9 @@ class RunaheadController:
         self.runahead_delayed = 0  # grants queued behind real sparse work
 
     # -- event entry points -------------------------------------------------
-    def on_branch(self, now: int, pc: int, counter: int, bound: int, level: int) -> None:
+    def on_branch(
+        self, now: int, pc: int, counter: int, bound: int, level: int
+    ) -> None:
         sample = self.snooper.observe_branch(pc, counter, bound, level)
         self.lbd.observe_branch(sample.pc, sample.counter, sample.bound, sample.level)
 
@@ -224,11 +224,10 @@ class RunaheadController:
                     self.scd.record_resolution(stream_id, int(idx), addr)
                     addrs.append(addr)
                     segs.append(stream.segment_bytes(int(idx)))
-                for batch_i, batch in enumerate(
-                    self.vmig.bundle(addrs, segs)
-                ):
+                for batch_i, batch in enumerate(self.vmig.bundle(addrs, segs)):
                     for la in batch:
-                        if self.port.prefetch(grant + batch_i, int(la), True) is not None:
+                        issued = self.port.prefetch(grant + batch_i, int(la), True)
+                        if issued is not None:
                             self.exact_prefetches += 1
         self._pending = still_pending
 
@@ -247,9 +246,7 @@ class RunaheadController:
                 addr = self.scd.formula_address(stream_id, idx)
                 if addr is not None:
                     addrs.append(addr)
-            for batch_i, batch in enumerate(
-                self.vmig.bundle(addrs, stream.row_bytes)
-            ):
+            for batch_i, batch in enumerate(self.vmig.bundle(addrs, stream.row_bytes)):
                 for la in batch:
                     if self.port.prefetch(now + batch_i, int(la), True) is not None:
                         self.approx_prefetches += 1

@@ -108,9 +108,7 @@ class LoopBoundDetector:
             if self._row_len_ewma is None:
                 self._row_len_ewma = float(row_len)
             else:
-                self._row_len_ewma += self.ewma_alpha * (
-                    row_len - self._row_len_ewma
-                )
+                self._row_len_ewma += self.ewma_alpha * (row_len - self._row_len_ewma)
         self._row_start = start
         self._row_end = end
 

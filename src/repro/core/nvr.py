@@ -40,7 +40,12 @@ class NVRPrefetcher(Prefetcher):
         self._maybe_build()
 
     def _maybe_build(self) -> None:
-        if self.program is not None and self.port is not None and self._sparse_unit is not None:
+        ready = (
+            self.program is not None
+            and self.port is not None
+            and self._sparse_unit is not None
+        )
+        if ready:
             self.controller = RunaheadController(
                 self.config, self.program, self.port, self._sparse_unit
             )

@@ -47,9 +47,7 @@ class StructureBits:
 
     @property
     def total_bits(self) -> int:
-        return self.n_entries * self.per_entry_bits + sum(
-            self.constant_fields.values()
-        )
+        return self.n_entries * self.per_entry_bits + sum(self.constant_fields.values())
 
     @property
     def matches_paper(self) -> bool:

@@ -55,7 +55,9 @@ class Snooper:
     def attached(self) -> bool:
         return self._sparse_unit is not None
 
-    def observe_branch(self, pc: int, counter: int, bound: int, level: int) -> BranchSample:
+    def observe_branch(
+        self, pc: int, counter: int, bound: int, level: int
+    ) -> BranchSample:
         self.branch_events += 1
         return BranchSample(pc=pc, counter=counter, bound=bound, level=level)
 

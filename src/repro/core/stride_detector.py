@@ -61,7 +61,9 @@ class StrideDetector:
             self._table[stream_id] = entry
         return entry
 
-    def observe(self, stream_id: int, addr: int, n_elems: int = 1, elem_bytes: int = 1) -> None:
+    def observe(
+        self, stream_id: int, addr: int, n_elems: int = 1, elem_bytes: int = 1
+    ) -> None:
         """Train on one dispatched load: base address plus vector extent."""
         self._clock += 1
         entry = self._entry(stream_id, addr)

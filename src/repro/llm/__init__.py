@@ -13,7 +13,9 @@ from .hardware import NPUHardware
 from .inference import (
     MemoryCalibration,
     calibrate_memory_efficiency,
+    calibration_plan,
     decode_throughput,
+    layer_miss_plan,
     layer_miss_rates,
     prefill_throughput,
 )
@@ -24,7 +26,9 @@ __all__ = [
     "NPUHardware",
     "TransformerSpec",
     "calibrate_memory_efficiency",
+    "calibration_plan",
     "decode_throughput",
+    "layer_miss_plan",
     "layer_miss_rates",
     "prefill_throughput",
 ]

@@ -56,6 +56,22 @@ class MemoryCalibration:
             raise ConfigError("traffic_ratio must be positive")
 
 
+def calibration_plan(
+    mechanism: str = "nvr",
+    nsb: bool = False,
+    scale: float = 0.3,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """The Fig. 8 calibration pair (in-order reference + mechanism)."""
+    reference = RunSpec(
+        "ds", mechanism="inorder", scale=scale, seed=seed, with_base=True
+    )
+    measured = RunSpec(
+        "ds", mechanism=mechanism, nsb=nsb, scale=scale, seed=seed, with_base=True
+    )
+    return [reference, measured]
+
+
 def calibrate_memory_efficiency(
     mechanism: str = "nvr",
     nsb: bool = False,
@@ -74,12 +90,9 @@ def calibrate_memory_efficiency(
     carries a cache (the specs are identical across both calls).
     """
     runner = runner or SweepRunner()
-    ref, res = runner.run_plan([
-        RunSpec("ds", mechanism="inorder", scale=scale, seed=seed,
-                with_base=True),
-        RunSpec("ds", mechanism=mechanism, nsb=nsb, scale=scale, seed=seed,
-                with_base=True),
-    ])
+    ref, res = runner.run_plan(
+        calibration_plan(mechanism, nsb=nsb, scale=scale, seed=seed)
+    )
     bytes_per_cycle = MemoryConfig().dram.bytes_per_cycle
     mem_ideal = max(1.0, res.stats.traffic.off_chip_total_bytes / bytes_per_cycle)
     efficiency = mem_ideal / (mem_ideal + res.stall_cycles)
@@ -102,9 +115,7 @@ def _stage_time(
 ) -> float:
     t_compute = hw.compute_time(flops)
     t_stream = hw.memory_time(stream_bytes, bandwidth_gbs)
-    t_gather = (
-        hw.memory_time(gather_bytes, bandwidth_gbs) / calib.gather_efficiency
-    )
+    t_gather = hw.memory_time(gather_bytes, bandwidth_gbs) / calib.gather_efficiency
     return max(t_compute, calib.traffic_ratio * (t_stream + t_gather))
 
 
@@ -120,7 +131,9 @@ def prefill_throughput(
         spec.prefill_flops(seq_len),
         spec.prefill_stream_bytes(seq_len),
         spec.prefill_gather_bytes(seq_len),
-        hw, bandwidth_gbs, calib,
+        hw,
+        bandwidth_gbs,
+        calib,
     )
     return seq_len / t
 
@@ -137,7 +150,9 @@ def decode_throughput(
         spec.decode_flops_per_token(context_len),
         spec.decode_stream_bytes_per_token(),
         spec.decode_gather_bytes_per_token(context_len),
-        hw, bandwidth_gbs, calib,
+        hw,
+        bandwidth_gbs,
+        calib,
     )
     return 1.0 / t
 
@@ -155,15 +170,34 @@ def _qkv_program(scale: float, elem_bytes: int) -> SparseProgram:
     d = 256
     rowptr = np.arange(0, (n_rows + 1) * d, d, dtype=np.int64)
     cols = np.tile(np.arange(d, dtype=np.int64), n_rows)
-    weights = CSRMatrix(
-        n_rows, d, rowptr, cols, np.ones(len(cols), dtype=np.float32)
-    )
+    weights = CSRMatrix(n_rows, d, rowptr, cols, np.ones(len(cols), dtype=np.float32))
     return build_one_side_program(
         "qkv", weights, ProgramConfig(elem_bytes=elem_bytes, ia_seg_elems=64)
     )
 
 
 _ELEM_DTYPE = {1: "int8", 2: "fp16", 4: "int32"}
+
+
+def layer_miss_plan(
+    mechanisms: tuple[str, ...] = ("inorder", "nvr"),
+    scale: float = 0.3,
+    seed: int = 0,
+    elem_bytes: int = 2,
+) -> list[RunSpec]:
+    """The runner-spec part of the Fig. 8a pass (QK^T and AV gathers).
+
+    Empty for exotic element widths: those, like the dense QKV program,
+    execute in-process and never reach the plan/cache layer.
+    """
+    dtype = _ELEM_DTYPE.get(elem_bytes)
+    if dtype is None:
+        return []
+    return [
+        RunSpec("ds", mechanism=mech, dtype=dtype, scale=scale, seed=s)
+        for mech in mechanisms
+        for s in (seed, seed + 101)
+    ]
 
 
 def layer_miss_rates(
@@ -189,17 +223,13 @@ def layer_miss_rates(
     for mech in mechanisms:
         qkv = make_system(qkv_program, mechanism=mech).run()
         if dtype is not None:
-            gathers = runner.run_plan([
-                RunSpec("ds", mechanism=mech, dtype=dtype, scale=scale,
-                        seed=s)
-                for s in gather_seeds.values()
-            ])
+            gathers = runner.run_plan(
+                layer_miss_plan((mech,), scale=scale, seed=seed, elem_bytes=elem_bytes)
+            )
         else:
             gathers = [
                 make_system(
-                    build_workload(
-                        "ds", scale=scale, seed=s, elem_bytes=elem_bytes
-                    ),
+                    build_workload("ds", scale=scale, seed=s, elem_bytes=elem_bytes),
                     mechanism=mech,
                 ).run()
                 for s in gather_seeds.values()

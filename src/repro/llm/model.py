@@ -102,6 +102,4 @@ class TransformerSpec:
 
     def kv_cache_bytes(self, context_len: int) -> int:
         """Resident KV cache size at a context length."""
-        return (
-            self.n_layers * 2 * context_len * self.d_model * self.elem_bytes
-        )
+        return self.n_layers * 2 * context_len * self.d_model * self.elem_bytes

@@ -144,9 +144,7 @@ class IndirectMemoryPrefetcher(Prefetcher):
                     if addr is None:
                         continue
                     first = (addr // line_bytes) * line_bytes
-                    last = (
-                        (addr + gather.seg_bytes - 1) // line_bytes
-                    ) * line_bytes
+                    last = ((addr + gather.seg_bytes - 1) // line_bytes) * line_bytes
                     for la in range(first, last + line_bytes, line_bytes):
                         self.port.prefetch(
                             now + burst // self.vector_width, la, irregular=True

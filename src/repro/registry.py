@@ -167,14 +167,15 @@ MECHANISMS.register("ooo", MechanismDef("ooo", NullPrefetcher, mode="ooo"))
 MECHANISMS.register("stream", MechanismDef("stream", StreamPrefetcher))
 MECHANISMS.register("imp", MechanismDef("imp", IndirectMemoryPrefetcher))
 MECHANISMS.register("dvr", MechanismDef("dvr", DecoupledVectorRunahead))
-MECHANISMS.register(
-    "nvr", MechanismDef("nvr", NVRPrefetcher, uses_nvr_config=True)
-)
-MECHANISMS.register(
-    "preload", MechanismDef("preload", NullPrefetcher, mode="preload")
-)
+MECHANISMS.register("nvr", MechanismDef("nvr", NVRPrefetcher, uses_nvr_config=True))
+MECHANISMS.register("preload", MechanismDef("preload", NullPrefetcher, mode="preload"))
 
 #: The paper figures' bar order (excludes the preload baseline).
 MECHANISM_ORDER: tuple[str, ...] = (
-    "inorder", "ooo", "stream", "imp", "dvr", "nvr",
+    "inorder",
+    "ooo",
+    "stream",
+    "imp",
+    "dvr",
+    "nvr",
 )

@@ -1,18 +1,33 @@
-"""Sweep runner: plans, worker pool, on-disk result cache, progress.
+"""Sweep runner: plans, execution backends, result cache, progress.
 
 The subsystem that turns every paper sweep into an explicit, cacheable,
-parallel plan:
+parallel — and distributable — plan:
 
-* :mod:`repro.runner.plan` — :class:`RunSpec` points and cartesian
-  :func:`expand`-sion;
+* :mod:`repro.runner.plan` — :class:`RunSpec` points, cartesian
+  :func:`expand`-sion, and the wire-format :class:`Plan`
+  (JSON round-trip + deterministic sharding);
 * :mod:`repro.runner.pool` — :class:`SweepRunner`, the dedupe + cache +
-  ``ProcessPoolExecutor`` execution engine;
+  backend execution engine;
+* :mod:`repro.runner.backend` — pluggable :class:`Backend` protocol:
+  :class:`LocalPoolBackend` (in-process ``ProcessPoolExecutor``) and
+  :class:`FileShardBackend` (share-nothing ``repro worker`` processes
+  over serialized shards);
+* :mod:`repro.runner.worker` — shard execution and result merging, the
+  machinery behind ``repro worker run`` / ``repro plan merge``;
 * :mod:`repro.runner.cache` — :class:`ResultCache`, content-addressed
-  JSON memoisation under ``.repro-cache/``;
+  JSON memoisation under ``.repro-cache/`` with an inter-process lock
+  for structural mutations;
 * :mod:`repro.runner.progress` — optional live progress reporting.
 """
 
 from ..spec import SystemSpec
+from .backend import (
+    BACKEND_NAMES,
+    Backend,
+    FileShardBackend,
+    LocalPoolBackend,
+    make_backend,
+)
 from .cache import (
     CACHE_SALT,
     DEFAULT_CACHE_DIR,
@@ -21,18 +36,41 @@ from .cache import (
     materialise,
     payload_to_result,
     result_to_payload,
+    trace_to_payload,
 )
-from .plan import MemorySpec, NVRSpec, RunSpec, expand, shape_l2
+from .plan import (
+    PLAN_FORMAT,
+    MemorySpec,
+    NVRSpec,
+    Plan,
+    RunSpec,
+    expand,
+    shape_l2,
+)
 from .pool import PlanReport, SweepRunner, execute_spec
 from .progress import NullProgress, Progress
+from .worker import (
+    MergeReport,
+    load_results,
+    merge_results,
+    run_shard,
+    write_results,
+)
 
 __all__ = [
+    "BACKEND_NAMES",
+    "Backend",
     "CACHE_SALT",
     "DEFAULT_CACHE_DIR",
+    "FileShardBackend",
     "GCReport",
+    "LocalPoolBackend",
     "MemorySpec",
+    "MergeReport",
     "NVRSpec",
     "NullProgress",
+    "PLAN_FORMAT",
+    "Plan",
     "PlanReport",
     "Progress",
     "ResultCache",
@@ -41,8 +79,14 @@ __all__ = [
     "SystemSpec",
     "execute_spec",
     "expand",
+    "load_results",
+    "make_backend",
     "materialise",
+    "merge_results",
     "payload_to_result",
     "result_to_payload",
+    "run_shard",
     "shape_l2",
+    "trace_to_payload",
+    "write_results",
 ]

@@ -27,8 +27,14 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+
+try:  # POSIX; the no-lock fallback keeps single-process use working
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..sim.soc import RunResult
 from ..sim.stats import (
@@ -77,6 +83,32 @@ def code_fingerprint() -> str:
 def default_salt() -> str:
     return f"{CACHE_SALT}:{code_fingerprint()}"
 
+
+def atomic_write_json(path: str | os.PathLike, document: dict) -> Path:
+    """Write ``document`` as canonical JSON via temp file + rename.
+
+    Shared by cache entries and worker result files: concurrent readers
+    can never observe a half-written file, a killed writer leaves only a
+    ``.tmp`` orphan (swept by cache maintenance), and ``sort_keys`` makes
+    the bytes independent of dict insertion order — so a payload rebuilt
+    from JSON and a locally-computed one serialise identically.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.stem, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"), sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 _STATS_GROUPS = {
     "nsb": LevelStats,
     "l2": LevelStats,
@@ -96,9 +128,7 @@ def result_to_payload(result: RunResult) -> dict:
 def payload_to_result(payload: dict) -> RunResult:
     """Rebuild the :class:`RunResult` stored by :func:`result_to_payload`."""
     stats_d = dict(payload["stats"])
-    groups = {
-        name: cls(**stats_d.pop(name)) for name, cls in _STATS_GROUPS.items()
-    }
+    groups = {name: cls(**stats_d.pop(name)) for name, cls in _STATS_GROUPS.items()}
     return RunResult(stats=RunStats(**groups, **stats_d), **payload["result"])
 
 
@@ -158,6 +188,30 @@ class ResultCache:
         key = self.key_for(spec)
         return self.root / key[:2] / f"{key}.json"
 
+    # -- concurrency ---------------------------------------------------------
+
+    @contextmanager
+    def lock(self):
+        """Exclusive inter-process lock over structural cache mutations.
+
+        ``put``/``get`` stay lock-free (atomic rename makes them safe),
+        but operations that *scan then delete or bulk-insert* — ``gc``,
+        ``clear``, and ``repro plan merge`` folding worker results in —
+        must not interleave: a gc pass racing a merge could collect the
+        freshly merged entries it never saw get touched. The lock is an
+        advisory ``flock`` on ``<root>/.lock`` (waits, never fails);
+        holders may call ``put`` freely but must not nest ``lock()``.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / ".lock", "a", encoding="utf-8") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+
     # -- access --------------------------------------------------------------
 
     def get(self, spec: RunSpec) -> dict | None:
@@ -181,22 +235,8 @@ class ResultCache:
 
     def put(self, spec: RunSpec, payload: dict) -> Path:
         """Atomically store ``payload`` for ``spec``; returns the path."""
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"salt": self.salt, "spec": spec.to_dict(), "payload": payload}
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, separators=(",", ":"))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        path = atomic_write_json(self.path_for(spec), entry)
         self.writes += 1
         return path
 
@@ -220,13 +260,14 @@ class ResultCache:
         leaves them behind when a process dies between write and rename).
         """
         removed = 0
-        for path in self.entries():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        self._sweep_tmp_files()
+        with self.lock():
+            for path in self.entries():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            self._sweep_tmp_files()
         return removed
 
     def _sweep_tmp_files(self) -> None:
@@ -245,34 +286,38 @@ class ResultCache:
         ``dry_run=True`` nothing is deleted — the report describes what
         *would* go. Orphaned ``.tmp`` files are swept as a side effect
         of a real (non-dry) collection.
+
+        The scan-and-delete pass holds the cache :meth:`lock`, so a
+        concurrent ``repro plan merge`` (which locks for its bulk
+        insert) can never land fresh worker results between the scan
+        and the unlink — one of the two fully precedes the other.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
-        entries = []
-        for path in self.entries():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((max(stat.st_atime, stat.st_mtime), path, stat.st_size))
-        entries.sort()  # least recently accessed first
-        total = sum(size for _, _, size in entries)
-        report = GCReport(
-            examined=len(entries), total_bytes=total, dry_run=dry_run
-        )
-        for _, path, size in entries:
-            if total <= max_bytes:
-                break
-            if not dry_run:
+        with self.lock():
+            entries = []
+            for path in self.entries():
                 try:
-                    path.unlink()
+                    stat = path.stat()
                 except OSError:
                     continue
-            total -= size
-            report.removed += 1
-            report.freed_bytes += size
-        report.kept = report.examined - report.removed
-        report.kept_bytes = report.total_bytes - report.freed_bytes
-        if not dry_run:
-            self._sweep_tmp_files()
+                entries.append((max(stat.st_atime, stat.st_mtime), path, stat.st_size))
+            entries.sort()  # least recently accessed first
+            total = sum(size for _, _, size in entries)
+            report = GCReport(examined=len(entries), total_bytes=total, dry_run=dry_run)
+            for _, path, size in entries:
+                if total <= max_bytes:
+                    break
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                total -= size
+                report.removed += 1
+                report.freed_bytes += size
+            report.kept = report.examined - report.removed
+            report.kept_bytes = report.total_bytes - report.freed_bytes
+            if not dry_run:
+                self._sweep_tmp_files()
         return report

@@ -20,12 +20,20 @@ The ``mechanism``/``nsb``/``memory``/``nvr``/``executor`` constructor
 arguments are conveniences: ``__post_init__`` folds them into one
 canonical ``system`` field, so two specs describing the same platform
 compare (and hash) equal however they were written.
+
+:class:`Plan` wraps a spec list in a versioned wire format
+(``to_json``/``from_json``) and shards it deterministically, so compiled
+plans can leave the process and run on machines that share nothing but a
+filesystem (see :mod:`repro.runner.worker`).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, fields
+import json
+import os
+from dataclasses import dataclass, field, fields
+from pathlib import Path
 
 from ..core.controller import NVRConfig
 from ..core.nsb import nsb_config
@@ -33,7 +41,7 @@ from ..errors import ConfigError
 from ..sim.memory.cache import CacheConfig
 from ..sim.memory.hierarchy import MemoryConfig, default_l2_config
 from ..sim.npu.executor import ExecutorConfig
-from ..spec import SystemSpec, canonical_json
+from ..spec import SystemSpec, canonical_json, parse_json
 from ..utils import KIB
 from ..workloads.registry import elem_bytes
 
@@ -76,16 +84,8 @@ class MemorySpec:
     cpu_traffic: bool = False
 
     def build(self) -> MemoryConfig:
-        l2 = (
-            shape_l2(self.l2_kib)
-            if self.l2_kib is not None
-            else default_l2_config()
-        )
-        nsb = (
-            nsb_config(size_kib=self.nsb_kib)
-            if self.nsb_kib is not None
-            else None
-        )
+        l2 = shape_l2(self.l2_kib) if self.l2_kib is not None else default_l2_config()
+        nsb = nsb_config(size_kib=self.nsb_kib) if self.nsb_kib is not None else None
         memory = MemoryConfig(l2=l2, nsb=nsb)
         if self.cpu_traffic:
             memory = memory.with_cpu_traffic()
@@ -163,9 +163,7 @@ class RunSpec:
         object.__setattr__(self, "scale", float(self.scale))
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "with_base", bool(self.with_base))
-        object.__setattr__(
-            self, "workload_args", tuple(sorted(self.workload_args))
-        )
+        object.__setattr__(self, "workload_args", tuple(sorted(self.workload_args)))
         # Fold the convenience platform arguments into one canonical
         # SystemSpec, then clear them: the spec's identity (equality,
         # key(), pickle payload) lives in `system` alone.
@@ -182,10 +180,7 @@ class RunSpec:
             # mechanism/nsb may be omitted or repeated consistently —
             # but an *explicit conflicting* value must not be silently
             # overwritten by the system's (hence the None sentinels).
-            if (
-                self.mechanism is not None
-                and self.mechanism != self.system.mechanism
-            ):
+            if self.mechanism is not None and self.mechanism != self.system.mechanism:
                 raise ConfigError(
                     f"mechanism='{self.mechanism}' conflicts with "
                     f"system.mechanism='{self.system.mechanism}'"
@@ -202,16 +197,12 @@ class RunSpec:
                 if isinstance(self.memory, MemorySpec)
                 else self.memory
             )
-            nvr = (
-                self.nvr.build() if isinstance(self.nvr, NVRSpec) else self.nvr
-            )
+            nvr = self.nvr.build() if isinstance(self.nvr, NVRSpec) else self.nvr
             object.__setattr__(
                 self,
                 "system",
                 SystemSpec(
-                    mechanism=(
-                        self.mechanism if self.mechanism is not None else "nvr"
-                    ),
+                    mechanism=(self.mechanism if self.mechanism is not None else "nvr"),
                     nsb=bool(self.nsb) if self.nsb is not None else False,
                     memory=memory,
                     nvr=nvr,
@@ -246,9 +237,7 @@ class RunSpec:
     @classmethod
     def from_dict(cls, d: dict) -> "RunSpec":
         d = dict(d)
-        d["workload_args"] = tuple(
-            (k, v) for k, v in d.get("workload_args", ())
-        )
+        d["workload_args"] = tuple((k, v) for k, v in d.get("workload_args", ()))
         if "system" in d:
             d["system"] = SystemSpec.from_dict(d["system"])
             return cls(**d)
@@ -334,3 +323,128 @@ def expand(
             _tuple(seeds),
         )
     ]
+
+
+#: Wire-format version of plan/shard files. Bump on incompatible layout
+#: changes; readers reject other versions instead of mis-parsing them.
+PLAN_FORMAT = 1
+
+
+@dataclass
+class Plan:
+    """A wire-format sweep plan: an ordered list of :class:`RunSpec` points.
+
+    The unit that leaves the process: ``to_json``/``from_json`` round-trip
+    every spec (via its canonical :class:`~repro.spec.SystemSpec` dict),
+    so a plan compiled on one machine can be sharded, shipped to workers
+    that share nothing but a filesystem, and executed bit-identically.
+    ``meta`` carries free-form provenance (source command, scale, shard
+    coordinates); it never contributes to any content address.
+    """
+
+    specs: list[RunSpec] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def unique_specs(self) -> list[RunSpec]:
+        """The deduplicated points, sorted by content key.
+
+        Sorting by key makes the order a function of plan *content* —
+        two plans listing the same points in different orders dedupe,
+        shard and merge identically.
+        """
+        unique = {spec.key(): spec for spec in self.specs}
+        return [unique[key] for key in sorted(unique)]
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": PLAN_FORMAT,
+            "meta": self.meta,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Plan":
+        if not isinstance(d, dict):
+            raise ConfigError(f"plan must be a dict, got {type(d).__name__}")
+        version = d.get("format")
+        if version != PLAN_FORMAT:
+            raise ConfigError(
+                f"unsupported plan format {version!r} "
+                f"(this reader understands format {PLAN_FORMAT})"
+            )
+        unknown = sorted(set(d) - {"format", "meta", "specs"})
+        if unknown:
+            raise ConfigError(f"unknown plan field(s): {', '.join(unknown)}")
+        specs_d = d.get("specs")
+        if not isinstance(specs_d, list):
+            raise ConfigError("plan 'specs' must be a list")
+        meta = d.get("meta", {})
+        if not isinstance(meta, dict):
+            raise ConfigError("plan 'meta' must be an object")
+        specs = []
+        for i, spec_d in enumerate(specs_d):
+            if not isinstance(spec_d, dict):
+                raise ConfigError(f"plan spec #{i} must be an object")
+            try:
+                specs.append(RunSpec.from_dict(spec_d))
+            except ConfigError as exc:
+                raise ConfigError(f"plan spec #{i}: {exc}") from None
+            except TypeError as exc:
+                raise ConfigError(
+                    f"plan spec #{i} has unknown or missing fields: {exc}"
+                ) from None
+        return cls(specs=specs, meta=meta)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Plan":
+        return cls.from_dict(parse_json(text, "plan"))
+
+    def save(self, path: str | os.PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Plan":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigError(f"cannot read plan file {path}: {exc}") from None
+        try:
+            return cls.from_json(text)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+
+    # -- sharding ------------------------------------------------------------
+
+    def shard(self, shards: int) -> list["Plan"]:
+        """Partition into ``shards`` deterministic sub-plans.
+
+        The unique points, sorted by content key, are dealt round-robin —
+        so the partition depends only on (plan content, shard count), the
+        shards are balanced to within one spec, and every point appears in
+        exactly one shard. Shards may be empty when ``shards`` exceeds the
+        number of unique points.
+        """
+        if shards < 1:
+            raise ConfigError(f"shard count must be >= 1, got {shards}")
+        unique = self.unique_specs()
+        return [
+            Plan(
+                specs=unique[index::shards],
+                meta={
+                    **self.meta,
+                    "shard": {"index": index, "of": shards},
+                },
+            )
+            for index in range(shards)
+        ]

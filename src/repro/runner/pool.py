@@ -1,4 +1,4 @@
-"""Plan execution: dedupe, cache lookup, worker pool, reassembly.
+"""Plan execution: dedupe, cache lookup, execution backend, reassembly.
 
 :class:`SweepRunner` is the single entry point every sweep goes through
 (figure runners, ``compare_mechanisms``, the ``sweep`` CLI, benchmarks):
@@ -9,23 +9,26 @@
    cache attached the dedupe extends across calls and processes;
 2. each unique point is looked up in the optional
    :class:`~repro.runner.cache.ResultCache`;
-3. the remaining points run through :func:`execute_spec` — inline when
-   ``jobs == 1``, across a ``ProcessPoolExecutor`` otherwise. Workers
-   receive the pickled spec and rebuild everything from it, so results
-   are a pure function of the spec and bit-identical for every ``jobs``
-   setting;
+3. the remaining points run through the pluggable
+   :class:`~repro.runner.backend.Backend` —
+   :class:`~repro.runner.backend.LocalPoolBackend` executes
+   :func:`execute_spec` inline or across a ``ProcessPoolExecutor``,
+   :class:`~repro.runner.backend.FileShardBackend` ships serialized
+   shards to independent ``repro worker`` processes. Workers rebuild
+   everything from the spec, so results are a pure function of the spec
+   and bit-identical for every ``jobs`` setting and every backend;
 4. results are reassembled in plan order.
 
 Determinism: the workload builders seed their RNGs from ``spec.seed``
 alone and the simulator is single-threaded per run, so scheduling order
-can never leak into results — the property the result cache and the
-serial-vs-parallel equality tests rely on.
+can never leak into results — the property the result cache, the
+serial-vs-parallel equality tests and the local-vs-sharded CI gate rely
+on.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -33,6 +36,7 @@ from ..sim.soc import RunResult
 from ..workloads import build_workload, trace_stats
 from ..workloads.base import TraceStats
 from ..workloads.registry import elem_bytes
+from .backend import Backend, LocalPoolBackend
 from .cache import (
     ResultCache,
     materialise,
@@ -77,10 +81,15 @@ class PlanReport:
 
 
 class SweepRunner:
-    """Executes plans of :class:`RunSpec` points with caching + workers.
+    """Executes plans of :class:`RunSpec` points with caching + a backend.
 
     Attributes:
-        jobs: worker processes; 1 executes inline in this process.
+        jobs: worker processes; 1 executes inline in this process
+            (shorthand for the default :class:`LocalPoolBackend`).
+        backend: the execution backend for cache-missed points; pass a
+            :class:`~repro.runner.backend.FileShardBackend` (or the CLI's
+            ``--backend shards``) to run them as share-nothing worker
+            processes over serialized shards.
         cache: optional on-disk result cache shared across plans/runs.
         submitted / cache_hits: cumulative counters over the runner's
             lifetime (the warm-run tests assert ``submitted == 0``).
@@ -92,31 +101,19 @@ class SweepRunner:
         jobs: int = 1,
         cache: ResultCache | None = None,
         progress=None,
+        backend: Backend | None = None,
     ) -> None:
-        self.jobs = max(1, int(jobs))
+        self.backend = backend if backend is not None else LocalPoolBackend(jobs=jobs)
+        self.jobs = getattr(self.backend, "jobs", max(1, int(jobs)))
         self.cache = cache
         self.progress = progress if progress is not None else NullProgress()
         self.submitted = 0
         self.cache_hits = 0
         self.last_report: PlanReport | None = None
-        self._executor: ProcessPoolExecutor | None = None
-
-    def _pool(self) -> ProcessPoolExecutor:
-        """The worker pool, created lazily and reused across plans.
-
-        Persistent so a multi-plan run (``figures`` submits one plan per
-        figure) pays worker spin-up once — this matters on spawn-start
-        platforms, where every worker re-imports the package.
-        """
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._executor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; runner stays usable)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Release backend resources (idempotent; runner stays usable)."""
+        self.backend.close()
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -128,9 +125,7 @@ class SweepRunner:
         """Execute a single point (one-element plan)."""
         return self.run_plan([spec])[0]
 
-    def run_plan(
-        self, specs: Sequence[RunSpec]
-    ) -> list[RunResult | TraceStats]:
+    def run_plan(self, specs: Sequence[RunSpec]) -> list[RunResult | TraceStats]:
         """Execute a plan; returns results aligned with ``specs``."""
         start = time.time()
         specs = list(specs)
@@ -147,31 +142,14 @@ class SweepRunner:
             else:
                 pending.append((key, spec))
 
-        self.progress.plan_started(
-            len(specs), len(unique), len(unique) - len(pending)
-        )
+        self.progress.plan_started(len(specs), len(unique), len(unique) - len(pending))
         done = len(unique) - len(pending)
-        if self.jobs == 1 or len(pending) <= 1:
-            for key, spec in pending:
-                payloads[key] = execute_spec(spec)
-                self._store(spec, payloads[key])
+        if pending:
+            for key, spec, payload in self.backend.run(pending):
+                payloads[key] = payload
+                self._store(spec, payload)
                 done += 1
-                self.progress.point_done(
-                    spec.label(), "run", done, len(unique)
-                )
-        else:
-            futures = {
-                self._pool().submit(execute_spec, spec): (key, spec)
-                for key, spec in pending
-            }
-            for future in as_completed(futures):
-                key, spec = futures[future]
-                payloads[key] = future.result()
-                self._store(spec, payloads[key])
-                done += 1
-                self.progress.point_done(
-                    spec.label(), "run", done, len(unique)
-                )
+                self.progress.point_done(spec.label(), "run", done, len(unique))
 
         hits = len(unique) - len(pending)
         self.submitted += len(pending)
@@ -183,9 +161,7 @@ class SweepRunner:
             submitted=len(pending),
             elapsed=time.time() - start,
         )
-        self.progress.plan_finished(
-            len(pending), hits, self.last_report.elapsed
-        )
+        self.progress.plan_finished(len(pending), hits, self.last_report.elapsed)
         return [materialise(payloads[spec.key()]) for spec in specs]
 
     def _store(self, spec: RunSpec, payload: dict) -> None:

@@ -19,9 +19,7 @@ class NullProgress:
     def plan_started(self, total: int, unique: int, cached: int) -> None:
         pass
 
-    def point_done(
-        self, label: str, source: str, done: int, total: int
-    ) -> None:
+    def point_done(self, label: str, source: str, done: int, total: int) -> None:
         pass
 
     def plan_finished(self, submitted: int, hits: int, elapsed: float) -> None:
@@ -52,9 +50,7 @@ class Progress(NullProgress):
             shape = f"{total} points ({cached} cached)"
         self._emit(f"plan: {shape}")
 
-    def point_done(
-        self, label: str, source: str, done: int, total: int
-    ) -> None:
+    def point_done(self, label: str, source: str, done: int, total: int) -> None:
         if not self.live:
             return
         self._emit(f"  [{done}/{total}] {label} ({source})", end="\r")

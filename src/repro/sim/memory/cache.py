@@ -88,9 +88,7 @@ class Cache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: list[dict[int, CacheLine]] = [
-            {} for _ in range(config.n_sets)
-        ]
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(config.n_sets)]
         self.mshr = MSHRFile(config.mshr_entries)
         self._use_counter = 0
         self.evictions = 0

@@ -170,7 +170,9 @@ class MemorySystem:
         self._cpu_last_inject = now
         n_lines = cfg.footprint_bytes // self.line_bytes
         for _ in range(due):
-            self._cpu_lcg = (self._cpu_lcg * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            self._cpu_lcg = (
+                self._cpu_lcg * 6364136223846793005 + 1442695040888963407
+            ) % (1 << 64)
             line = cfg.base_addr + (self._cpu_lcg % n_lines) * self.line_bytes
             self.cpu_accesses += 1
             kind, _ = self.l2.lookup(now, line)
@@ -246,9 +248,7 @@ class MemorySystem:
                 self.stats.nsb.demand_inflight_hits += 1
                 was_pf = self._credit_prefetch(line, in_flight=True)
                 nsb_line.demand_touched = True
-                complete = max(
-                    nsb_line.ready_at, now + self.nsb.config.hit_latency
-                )
+                complete = max(nsb_line.ready_at, now + self.nsb.config.hit_latency)
                 return AccessResult(
                     complete_at=complete,
                     hit_level=HitLevel.INFLIGHT,

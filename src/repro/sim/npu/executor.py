@@ -117,9 +117,7 @@ class _EngineBase:
                 Access(int(la), AccessType.DEMAND, load.stream_id),
                 irregular=False,
             )
-            self.prefetcher.on_demand_access(
-                at, load.stream_id, int(la), None, res
-            )
+            self.prefetcher.on_demand_access(at, load.stream_id, int(la), None, res)
             done = max(done, res.complete_at)
         return done
 
@@ -279,9 +277,7 @@ class ExplicitPreloadEngine(_EngineBase):
                 for gather in tile.gathers:
                     for pos, addr in enumerate(gather.byte_addrs):
                         first = int(addr) // granule
-                        last = (
-                            int(addr) + gather.segment_bytes(pos) - 1
-                        ) // granule
+                        last = (int(addr) + gather.segment_bytes(pos) - 1) // granule
                         blocks.update(range(first, last + 1))
             dma_bytes = len(blocks) * granule
             dma_bytes = min(dma_bytes, scratchpad.config.size_bytes)

@@ -143,9 +143,7 @@ def build_two_side_program(
                     stream_id=STREAM_OA_STORE,
                     byte_addrs=cfg.oa_base
                     + row * activations.n_cols * cfg.elem_bytes
-                    + np.arange(
-                        min(activations.n_cols, 64), dtype=np.int64
-                    )
+                    + np.arange(min(activations.n_cols, 64), dtype=np.int64)
                     * cfg.elem_bytes,
                     elem_bytes=cfg.elem_bytes,
                 )

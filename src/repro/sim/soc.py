@@ -151,7 +151,12 @@ class System:
             # NVR's extra, architecturally-snooped capabilities.
             prefetcher.attach_npu(sparse_unit)
         engine = build_engine(
-            self.mode, self.program, mem, prefetcher, sparse_unit, stats,
+            self.mode,
+            self.program,
+            mem,
+            prefetcher,
+            sparse_unit,
+            stats,
             self.executor,
         )
         total = engine.run()
@@ -173,7 +178,5 @@ class System:
         result = self.run(perfect=False)
         base = self.run(perfect=True)
         result.base_cycles = base.total_cycles
-        result.stats.stall_cycles = max(
-            0, result.total_cycles - base.total_cycles
-        )
+        result.stats.stall_cycles = max(0, result.total_cycles - base.total_cycles)
         return result

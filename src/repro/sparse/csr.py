@@ -67,9 +67,7 @@ class CSRMatrix:
             rowptr[r + 1] = rowptr[r] + len(nz)
             cols.append(nz.astype(np.int64))
             vals.append(dense[r, nz].astype(np.float32))
-        col_indices = (
-            np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
-        )
+        col_indices = np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
         values = np.concatenate(vals) if vals else np.zeros(0, dtype=np.float32)
         return cls(n_rows, n_cols, rowptr, col_indices, values)
 

@@ -52,9 +52,7 @@ def _check_shape(n_rows: int, n_cols: int, density: float) -> None:
         raise WorkloadError(f"density must be in (0, 1], got {density}")
 
 
-def uniform_csr(
-    n_rows: int, n_cols: int, density: float, seed: int = 0
-) -> CSRMatrix:
+def uniform_csr(n_rows: int, n_cols: int, density: float, seed: int = 0) -> CSRMatrix:
     """I.i.d. Bernoulli sparsity — the unstructured-pruning pattern.
 
     Index streams are uniformly random: worst case for every
@@ -183,9 +181,7 @@ def powerlaw_csr(
     rng = make_rng(seed)
     # Degree sequence: power law, rescaled to the requested mean.
     raw = rng.pareto(gamma - 1.0, size=n_rows) + 1.0
-    degrees = np.maximum(
-        1, np.round(raw * (avg_degree / raw.mean()))
-    ).astype(np.int64)
+    degrees = np.maximum(1, np.round(raw * (avg_degree / raw.mean()))).astype(np.int64)
     degrees = np.minimum(degrees, n_cols)
     # Target popularity: mildly skewed (hubs attract edges).
     ranks = np.arange(1, n_cols + 1, dtype=np.float64)

@@ -20,6 +20,7 @@ from .serde import (
     memory_config_to_dict,
     nvr_config_from_dict,
     nvr_config_to_dict,
+    parse_json,
     stable_hash,
 )
 from .system import SystemSpec
@@ -33,5 +34,6 @@ __all__ = [
     "memory_config_to_dict",
     "nvr_config_from_dict",
     "nvr_config_to_dict",
+    "parse_json",
     "stable_hash",
 ]

@@ -112,9 +112,7 @@ def memory_config_from_dict(d: dict) -> MemoryConfig:
         raise ConfigError(f"memory spec must be a dict, got {d!r}")
     unknown = sorted(set(d) - {"l2", "dram", "nsb", "cpu_traffic"})
     if unknown:
-        raise ConfigError(
-            f"unknown MemoryConfig field(s): {', '.join(unknown)}"
-        )
+        raise ConfigError(f"unknown MemoryConfig field(s): {', '.join(unknown)}")
     kwargs = {}
     if d.get("l2") is not None:
         kwargs["l2"] = from_scalar_dict(CacheConfig, d["l2"])
@@ -123,10 +121,28 @@ def memory_config_from_dict(d: dict) -> MemoryConfig:
     if d.get("nsb") is not None:
         kwargs["nsb"] = from_scalar_dict(CacheConfig, d["nsb"])
     if d.get("cpu_traffic") is not None:
-        kwargs["cpu_traffic"] = from_scalar_dict(
-            CPUTrafficConfig, d["cpu_traffic"]
-        )
+        kwargs["cpu_traffic"] = from_scalar_dict(CPUTrafficConfig, d["cpu_traffic"])
     return MemoryConfig(**kwargs)
+
+
+# -- wire format -------------------------------------------------------------
+
+
+def parse_json(text: str, what: str = "spec") -> dict:
+    """Parse a wire-format JSON object, mapping failures to ConfigError.
+
+    Plan files, shard files and worker result files all travel between
+    machines as JSON; a truncated upload or a hand-edit must surface as
+    the same :class:`~repro.errors.ConfigError` a bad config value would,
+    not as a raw ``JSONDecodeError`` traceback.
+    """
+    try:
+        value = json.loads(text)
+    except ValueError as exc:
+        raise ConfigError(f"{what} is not valid JSON: {exc}") from None
+    if not isinstance(value, dict):
+        raise ConfigError(f"{what} must be a JSON object, got {type(value).__name__}")
+    return value
 
 
 # -- hashing -----------------------------------------------------------------

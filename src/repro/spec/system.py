@@ -91,9 +91,7 @@ class SystemSpec:
         if memory == MemoryConfig():
             memory = None
         object.__setattr__(self, "memory", memory)
-        object.__setattr__(
-            self, "nsb", memory is not None and memory.nsb is not None
-        )
+        object.__setattr__(self, "nsb", memory is not None and memory.nsb is not None)
         if self.nvr == NVRConfig():
             object.__setattr__(self, "nvr", None)
         if self.executor == ExecutorConfig():
@@ -120,9 +118,7 @@ class SystemSpec:
             memory=self.resolved_memory(),
             prefetcher_factory=mdef.factory(self.nvr),
             mode=mdef.mode,
-            executor=(
-                self.executor if self.executor is not None else ExecutorConfig()
-            ),
+            executor=(self.executor if self.executor is not None else ExecutorConfig()),
         )
 
     # -- identity ------------------------------------------------------------
@@ -158,13 +154,9 @@ class SystemSpec:
     def from_dict(cls, d: dict) -> "SystemSpec":
         if not isinstance(d, dict):
             raise ConfigError(f"system spec must be a dict, got {d!r}")
-        unknown = sorted(
-            set(d) - {"mechanism", "nsb", "memory", "nvr", "executor"}
-        )
+        unknown = sorted(set(d) - {"mechanism", "nsb", "memory", "nvr", "executor"})
         if unknown:
-            raise ConfigError(
-                f"unknown SystemSpec field(s): {', '.join(unknown)}"
-            )
+            raise ConfigError(f"unknown SystemSpec field(s): {', '.join(unknown)}")
         return cls(
             mechanism=d.get("mechanism", "nvr"),
             nsb=d.get("nsb", False),

@@ -62,9 +62,7 @@ def rows_to_csr(rows: list[np.ndarray], n_cols: int) -> CSRMatrix:
     rowptr = np.zeros(len(rows) + 1, dtype=np.int64)
     for i, r in enumerate(rows):
         rowptr[i + 1] = rowptr[i] + len(r)
-    cols = (
-        np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
-    )
+    cols = np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
     return CSRMatrix(
         len(rows), n_cols, rowptr, cols, np.ones(len(cols), dtype=np.float32)
     )
@@ -99,9 +97,7 @@ def build(
     # runs stay comparable in work.
     max_elems = int(20_000 * max(scale, 0.05))
     steps = max(2, min(steps, max_elems // max(1, k)))
-    rows = build_selection_rows(
-        rng, steps, kv_len, k, drift, recent_window=32
-    )
+    rows = build_selection_rows(rng, steps, kv_len, k, drift, recent_window=32)
     weights = rows_to_csr(rows, kv_len)
     return build_one_side_program(
         "ds",

@@ -45,9 +45,7 @@ def networkx_adjacency(
     if model == "ba":
         graph = nx.barabasi_albert_graph(n_nodes, m, seed=seed)
     elif model == "ws":
-        graph = nx.watts_strogatz_graph(
-            n_nodes, max(2, 2 * m), p=0.1, seed=seed
-        )
+        graph = nx.watts_strogatz_graph(n_nodes, max(2, 2 * m), p=0.1, seed=seed)
     else:
         raise WorkloadError(f"unknown graph_model '{model}' (ba, ws)")
     rows, cols = [], []
@@ -93,9 +91,7 @@ def build(
             n_rows, n_nodes, avg_degree=avg_degree, gamma=2.3, seed=seed
         )
     else:
-        adjacency = networkx_adjacency(
-            graph_model, n_nodes, avg_degree, seed, n_rows
-        )
+        adjacency = networkx_adjacency(graph_model, n_nodes, avg_degree, seed, n_rows)
     return build_one_side_program(
         "gcn",
         adjacency,

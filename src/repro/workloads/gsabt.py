@@ -41,9 +41,7 @@ def build(
     global_cols = np.sort(rng.choice(seq_len, size=n_global, replace=False))
     rows = np.repeat(np.arange(n_rows, dtype=np.int64), n_global)
     cols = np.tile(global_cols.astype(np.int64), n_rows)
-    base_rows = np.repeat(
-        np.arange(n_rows, dtype=np.int64), np.diff(blocks.rowptr)
-    )
+    base_rows = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(blocks.rowptr))
     weights = CSRMatrix.from_coo(
         n_rows,
         seq_len,

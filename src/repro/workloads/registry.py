@@ -43,9 +43,7 @@ DTYPE_BYTES: dict[str, int] = {"int8": 1, "fp16": 2, "int32": 4}
 def elem_bytes(dtype: str) -> int:
     """Element width of a dtype name; :class:`ConfigError` on unknowns."""
     if dtype not in DTYPE_BYTES:
-        raise ConfigError(
-            f"unknown dtype '{dtype}' (known: {', '.join(DTYPE_BYTES)})"
-        )
+        raise ConfigError(f"unknown dtype '{dtype}' (known: {', '.join(DTYPE_BYTES)})")
     return DTYPE_BYTES[dtype]
 
 
@@ -55,27 +53,31 @@ WORKLOAD_INFO: dict[str, WorkloadInfo] = {
         "DS", "Double Sparsity", "large language model", "Yang et al. [5]"
     ),
     "gat": WorkloadInfo(
-        "GAT", "Graph Attention Networks", "graph neural networks",
+        "GAT",
+        "Graph Attention Networks",
+        "graph neural networks",
         "Velickovic et al. [26]",
     ),
     "gcn": WorkloadInfo(
-        "GCN", "Graph Convolutional Networks", "graph neural networks",
+        "GCN",
+        "Graph Convolutional Networks",
+        "graph neural networks",
         "Kipf & Welling [27]",
     ),
     "gsabt": WorkloadInfo(
-        "GSABT", "Graph Sparse Attention", "sparse attention",
+        "GSABT",
+        "Graph Sparse Attention",
+        "sparse attention",
         "Zhang et al. [28]",
     ),
     "h2o": WorkloadInfo(
-        "H2O", "Heavy-Hitter Oracle", "large language model",
+        "H2O",
+        "Heavy-Hitter Oracle",
+        "large language model",
         "Zhang et al. [29]",
     ),
-    "mk": WorkloadInfo(
-        "MK", "MinkowskiNet", "point cloud", "Brahmbhatt et al. [30]"
-    ),
-    "scn": WorkloadInfo(
-        "SCN", "SparseConvNet", "point cloud", "Wang et al. [31]"
-    ),
+    "mk": WorkloadInfo("MK", "MinkowskiNet", "point cloud", "Brahmbhatt et al. [30]"),
+    "scn": WorkloadInfo("SCN", "SparseConvNet", "point cloud", "Wang et al. [31]"),
     "st": WorkloadInfo(
         "ST", "Switch Transformer", "mixture of experts", "Fedus et al. [32]"
     ),
@@ -83,7 +85,14 @@ WORKLOAD_INFO: dict[str, WorkloadInfo] = {
 
 # Bar order used by the paper's figures.
 WORKLOAD_ORDER: tuple[str, ...] = (
-    "ds", "gat", "gcn", "gsabt", "h2o", "mk", "scn", "st",
+    "ds",
+    "gat",
+    "gcn",
+    "gsabt",
+    "h2o",
+    "mk",
+    "scn",
+    "st",
 )
 
 #: Short name -> trace builder; extend with :func:`register_workload`.

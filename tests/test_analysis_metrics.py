@@ -22,8 +22,11 @@ def result(name: str, cycles: int, base: int | None = None, **stats_kw) -> RunRe
         obj, attr = key.split("__")
         setattr(getattr(stats, obj), attr, value)
     r = RunResult(
-        program_name="p", mechanism=name, mode="inorder",
-        total_cycles=cycles, stats=stats,
+        program_name="p",
+        mechanism=name,
+        mode="inorder",
+        total_cycles=cycles,
+        stats=stats,
     )
     if base is not None:
         r.base_cycles = base
@@ -79,8 +82,11 @@ class TestBandwidthShares:
     def test_keys(self):
         shares = bandwidth_shares(RunStats())
         assert set(shares) == {
-            "off_chip_demand", "off_chip_prefetch", "off_chip_total",
-            "l2_to_npu", "nsb_to_npu",
+            "off_chip_demand",
+            "off_chip_prefetch",
+            "off_chip_total",
+            "l2_to_npu",
+            "nsb_to_npu",
         }
 
 

@@ -57,11 +57,15 @@ class TestRunWorkload:
 
     def test_nvr_config_forwarded(self):
         shallow = run_workload(
-            "gcn", mechanism="nvr", scale=0.2,
+            "gcn",
+            mechanism="nvr",
+            scale=0.2,
             nvr_config=NVRConfig(depth_tiles=1),
         )
         deep = run_workload(
-            "gcn", mechanism="nvr", scale=0.2,
+            "gcn",
+            mechanism="nvr",
+            scale=0.2,
             nvr_config=NVRConfig(depth_tiles=8),
         )
         assert deep.total_cycles <= shallow.total_cycles
@@ -69,9 +73,7 @@ class TestRunWorkload:
 
 class TestCompare:
     def test_compare_returns_all(self):
-        results = compare_mechanisms(
-            "gcn", mechanisms=("inorder", "nvr"), scale=0.2
-        )
+        results = compare_mechanisms("gcn", mechanisms=("inorder", "nvr"), scale=0.2)
         assert set(results) == {"inorder", "nvr"}
         assert results["nvr"].total_cycles < results["inorder"].total_cycles
 
@@ -97,7 +99,9 @@ class TestMakeSystem:
         program = build_workload("gcn", scale=0.2)
         with pytest.raises(ConfigError, match="nsb=True conflicts"):
             make_system(
-                program, mechanism="nvr", nsb=True,
+                program,
+                mechanism="nvr",
+                nsb=True,
                 memory=MemoryConfig().with_nsb(True),
             )
 
@@ -106,7 +110,8 @@ class TestMakeSystem:
 
         program = build_workload("gcn", scale=0.2)
         system = make_system(
-            program, mechanism="inorder",
+            program,
+            mechanism="inorder",
             executor=ExecutorConfig(issue_width=8),
         )
         assert system.executor.issue_width == 8

@@ -78,8 +78,7 @@ class TestExport:
         assert json.loads(path.read_text())["program"] == "st"
 
     def test_numpy_values_converted(self):
-        text = export_json({"a": np.int64(3), "b": np.float32(0.5),
-                            "c": np.arange(3)})
+        text = export_json({"a": np.int64(3), "b": np.float32(0.5), "c": np.arange(3)})
         parsed = json.loads(text)
         assert parsed == {"a": 3, "b": 0.5, "c": [0, 1, 2]}
 

@@ -38,33 +38,23 @@ class TestConfig:
 
 class TestInjection:
     def _system(self, rate=100):
-        cfg = MemoryConfig().with_cpu_traffic(
-            CPUTrafficConfig(lines_per_kcycle=rate)
-        )
+        cfg = MemoryConfig().with_cpu_traffic(CPUTrafficConfig(lines_per_kcycle=rate))
         return MemorySystem(cfg, RunStats())
 
     def test_traffic_injected_over_time(self):
         mem = self._system()
-        mem.demand_access(
-            0, Access(0x1000, AccessType.DEMAND), irregular=True
-        )
-        mem.demand_access(
-            100_000, Access(0x2000, AccessType.DEMAND), irregular=True
-        )
+        mem.demand_access(0, Access(0x1000, AccessType.DEMAND), irregular=True)
+        mem.demand_access(100_000, Access(0x2000, AccessType.DEMAND), irregular=True)
         assert mem.cpu_accesses > 0
 
     def test_no_injection_without_config(self):
         mem = MemorySystem(MemoryConfig(), RunStats())
-        mem.demand_access(
-            50_000, Access(0x1000, AccessType.DEMAND), irregular=True
-        )
+        mem.demand_access(50_000, Access(0x1000, AccessType.DEMAND), irregular=True)
         assert mem.cpu_accesses == 0
 
     def test_injection_bounded_per_call(self):
         mem = self._system(rate=1000)
-        mem.demand_access(
-            10_000_000, Access(0x1000, AccessType.DEMAND), irregular=True
-        )
+        mem.demand_access(10_000_000, Access(0x1000, AccessType.DEMAND), irregular=True)
         assert mem.cpu_accesses <= MemorySystem._MAX_INJECT_PER_CALL
 
     def test_deterministic(self):

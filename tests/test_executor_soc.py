@@ -113,10 +113,7 @@ class TestMemoryAccounting:
     def test_off_chip_demand_bytes_match_misses(self):
         prog = make_program()
         stats = run(prog).stats
-        assert (
-            stats.traffic.off_chip_demand_bytes
-            == stats.l2.demand_misses * 64
-        )
+        assert stats.traffic.off_chip_demand_bytes == stats.l2.demand_misses * 64
 
     def test_batch_miss_ge_element_rate(self):
         prog = make_program(rows=60, cols=8192, density=0.02)

@@ -109,9 +109,7 @@ class TestFig6c:
 class TestFig7:
     def test_preload_model_overfetches(self):
         prog = build_workload("ds", scale=SCALE)
-        gathered = sum(
-            len(t.indices) * t.gathers[0].seg_bytes for t in prog.tiles
-        )
+        gathered = sum(len(t.indices) * t.gathers[0].seg_bytes for t in prog.tiles)
         assert explicit_preload_bytes(prog) > gathered
 
     def test_offchip_reduction_headline(self):
@@ -161,9 +159,7 @@ class TestFig9:
 
 class TestAblations:
     def test_depth_sweep_improves_over_shallow(self):
-        res = ablate_nvr_depth(
-            values=(1, 8), workloads=("ds", "st"), scale=SCALE
-        )
+        res = ablate_nvr_depth(values=(1, 8), workloads=("ds", "st"), scale=SCALE)
         assert res.values == [1, 8]
         assert set(res.cycles) == {"ds", "st"}
         # Deeper runahead hides more latency than depth 1 on these
@@ -176,12 +172,14 @@ class TestAblations:
         from repro.runner import ResultCache, SweepRunner
 
         cold = SweepRunner(cache=ResultCache(tmp_path))
-        res = ablate_nsb_size(values=(4, 16), workloads=("st",),
-                              scale=SCALE, runner=cold)
+        res = ablate_nsb_size(
+            values=(4, 16), workloads=("st",), scale=SCALE, runner=cold
+        )
         assert cold.submitted == 2
         warm = SweepRunner(cache=ResultCache(tmp_path))
-        rerun = ablate_nsb_size(values=(4, 16), workloads=("st",),
-                                scale=SCALE, runner=warm)
+        rerun = ablate_nsb_size(
+            values=(4, 16), workloads=("st",), scale=SCALE, runner=warm
+        )
         assert warm.submitted == 0
         assert rerun == res
 

@@ -35,9 +35,7 @@ events_strategy = st.lists(
 class TestHierarchyInvariants:
     @settings(max_examples=60, deadline=None)
     @given(events_strategy, st.booleans())
-    def test_random_interleavings_keep_accounting_consistent(
-        self, events, nsb
-    ):
+    def test_random_interleavings_keep_accounting_consistent(self, events, nsb):
         mem = make_system(nsb)
         stats = mem.stats
         now = 0
@@ -48,9 +46,7 @@ class TestHierarchyInvariants:
                 ready = mem.prefetch_line(now, line, irregular)
                 assert ready is None or ready >= now
             else:
-                res = mem.demand_access(
-                    now, Access(line, AccessType.DEMAND), irregular
-                )
+                res = mem.demand_access(now, Access(line, AccessType.DEMAND), irregular)
                 # Completion is causal and at least a hit latency away
                 # from issue at the serving level.
                 assert res.complete_at > now
@@ -89,11 +85,7 @@ class TestHierarchyInvariants:
         assert pf.useful + pf.late <= pf.issued
 
     @settings(max_examples=30, deadline=None)
-    @given(
-        st.lists(
-            st.integers(min_value=0, max_value=15), min_size=2, max_size=60
-        )
-    )
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=60))
     def test_second_touch_never_off_chip_within_small_set(self, lines):
         """A working set that fits in the cache never re-misses."""
         mem = make_system(nsb=False)

@@ -131,9 +131,7 @@ class TestOccupancy:
 
 class TestCacheProperties:
     @settings(max_examples=50)
-    @given(
-        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300)
-    )
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300))
     def test_repeated_access_always_hits_within_capacity(self, line_idxs):
         """Any working set <= capacity never evicts: second pass all hits."""
         working_set = sorted(set(line_idxs))[:8]  # 8 lines fit in 8-line cache
@@ -142,17 +140,13 @@ class TestCacheProperties:
             cache.allocate(0, idx * 64 * 4, ready_at=0, by_prefetch=False)
         # Use widely spaced addresses may map to same set; instead assert
         # only that lines we know resident still hit.
-        resident = [
-            idx for idx in working_set if cache.probe(idx * 64 * 4) is not None
-        ]
+        resident = [idx for idx in working_set if cache.probe(idx * 64 * 4) is not None]
         for idx in resident:
             kind, _ = cache.lookup(10, idx * 64 * 4)
             assert kind == LookupKind.HIT
 
     @settings(max_examples=50)
-    @given(
-        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
-    )
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
     def test_set_occupancy_never_exceeds_assoc(self, line_idxs):
         cache = small_cache(assoc=2, sets=4)
         for t, idx in enumerate(line_idxs):

@@ -66,11 +66,7 @@ class TestDRAMTiming:
 
 
 class TestDRAMProperties:
-    @given(
-        st.lists(
-            st.integers(min_value=0, max_value=5000), min_size=1, max_size=100
-        )
-    )
+    @given(st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=100))
     def test_completion_monotone_for_sorted_issue(self, times):
         """Completions of in-order issues never go backwards."""
         dram = DRAM(DRAMConfig(latency=50, bytes_per_cycle=8))

@@ -209,9 +209,7 @@ class TestVMIG:
 
     @settings(max_examples=30)
     @given(
-        st.lists(
-            st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=64
-        )
+        st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=64)
     )
     def test_all_lines_covered_once(self, addrs):
         vmig = VMIG(vector_width=8, line_bytes=64)

@@ -102,9 +102,7 @@ class TestNVRWithNSB:
         from repro.sparse.generate import zipf_csr
 
         w = zipf_csr(150, 4096, 0.03, alpha=1.4, seed=9)
-        prog = build_one_side_program(
-            "reuse", w, ProgramConfig(elem_bytes=2)
-        )
+        prog = build_one_side_program("reuse", w, ProgramConfig(elem_bytes=2))
         plain = run(prog)
         with_nsb = run(prog, memory=MemoryConfig().with_nsb(True))
         assert with_nsb.total_cycles < plain.total_cycles

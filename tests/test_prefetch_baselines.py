@@ -56,9 +56,7 @@ class TestStream:
         # still shorten stalls but do not count as covered.
         assert res.stats.coverage() > 0.25
         covered_or_late = res.stats.prefetch.useful + res.stats.prefetch.late
-        assert covered_or_late > 0.7 * (
-            covered_or_late + res.stats.l2.demand_misses
-        )
+        assert covered_or_late > 0.7 * (covered_or_late + res.stats.l2.demand_misses)
 
     def test_low_coverage_on_irregular(self):
         res = run(irregular_program(), StreamPrefetcher)

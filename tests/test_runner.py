@@ -44,8 +44,11 @@ def as_dicts(results):
 class TestPlan:
     def test_expand_cartesian_order(self):
         specs = expand(
-            ["ds", "st"], ["inorder", "nvr"], dtypes=["int8", "fp16"],
-            scales=[0.1, 0.2], seeds=[0, 1],
+            ["ds", "st"],
+            ["inorder", "nvr"],
+            dtypes=["int8", "fp16"],
+            scales=[0.1, 0.2],
+            seeds=[0, 1],
         )
         assert len(specs) == 2 * 2 * 2 * 2 * 2
         # Workload-major order, matching the figures' bar order.
@@ -92,7 +95,10 @@ class TestPlan:
 
     def test_round_trip_through_dict(self):
         spec = RunSpec(
-            "gcn", mechanism="nvr", scale=0.2, seed=3,
+            "gcn",
+            mechanism="nvr",
+            scale=0.2,
+            seed=3,
             memory=MemorySpec(l2_kib=128, nsb_kib=8),
             nvr=NVRSpec(depth_tiles=4),
             workload_args=(("topk_ratio", 4),),
@@ -108,7 +114,8 @@ class TestPlan:
 
         shorthand = RunSpec("ds", mechanism="nvr", nsb=True, scale=0.2)
         explicit = RunSpec(
-            "ds", scale=0.2,
+            "ds",
+            scale=0.2,
             system=SystemSpec(mechanism="nvr", nsb=True),
         )
         assert shorthand == explicit
@@ -120,9 +127,7 @@ class TestPlan:
         from repro.spec import SystemSpec
 
         with pytest.raises(ConfigError, match="not both"):
-            RunSpec(
-                "ds", system=SystemSpec(), memory=MemorySpec(l2_kib=128)
-            )
+            RunSpec("ds", system=SystemSpec(), memory=MemorySpec(l2_kib=128))
 
     def test_system_plus_conflicting_scalars_rejected(self):
         from repro.errors import ConfigError
@@ -138,9 +143,7 @@ class TestPlan:
         with pytest.raises(ConfigError, match="conflicts with"):
             RunSpec("ds", nsb=True, system=SystemSpec(mechanism="nvr"))
         # Consistent repetition stays fine.
-        spec = RunSpec(
-            "ds", mechanism="imp", system=SystemSpec(mechanism="imp")
-        )
+        spec = RunSpec("ds", mechanism="imp", system=SystemSpec(mechanism="imp"))
         assert spec.mechanism == "imp"
 
     def test_specs_are_hashable_with_object_overrides(self):
@@ -171,8 +174,7 @@ class TestPlan:
         assert RunSpec("ds", scale=1).key() == RunSpec("ds", scale=1.0).key()
         assert RunSpec("ds", seed=0).key() == RunSpec("ds", seed=False).key()
         assert RunSpec("ds", nsb=1).key() == RunSpec("ds", nsb=True).key()
-        assert (RunSpec("ds", with_base=1).key()
-                == RunSpec("ds", with_base=True).key())
+        assert RunSpec("ds", with_base=1).key() == RunSpec("ds", with_base=True).key()
 
     def test_cache_entry_with_non_object_json_is_a_miss(self, tmp_path):
         from repro.runner import ResultCache
@@ -198,11 +200,8 @@ class TestPlan:
 
 class TestPayloads:
     def test_run_result_round_trip(self):
-        result = run_workload("st", mechanism="nvr", scale=SCALE,
-                              with_base=True)
-        clone = payload_to_result(
-            json.loads(json.dumps(result_to_payload(result)))
-        )
+        result = run_workload("st", mechanism="nvr", scale=SCALE, with_base=True)
+        clone = payload_to_result(json.loads(json.dumps(result_to_payload(result))))
         assert dataclasses.asdict(clone) == dataclasses.asdict(result)
         assert clone.stall_cycles == result.stall_cycles
         assert clone.stats.coverage() == result.stats.coverage()
@@ -282,9 +281,7 @@ class TestCacheGC:
     def test_gc_evicts_least_recently_accessed_first(self, tmp_path):
         cache, paths = self._fill(tmp_path)
         total = cache.size_bytes()
-        oldest_two = (
-            paths["st"].stat().st_size + paths["ds"].stat().st_size
-        )
+        oldest_two = paths["st"].stat().st_size + paths["ds"].stat().st_size
         report = cache.gc(max_bytes=total - oldest_two)
         assert report.removed == 2
         assert not paths["st"].exists() and not paths["ds"].exists()
@@ -351,12 +348,11 @@ class TestSweepRunner:
     def test_worker_pool_persists_across_plans(self):
         with SweepRunner(jobs=2) as runner:
             runner.run_plan(small_plan())
-            pool = runner._executor
+            pool = runner.backend._executor
             assert pool is not None
-            runner.run_plan([RunSpec("gcn", scale=SCALE),
-                             RunSpec("gat", scale=SCALE)])
-            assert runner._executor is pool
-        assert runner._executor is None  # close() tore it down
+            runner.run_plan([RunSpec("gcn", scale=SCALE), RunSpec("gat", scale=SCALE)])
+            assert runner.backend._executor is pool
+        assert runner.backend._executor is None  # close() tore it down
 
     def test_deterministic_across_jobs_with_cache(self, tmp_path):
         plan = small_plan()
@@ -375,8 +371,7 @@ class TestSweepRunner:
     def test_runner_matches_direct_api(self):
         spec = RunSpec("st", mechanism="nvr", scale=SCALE, with_base=True)
         via_runner = SweepRunner().run(spec)
-        direct = run_workload("st", mechanism="nvr", scale=SCALE,
-                              with_base=True)
+        direct = run_workload("st", mechanism="nvr", scale=SCALE, with_base=True)
         assert dataclasses.asdict(via_runner) == dataclasses.asdict(direct)
 
     def test_trace_plan(self, tmp_path):
@@ -399,9 +394,7 @@ class TestCompareMechanisms:
         assert set(table) == {"inorder", "nvr"}
         assert runner.submitted == 2
         # Direct (runner-less) call gives identical results.
-        direct = compare_mechanisms(
-            "st", mechanisms=("inorder", "nvr"), scale=SCALE
-        )
+        direct = compare_mechanisms("st", mechanisms=("inorder", "nvr"), scale=SCALE)
         assert as_dicts(table.values()) == as_dicts(direct.values())
 
     def test_object_overrides_route_through_runner(self, tmp_path):
@@ -412,7 +405,8 @@ class TestCompareMechanisms:
         from repro.sim.memory.hierarchy import MemoryConfig
 
         kwargs = dict(
-            mechanisms=("inorder", "nvr"), scale=SCALE,
+            mechanisms=("inorder", "nvr"),
+            scale=SCALE,
             memory=MemoryConfig().with_nsb(True),
             nvr_config=NVRConfig(depth_tiles=2),
         )
@@ -435,7 +429,9 @@ class TestCompareMechanisms:
 
         with pytest.raises(ConfigError, match="none of the compared"):
             compare_mechanisms(
-                "st", mechanisms=("inorder", "stream"), scale=SCALE,
+                "st",
+                mechanisms=("inorder", "stream"),
+                scale=SCALE,
                 nvr_config=NVRConfig(depth_tiles=16),
             )
 
@@ -447,26 +443,33 @@ class TestCompareMechanisms:
 
         runner = SweepRunner()
         tuned = compare_mechanisms(
-            "st", mechanisms=("inorder", "nvr"), runner=runner,
-            scale=SCALE, nvr_config=NVRConfig(depth_tiles=2),
+            "st",
+            mechanisms=("inorder", "nvr"),
+            runner=runner,
+            scale=SCALE,
+            nvr_config=NVRConfig(depth_tiles=2),
         )
         plain = compare_mechanisms(
             "st", mechanisms=("inorder",), runner=runner, scale=SCALE
         )
-        assert (
-            tuned["inorder"].total_cycles == plain["inorder"].total_cycles
-        )
+        assert tuned["inorder"].total_cycles == plain["inorder"].total_cycles
         assert tuned["nvr"].total_cycles > 0
 
     def test_workload_kwargs_stay_cacheable(self, tmp_path):
         runner = SweepRunner(cache=ResultCache(tmp_path))
         compare_mechanisms(
-            "ds", mechanisms=("stream",), runner=runner, scale=SCALE,
+            "ds",
+            mechanisms=("stream",),
+            runner=runner,
+            scale=SCALE,
             topk_ratio=4,
         )
         warm = SweepRunner(cache=ResultCache(tmp_path))
         compare_mechanisms(
-            "ds", mechanisms=("stream",), runner=warm, scale=SCALE,
+            "ds",
+            mechanisms=("stream",),
+            runner=warm,
+            scale=SCALE,
             topk_ratio=4,
         )
         assert warm.submitted == 0
@@ -499,13 +502,17 @@ class TestFigureRunners:
         assert res.cell(16, 256) > 0
 
 
+def _seed_cache(cache_dir, workloads="st"):
+    """Populate ``cache_dir`` with a tiny single-mechanism sweep."""
+    argv = ["sweep", "--workloads", workloads, "--mechanisms", "inorder"]
+    cli_main(argv + ["--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+
+
 class TestCLI:
     def test_sweep_command(self, tmp_path, capsys):
-        rc = cli_main([
-            "sweep", "--workloads", "st", "--mechanisms", "inorder,nvr",
-            "--scales", str(SCALE), "--cache-dir", str(tmp_path / "c"),
-            "--json", str(tmp_path / "sweep.json"),
-        ])
+        argv = ["sweep", "--workloads", "st", "--mechanisms", "inorder,nvr"]
+        argv += ["--scales", str(SCALE), "--cache-dir", str(tmp_path / "c")]
+        rc = cli_main(argv + ["--json", str(tmp_path / "sweep.json")])
         out = capsys.readouterr().out
         assert rc == 0
         assert "2 points" in out
@@ -518,8 +525,8 @@ class TestCLI:
             cli_main(["sweep", "--workloads", "nope", "--no-cache"])
 
     def test_compare_command_with_cache(self, tmp_path, capsys):
-        args = ["compare", "st", "--scale", str(SCALE),
-                "--cache-dir", str(tmp_path / "c")]
+        args = ["compare", "st", "--scale", str(SCALE)]
+        args += ["--cache-dir", str(tmp_path / "c")]
         assert cli_main(args) == 0
         cold = capsys.readouterr().out
         assert cli_main(args) == 0
@@ -528,28 +535,24 @@ class TestCLI:
 
     def test_cache_command(self, tmp_path, capsys):
         cache_dir = tmp_path / "c"
-        cli_main(["sweep", "--workloads", "st", "--mechanisms", "inorder",
-                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        _seed_cache(cache_dir)
         capsys.readouterr()
         assert cli_main(["cache", "--cache-dir", str(cache_dir)]) == 0
         assert "entries   : 1" in capsys.readouterr().out
-        assert cli_main(["cache", "--cache-dir", str(cache_dir),
-                         "--clear"]) == 0
+        assert cli_main(["cache", "--cache-dir", str(cache_dir), "--clear"]) == 0
         assert "cleared 1" in capsys.readouterr().out
 
     def test_cache_gc_subcommand(self, tmp_path, capsys):
         cache_dir = tmp_path / "c"
-        cli_main(["sweep", "--workloads", "st,ds", "--mechanisms", "inorder",
-                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        _seed_cache(cache_dir, workloads="st,ds")
         capsys.readouterr()
-        rc = cli_main(["cache", "gc", "--max-mb", "0", "--dry-run",
-                       "--cache-dir", str(cache_dir)])
+        gc_argv = ["cache", "gc", "--max-mb", "0"]
+        rc = cli_main(gc_argv + ["--dry-run", "--cache-dir", str(cache_dir)])
         out = capsys.readouterr().out
         assert rc == 0
         assert "would evict 2/2" in out
         assert len(ResultCache(cache_dir)) == 2  # dry run kept everything
-        assert cli_main(["cache", "gc", "--max-mb", "0",
-                         "--cache-dir", str(cache_dir)]) == 0
+        assert cli_main(gc_argv + ["--cache-dir", str(cache_dir)]) == 0
         assert "evicted 2/2" in capsys.readouterr().out
         assert len(ResultCache(cache_dir)) == 0
 
@@ -557,52 +560,45 @@ class TestCLI:
         # `repro cache --cache-dir X gc` must operate on X, not on the
         # default directory (the subparser must not clobber the flag).
         cache_dir = tmp_path / "c"
-        cli_main(["sweep", "--workloads", "st", "--mechanisms", "inorder",
-                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        _seed_cache(cache_dir)
         capsys.readouterr()
-        assert cli_main(["cache", "--cache-dir", str(cache_dir),
-                         "gc", "--max-mb", "0"]) == 0
+        argv = ["cache", "--cache-dir", str(cache_dir), "gc", "--max-mb", "0"]
+        assert cli_main(argv) == 0
         assert "evicted 1/1" in capsys.readouterr().out
         assert len(ResultCache(cache_dir)) == 0
 
     def test_cache_gc_rejects_negative_max_mb(self, tmp_path, capsys):
         for bad in ("-1", "nan"):
+            argv = ["cache", "gc", "--max-mb", bad]
             with pytest.raises(SystemExit):
-                cli_main(["cache", "gc", "--max-mb", bad,
-                          "--cache-dir", str(tmp_path)])
+                cli_main(argv + ["--cache-dir", str(tmp_path)])
             assert "finite value >= 0" in capsys.readouterr().err
 
     def test_cache_clear_subcommand(self, tmp_path, capsys):
         cache_dir = tmp_path / "c"
-        cli_main(["sweep", "--workloads", "st", "--mechanisms", "inorder",
-                  "--scales", str(SCALE), "--cache-dir", str(cache_dir)])
+        _seed_cache(cache_dir)
         capsys.readouterr()
-        assert cli_main(["cache", "clear", "--cache-dir",
-                         str(cache_dir)]) == 0
+        assert cli_main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
         assert "cleared 1" in capsys.readouterr().out
 
     def test_ablate_command_bit_identical_across_jobs(self, tmp_path, capsys):
-        base = ["ablate", "nvr-depth", "--values", "1,4",
-                "--workloads", "ds", "--scale", str(SCALE)]
-        assert cli_main(base + ["--jobs", "1",
-                                "--cache-dir", str(tmp_path / "a")]) == 0
+        base = ["ablate", "nvr-depth", "--values", "1,4"]
+        base += ["--workloads", "ds", "--scale", str(SCALE)]
+        assert cli_main(base + ["--jobs", "1", "--cache-dir", str(tmp_path / "a")]) == 0
         serial = capsys.readouterr().out
-        assert cli_main(base + ["--jobs", "2",
-                                "--cache-dir", str(tmp_path / "b")]) == 0
+        assert cli_main(base + ["--jobs", "2", "--cache-dir", str(tmp_path / "b")]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
         assert "depth_tiles" in serial and "geomean speedup" in serial
         # Warm rerun from the first cache is identical too.
-        assert cli_main(base + ["--jobs", "1",
-                                "--cache-dir", str(tmp_path / "a")]) == 0
+        assert cli_main(base + ["--jobs", "1", "--cache-dir", str(tmp_path / "a")]) == 0
         assert capsys.readouterr().out == serial
 
     def test_ablate_json_record(self, tmp_path, capsys):
         out_json = tmp_path / "abl.json"
-        rc = cli_main([
-            "ablate", "nsb-size", "--values", "4,16", "--workloads", "st",
-            "--scale", str(SCALE), "--no-cache", "--json", str(out_json),
-        ])
+        argv = ["ablate", "nsb-size", "--values", "4,16", "--workloads", "st"]
+        argv += ["--scale", str(SCALE), "--no-cache", "--json", str(out_json)]
+        rc = cli_main(argv)
         capsys.readouterr()
         assert rc == 0
         record = json.loads(out_json.read_text())

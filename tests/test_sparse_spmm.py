@@ -29,9 +29,7 @@ class TestOneSide:
         assert np.allclose(out, expected, rtol=1e-5)
 
     def test_empty_rows_produce_zeros(self):
-        w = CSRMatrix.from_dense(
-            np.array([[0, 0], [1, 0]], dtype=np.float32)
-        )
+        w = CSRMatrix.from_dense(np.array([[0, 0], [1, 0]], dtype=np.float32))
         ia = np.ones((2, 3), dtype=np.float32)
         out = spmm_one_side(w, ia)
         assert np.array_equal(out[0], np.zeros(3, dtype=np.float32))

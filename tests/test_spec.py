@@ -39,30 +39,39 @@ def golden_specs() -> dict[str, RunSpec]:
     return {
         "default": RunSpec("ds"),
         "scalar-axes": RunSpec(
-            "gcn", mechanism="inorder", dtype="int8", nsb=True,
-            scale=0.25, seed=7, with_base=True,
+            "gcn",
+            mechanism="inorder",
+            dtype="int8",
+            nsb=True,
+            scale=0.25,
+            seed=7,
+            with_base=True,
         ),
         "workload-args": RunSpec(
-            "ds", workload_args=(("topk_ratio", 4), ("drift", 1.0)),
+            "ds",
+            workload_args=(("topk_ratio", 4), ("drift", 1.0)),
         ),
         "trace": RunSpec("st", kind="trace", scale=0.1),
-        "memory-shorthand": RunSpec(
-            "ds", memory=MemorySpec(l2_kib=128, nsb_kib=8)
-        ),
+        "memory-shorthand": RunSpec("ds", memory=MemorySpec(l2_kib=128, nsb_kib=8)),
         "memory-full": RunSpec(
             "ds", memory=MemoryConfig().with_cpu_traffic(
                 CPUTrafficConfig(lines_per_kcycle=10)
             ),
         ),
         "nvr-tuned": RunSpec(
-            "gat", mechanism="nvr",
+            "gat",
+            mechanism="nvr",
             nvr=NVRConfig(depth_tiles=4, vector_width=8, approximate=False),
         ),
         "executor-tuned": RunSpec(
             "scn", executor=ExecutorConfig(issue_width=4, ooo_window=16)
         ),
         "kitchen-sink": RunSpec(
-            "h2o", mechanism="nvr", dtype="int32", scale=0.5, seed=3,
+            "h2o",
+            mechanism="nvr",
+            dtype="int32",
+            scale=0.5,
+            seed=3,
             with_base=True,
             memory=MemorySpec(l2_kib=512, nsb_kib=32, cpu_traffic=True),
             nvr=NVRConfig(depth_tiles=16),
@@ -73,16 +82,17 @@ def golden_specs() -> dict[str, RunSpec]:
 
 
 class TestConfigRoundTrips:
-    @pytest.mark.parametrize("config", [
-        MemoryConfig(),
-        MemoryConfig().with_nsb(True),
-        MemoryConfig().with_cpu_traffic(),
-        MemorySpec(l2_kib=1024, nsb_kib=4).build(),
-    ])
+    @pytest.mark.parametrize(
+        "config",
+        [
+            MemoryConfig(),
+            MemoryConfig().with_nsb(True),
+            MemoryConfig().with_cpu_traffic(),
+            MemorySpec(l2_kib=1024, nsb_kib=4).build(),
+        ],
+    )
     def test_memory_config(self, config):
-        clone = MemoryConfig.from_dict(
-            json.loads(json.dumps(config.to_dict()))
-        )
+        clone = MemoryConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert clone == config
 
     def test_nvr_config(self):
@@ -92,9 +102,7 @@ class TestConfigRoundTrips:
 
     def test_executor_config(self):
         config = ExecutorConfig(issue_width=4, preload_granule=1024)
-        clone = ExecutorConfig.from_dict(
-            json.loads(json.dumps(config.to_dict()))
-        )
+        clone = ExecutorConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert clone == config
 
     def test_from_dict_rejects_unknown_fields(self):
@@ -126,9 +134,7 @@ class TestSystemSpec:
 
     @pytest.mark.parametrize("mode", sorted(ENGINES))
     def test_every_engine_reachable_and_spec_able(self, mode):
-        mechanism = next(
-            name for name, d in MECHANISMS.items() if d.mode == mode
-        )
+        mechanism = next(name for name, d in MECHANISMS.items() if d.mode == mode)
         spec = SystemSpec(mechanism=mechanism)
         clone = SystemSpec.from_dict(spec.to_dict())
         assert clone == spec
@@ -144,9 +150,7 @@ class TestSystemSpec:
     def test_equal_platforms_are_equal_specs(self):
         # The canonicalisation contract: however a platform is written,
         # the spec (equality, hash, content key) is the same.
-        assert SystemSpec(nsb=True) == SystemSpec(
-            memory=MemoryConfig().with_nsb(True)
-        )
+        assert SystemSpec(nsb=True) == SystemSpec(memory=MemoryConfig().with_nsb(True))
         assert SystemSpec(nvr=NVRConfig()) == SystemSpec()
         assert SystemSpec(memory=MemoryConfig()) == SystemSpec()
         assert SystemSpec(executor=ExecutorConfig()) == SystemSpec()
@@ -205,7 +209,8 @@ class TestIncompatibleCombinations:
     def test_nsb_toggle_conflicts_with_memory_nsb(self):
         with pytest.raises(ConfigError, match="nsb=True conflicts"):
             SystemSpec(
-                mechanism="nvr", nsb=True,
+                mechanism="nvr",
+                nsb=True,
                 memory=MemoryConfig().with_nsb(True),
             )
 
@@ -214,13 +219,12 @@ class TestIncompatibleCombinations:
 
         program = build_workload("st", scale=0.05)
         with pytest.raises(ConfigError, match="nsb=True conflicts"):
-            make_system(
-                program, nsb=True, memory=MemoryConfig().with_nsb(True)
-            )
+            make_system(program, nsb=True, memory=MemoryConfig().with_nsb(True))
 
     def test_nsb_toggle_with_plain_memory_override_is_fine(self):
         spec = SystemSpec(
-            mechanism="nvr", nsb=True,
+            mechanism="nvr",
+            nsb=True,
             memory=MemorySpec(l2_kib=128).build(),
         )
         assert spec.resolved_memory().nsb is not None
@@ -229,9 +233,7 @@ class TestIncompatibleCombinations:
         from repro.api import run_workload
 
         with pytest.raises(ConfigError):
-            run_workload(
-                "st", mechanism="ooo", scale=0.05, nvr_config=NVRConfig()
-            )
+            run_workload("st", mechanism="ooo", scale=0.05, nvr_config=NVRConfig())
 
     def test_unknown_mechanism_lists_known(self):
         with pytest.raises(ConfigError, match="unknown mechanism 'magic'"):
@@ -260,9 +262,7 @@ class TestRegistry:
     def test_mechanism_plugs_in_without_touching_api(self):
         # The extension path: register, run through the public API by
         # name, spec it, cache-key it — then unregister cleanly.
-        MECHANISMS.register(
-            "null2", MechanismDef("null2", NullPrefetcher, mode="ooo")
-        )
+        MECHANISMS.register("null2", MechanismDef("null2", NullPrefetcher, mode="ooo"))
         try:
             from repro.api import run_workload
 

@@ -48,9 +48,7 @@ class TestReuseDistances:
         assert len(reuse_distances(np.zeros(0, dtype=np.int64))) == 0
 
     @settings(max_examples=40)
-    @given(
-        st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=80)
-    )
+    @given(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=80))
     def test_matches_naive_reference(self, trace_list):
         trace = np.asarray(trace_list, dtype=np.int64)
         fast = list(reuse_distances(trace))

@@ -36,8 +36,12 @@ class TestGatherStreamCompressed:
     def test_address_through_rowptr(self):
         rowptr = np.array([0, 3, 3, 10], dtype=np.int64)
         gs = GatherStream(
-            stream_id=3, base=0x1000, row_bytes=2, n_slots=3,
-            table_rowptr=rowptr, elem_bytes=2,
+            stream_id=3,
+            base=0x1000,
+            row_bytes=2,
+            n_slots=3,
+            table_rowptr=rowptr,
+            elem_bytes=2,
         )
         assert gs.address(0) == 0x1000
         assert gs.address(2) == 0x1000 + 3 * 2
@@ -47,8 +51,12 @@ class TestGatherStreamCompressed:
     def test_segment_bytes_dynamic(self):
         rowptr = np.array([0, 3, 3, 10], dtype=np.int64)
         gs = GatherStream(
-            stream_id=3, base=0, row_bytes=2, n_slots=3,
-            table_rowptr=rowptr, elem_bytes=2,
+            stream_id=3,
+            base=0,
+            row_bytes=2,
+            n_slots=3,
+            table_rowptr=rowptr,
+            elem_bytes=2,
         )
         assert gs.segment_bytes(0) == 6
         assert gs.segment_bytes(1) == 1  # empty row clamps to 1 byte
@@ -57,8 +65,12 @@ class TestGatherStreamCompressed:
     def test_footprint_is_nnz_bytes(self):
         rowptr = np.array([0, 3, 10], dtype=np.int64)
         gs = GatherStream(
-            stream_id=3, base=0, row_bytes=2, n_slots=2,
-            table_rowptr=rowptr, elem_bytes=2,
+            stream_id=3,
+            base=0,
+            row_bytes=2,
+            n_slots=2,
+            table_rowptr=rowptr,
+            elem_bytes=2,
         )
         assert gs.footprint_bytes() == 20
 
@@ -151,8 +163,12 @@ class TestExecutionAndPrefetch:
 
     def test_nvr_beats_baselines(self, program):
         nvr = System(program=program, prefetcher_factory=NVRPrefetcher).run()
-        for factory in (NullPrefetcher, IndirectMemoryPrefetcher,
-                        DecoupledVectorRunahead):
+        baselines = (
+            NullPrefetcher,
+            IndirectMemoryPrefetcher,
+            DecoupledVectorRunahead,
+        )
+        for factory in baselines:
             other = System(program=program, prefetcher_factory=factory).run()
             assert nvr.total_cycles < other.total_cycles
 

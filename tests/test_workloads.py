@@ -48,9 +48,7 @@ class TestRegistry:
     def test_seed_changes_trace(self, short):
         a = build_workload(short, scale=SCALE, seed=1)
         b = build_workload(short, scale=SCALE, seed=2)
-        assert not (
-            a.nnz == b.nnz and np.array_equal(a.col_stream, b.col_stream)
-        )
+        assert not (a.nnz == b.nnz and np.array_equal(a.col_stream, b.col_stream))
 
     @pytest.mark.parametrize("short", WORKLOAD_ORDER)
     def test_footprint_exceeds_l2(self, short):
