@@ -1,0 +1,38 @@
+"""Session API overhead — warm Grid sweep (plan build + cache hits).
+
+The front-door contract: a warm ``session.sweep(grid)`` pays only Grid
+expansion, spec canonicalisation/keying, cache lookups and ResultSet
+assembly — zero simulation. This benchmark times exactly that path, so
+API-layer regressions (an accidentally quadratic expansion, a spec
+re-serialisation per lookup, a cache scan per point) show up in the
+``benchmarks-regression`` CI gate even though each is milliseconds.
+"""
+
+from conftest import run_once
+
+from repro import Grid, Session
+from repro.api import MECHANISM_ORDER
+
+GRID_SCALE = 0.1
+
+
+def _grid() -> Grid:
+    return Grid(
+        workload=("ds", "st"),
+        mechanism=MECHANISM_ORDER,
+        scale=GRID_SCALE,
+        with_base=True,
+    )
+
+
+def test_bench_session_warm_grid(benchmark, tmp_path):
+    with Session(cache_dir=tmp_path) as cold:
+        cold.sweep(_grid())
+        assert cold.submitted == len(_grid())
+
+    with Session(cache_dir=tmp_path) as warm:
+        rs = run_once(benchmark, lambda: warm.sweep(_grid()))
+        assert warm.submitted == 0
+        assert warm.cache_hits == len(_grid())
+        assert len(rs) == len(_grid())
+        assert all(r.total_cycles > 0 for r in rs.results)

@@ -7,7 +7,10 @@ shows how NVR's Loop Boundary Detector handles them, and what GAT's
 second gather chain (attention coefficients) costs.
 
 Run:  python examples/gnn_spmm.py
+      (scale honours $REPRO_EXAMPLE_SCALE; default 0.5)
 """
+
+import os
 
 import numpy as np
 
@@ -16,10 +19,13 @@ from repro.analysis import format_table
 from repro.workloads import build_workload, trace_stats
 
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", 0.5))
+
+
 def main() -> None:
     rows = []
     for workload in ("gcn", "gat"):
-        program = build_workload(workload, scale=0.5)
+        program = build_workload(workload, scale=SCALE)
         stats = trace_stats(program)
         degrees = np.diff(program.rowptr)
         degrees = degrees[degrees > 0]
@@ -32,7 +38,7 @@ def main() -> None:
         )
         for mechanism in ("inorder", "dvr", "nvr"):
             result = run_workload(
-                workload, mechanism=mechanism, scale=0.5, with_base=True
+                workload, mechanism=mechanism, scale=SCALE, with_base=True
             )
             rows.append(
                 [

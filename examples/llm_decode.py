@@ -6,7 +6,10 @@ runs, then prints prefill and decode throughput-vs-bandwidth series for
 the baseline NPU and NVR — the paper's system-level evaluation.
 
 Run:  python examples/llm_decode.py
+      (calibration scale honours $REPRO_EXAMPLE_SCALE; default 0.3)
 """
+
+import os
 
 from repro.analysis import format_series
 from repro.llm import (
@@ -19,13 +22,16 @@ from repro.llm import (
 )
 
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", 0.3))
+
+
 def main() -> None:
     spec = TransformerSpec()
     hw = NPUHardware()
     print("calibrating memory behaviour from the DS micro-benchmark ...")
     calibs = {
-        "baseline": calibrate_memory_efficiency("inorder", scale=0.3),
-        "nvr": calibrate_memory_efficiency("nvr", scale=0.3),
+        "baseline": calibrate_memory_efficiency("inorder", scale=SCALE),
+        "nvr": calibrate_memory_efficiency("nvr", scale=SCALE),
     }
     for name, calib in calibs.items():
         print(
@@ -60,7 +66,7 @@ def main() -> None:
         print()
 
     print("-- Fig. 8a: per-layer miss rates (batch / element) --")
-    rates = layer_miss_rates(scale=0.3)
+    rates = layer_miss_rates(scale=SCALE)
     for layer, per_mech in rates.items():
         cells = ", ".join(
             f"{mech}: {b:.4f}/{e:.4f}" for mech, (b, e) in per_mech.items()

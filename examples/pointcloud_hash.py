@@ -12,16 +12,22 @@ rulebooks. The index-to-address map is *not affine*, so:
 This is the paper's central capability argument, shown live.
 
 Run:  python examples/pointcloud_hash.py
+      (scale honours $REPRO_EXAMPLE_SCALE; default 0.5)
 """
+
+import os
 
 from repro import compare_mechanisms
 from repro.analysis import format_table
 from repro.workloads import build_workload, trace_stats
 
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", 0.5))
+
+
 def main() -> None:
     for workload in ("mk", "scn"):
-        program = build_workload(workload, scale=0.5)
+        program = build_workload(workload, scale=SCALE)
         stats = trace_stats(program)
         print(
             f"{workload}: {stats.gather_elements} gathers over "
@@ -32,7 +38,7 @@ def main() -> None:
         results = compare_mechanisms(
             workload,
             mechanisms=("inorder", "stream", "imp", "dvr", "nvr"),
-            scale=0.5,
+            scale=SCALE,
         )
         base = results["inorder"].total_cycles
         rows = [

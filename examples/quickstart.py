@@ -1,75 +1,86 @@
 #!/usr/bin/env python3
-"""Quickstart: run one sparse workload under every mechanism.
+"""Quickstart: one Session, one Grid, one ResultSet.
 
 Reproduces one group of Fig. 5 bars in miniature: the GCN SpMM workload
 executed by the in-order NPU, ideal OoO, the three baseline prefetchers
-and NVR — with and without the NSB.
+and NVR — with and without the NSB. Everything runs through a single
+:class:`repro.Session`, so the points are cached on disk
+(``$REPRO_CACHE_DIR`` or ``.repro-cache/``) and re-running this script
+simulates nothing.
 
 Run:  python examples/quickstart.py [scale]
+      (scale also honours $REPRO_EXAMPLE_SCALE; default 0.5)
 """
 
+import os
 import sys
 
-from repro import MECHANISM_ORDER, run_workload
+from repro import MECHANISM_ORDER, Grid, Session
 from repro.analysis import format_table
 
 
 def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    scale = float(
+        sys.argv[1] if len(sys.argv) > 1 else os.environ.get("REPRO_EXAMPLE_SCALE", 0.5)
+    )
     workload = "gcn"
     print(f"workload: {workload} (scale={scale})\n")
 
-    rows = []
-    baseline_cycles = None
-    for mechanism in MECHANISM_ORDER:
-        result = run_workload(
-            workload, mechanism=mechanism, scale=scale, with_base=True
+    with Session() as session:
+        # The six Fig. 5 mechanisms plus the NVR+NSB configuration, as
+        # one declarative grid (nsb=True only pairs with nvr, so the NSB
+        # point is a second one-point grid appended to the plan).
+        grid = Grid(
+            workload=workload,
+            mechanism=MECHANISM_ORDER,
+            scale=scale,
+            with_base=True,
         )
-        if baseline_cycles is None:
-            baseline_cycles = result.total_cycles
-        stats = result.stats
-        rows.append(
-            [
-                mechanism,
-                result.total_cycles,
-                round(result.total_cycles / baseline_cycles, 3),
-                round(result.stall_cycles / result.total_cycles, 3),
-                round(stats.prefetch.accuracy, 3),
-                round(stats.coverage(), 3),
-                stats.l2.demand_misses,
-            ]
+        nsb_point = Grid(
+            workload=workload, mechanism="nvr", nsb=True, scale=scale, with_base=True
+        )
+        rs = session.sweep(grid.specs() + nsb_point.specs())
+
+        baseline = rs.one(mechanism="inorder", nsb=False)
+        rows = []
+        for spec, result in rs:
+            label = spec.mechanism + ("+nsb" if spec.nsb else "")
+            rows.append(
+                [
+                    label,
+                    result.total_cycles,
+                    round(result.total_cycles / baseline.total_cycles, 3),
+                    round(result.stall_cycles / result.total_cycles, 3),
+                    round(result.stats.prefetch.accuracy, 3),
+                    round(result.stats.coverage(), 3),
+                    result.stats.l2.demand_misses,
+                ]
+            )
+        print(
+            format_table(
+                [
+                    "mechanism",
+                    "cycles",
+                    "norm",
+                    "stall%",
+                    "accuracy",
+                    "coverage",
+                    "L2 misses",
+                ],
+                rows,
+                title="GCN sparse aggregation - mechanism comparison",
+            )
         )
 
-    nsb = run_workload(workload, mechanism="nvr", nsb=True, scale=scale, with_base=True)
-    rows.append(
-        [
-            "nvr+nsb",
-            nsb.total_cycles,
-            round(nsb.total_cycles / baseline_cycles, 3),
-            round(nsb.stall_cycles / nsb.total_cycles, 3),
-            round(nsb.stats.prefetch.accuracy, 3),
-            round(nsb.stats.coverage(), 3),
-            nsb.stats.l2.demand_misses,
-        ]
-    )
-
-    print(
-        format_table(
-            [
-                "mechanism",
-                "cycles",
-                "norm",
-                "stall%",
-                "accuracy",
-                "coverage",
-                "L2 misses",
-            ],
-            rows,
-            title="GCN sparse aggregation - mechanism comparison",
+        nsb = rs.one(mechanism="nvr", nsb=True)
+        speedup = baseline.total_cycles / nsb.total_cycles
+        print(f"\nNVR+NSB speedup over the in-order NPU: {speedup:.2f}x")
+        report = session.last_report
+        print(
+            f"(session: {session.submitted} points simulated, "
+            f"{session.cache_hits} cache hits; rerun this script for a "
+            f"{report.total}-point warm pass)"
         )
-    )
-    speedup = baseline_cycles / nsb.total_cycles
-    print(f"\nNVR+NSB speedup over the in-order NPU: {speedup:.2f}x")
 
 
 if __name__ == "__main__":

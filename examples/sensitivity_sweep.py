@@ -1,64 +1,98 @@
 #!/usr/bin/env python3
-"""Design-space sensitivity: NSB vs L2 area (Fig. 9) and runahead depth.
+"""Design-space sensitivity with Grid + ResultSet.
 
-Sweeps the NSB/L2 sizing grid with the paper's metric
-(perf = 1 / (latency x area)) and then ablates NVR's runahead distance
-and fuzzy-boundary setting on the Double-Sparsity workload.
+Sweeps the NSB/L2 sizing grid (Fig. 9) with the paper's metric
+(perf = 1 / (latency x area)) as a two-axis :meth:`ResultSet.pivot`,
+then ablates NVR's runahead distance and fuzzy-boundary setting on the
+same shared :class:`repro.Session` — the derived platform axes
+(``nsb_kib``, ``l2_kib``, ``nvr_depth``, ``nvr_fuzz``) are plain Grid
+keywords, no config objects required.
 
 Run:  python examples/sensitivity_sweep.py
+      (scale honours $REPRO_EXAMPLE_SCALE; default 0.3/0.4)
 """
 
-from repro import run_workload
-from repro.analysis import fig9_nsb_sensitivity, format_grid, format_table
-from repro.core import NVRConfig
+import os
+
+from repro import Grid, Session
+from repro.analysis import format_grid, format_table
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", 0.3))
+ABLATE_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", 0.4))
 
 
 def main() -> None:
-    print("-- Fig. 9: NSB x L2 sensitivity (perf = 1/(latency x area)) --")
-    grid = fig9_nsb_sensitivity(scale=0.3)
-    print(
-        format_grid(
-            [f"NSB {n} KiB" for n in grid.nsb_sizes],
-            [f"L2 {l}" for l in grid.l2_sizes],
-            grid.perf,
+    with Session() as session:
+        print("-- Fig. 9: NSB x L2 sensitivity (perf = 1/(latency x area)) --")
+        nsb_sizes, l2_sizes = (4, 8, 16, 32), (64, 128, 256, 512, 1024)
+        rs = session.sweep(
+            Grid(
+                workload="ds",
+                mechanism="nvr",
+                scale=SCALE,
+                nsb_kib=nsb_sizes,
+                l2_kib=l2_sizes,
+            )
         )
-    )
-    print(
-        f"\nGrowing NSB 4->16 KiB at 256 KiB L2 yields "
-        f"{grid.nsb_vs_l2_benefit():.1f}x the benefit of growing the L2 "
-        f"256->1024 KiB (paper: ~5x).\n"
-    )
+        pivot = rs.pivot(rows="nsb_kib", cols="l2_kib", value="total_cycles")
+        # Area-normalise each cell: perf = 1 / (latency x (nsb + l2)).
+        perf = [
+            [1e9 / (cycles * (nsb + l2)) for cycles, l2 in zip(series, pivot.cols)]
+            for series, nsb in zip(pivot.values, pivot.rows)
+        ]
+        print(
+            format_grid(
+                [f"NSB {n} KiB" for n in pivot.rows],
+                [f"L2 {l}" for l in pivot.cols],
+                perf,
+            )
+        )
+        nsb_gain = perf[2][2] / perf[0][2]  # NSB 4->16 at 256 KiB L2
+        l2_gain = perf[0][4] / perf[0][2]  # L2 256->1024 at 4 KiB NSB
+        print(
+            f"\nGrowing NSB 4->16 KiB at 256 KiB L2 yields "
+            f"{nsb_gain / l2_gain:.1f}x the benefit of growing the L2 "
+            f"256->1024 KiB (paper: ~5x).\n"
+        )
 
-    print("-- Ablation: runahead depth (tiles ahead) --")
-    rows = []
-    for depth in (1, 2, 4, 8, 16):
-        result = run_workload(
-            "ds",
-            mechanism="nvr",
-            scale=0.4,
-            nvr_config=NVRConfig(depth_tiles=depth),
+        print("-- Ablation: runahead depth (tiles ahead) --")
+        rs = session.sweep(
+            Grid(
+                workload="ds",
+                mechanism="nvr",
+                scale=ABLATE_SCALE,
+                nvr_depth=(1, 2, 4, 8, 16),
+            )
         )
-        rows.append([depth, result.total_cycles, round(result.stats.coverage(), 3)])
-    print(format_table(["depth", "cycles", "coverage"], rows))
+        rows = [
+            [depth, r.total_cycles, round(r.stats.coverage(), 3)]
+            for depth, r in ((d, rs.one(nvr_depth=d)) for d in (1, 2, 4, 8, 16))
+        ]
+        print(format_table(["depth", "cycles", "coverage"], rows))
 
-    print("\n-- Ablation: fuzzy boundary prefetch --")
-    rows = []
-    for fuzz in (0, 1, 2, 4):
-        result = run_workload(
-            "gcn",
-            mechanism="nvr",
-            scale=0.4,
-            nvr_config=NVRConfig(fuzz_vectors=fuzz),
+        print("\n-- Ablation: fuzzy boundary prefetch --")
+        rs = session.sweep(
+            Grid(
+                workload="gcn",
+                mechanism="nvr",
+                scale=ABLATE_SCALE,
+                nvr_fuzz=(0, 1, 2, 4),
+            )
         )
-        rows.append(
+        rows = [
             [
                 fuzz,
-                result.total_cycles,
-                round(result.stats.prefetch.accuracy, 3),
-                round(result.stats.coverage(), 3),
+                r.total_cycles,
+                round(r.stats.prefetch.accuracy, 3),
+                round(r.stats.coverage(), 3),
             ]
+            for fuzz, r in ((f, rs.one(nvr_fuzz=f)) for f in (0, 1, 2, 4))
+        ]
+        print(format_table(["fuzz vectors", "cycles", "accuracy", "coverage"], rows))
+        print(
+            f"\n(session: {session.submitted} simulated, "
+            f"{session.cache_hits} cache hits)"
         )
-    print(format_table(["fuzz vectors", "cycles", "accuracy", "coverage"], rows))
 
 
 if __name__ == "__main__":

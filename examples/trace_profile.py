@@ -7,7 +7,10 @@ distribution (Mattson). This example profiles each Table II workload and
 cross-checks the analytic curve against the simulator.
 
 Run:  python examples/trace_profile.py
+      (scale honours $REPRO_EXAMPLE_SCALE; default 0.25)
 """
+
+import os
 
 from repro import run_workload
 from repro.analysis import format_table
@@ -18,7 +21,7 @@ from repro.analysis.traces import (
 )
 from repro.workloads import WORKLOAD_ORDER, build_workload
 
-SCALE = 0.25
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", 0.25))
 
 
 def main() -> None:

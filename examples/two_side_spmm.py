@@ -7,7 +7,10 @@ prefetchers (IMP) and CPU-side runahead (DVR) cover only the W index
 stream; NVR walks the full chain on the sparse unit.
 
 Run:  python examples/two_side_spmm.py
+      (matrix sizes honour $REPRO_EXAMPLE_SCALE; default 1.0)
 """
+
+import os
 
 import numpy as np
 
@@ -26,9 +29,13 @@ from repro.sparse.generate import uniform_csr
 from repro.sparse.spmm import spmm_two_side
 
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", 1.0))
+
+
 def main() -> None:
-    weights = uniform_csr(120, 1024, 0.03, seed=1)
-    activations = uniform_csr(1024, 2048, 0.02, seed=2)
+    inner = max(64, int(1024 * SCALE))
+    weights = uniform_csr(max(16, int(120 * SCALE)), inner, 0.03, seed=1)
+    activations = uniform_csr(inner, max(64, int(2048 * SCALE)), 0.02, seed=2)
 
     # Functional ground truth: the reference kernel agrees with dense math.
     reference = spmm_two_side(weights, activations)

@@ -26,19 +26,25 @@ from .api import (
     make_system,
     run_workload,
 )
+from .resultset import ResultSet
 from .runner import ResultCache, RunSpec, SweepRunner, expand
+from .session import Grid, Session, default_session
 from .spec import SystemSpec
 
 __all__ = [
     "DTYPE_BYTES",
+    "Grid",
     "MECHANISMS",
     "MECHANISM_ORDER",
-    "WORKLOADS",
     "ResultCache",
+    "ResultSet",
     "RunSpec",
+    "Session",
     "SweepRunner",
     "SystemSpec",
+    "WORKLOADS",
     "compare_mechanisms",
+    "default_session",
     "expand",
     "make_system",
     "run_workload",

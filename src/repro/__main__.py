@@ -18,18 +18,25 @@ Usage::
     python -m repro cache gc --max-mb 64 --dry-run
     python -m repro cache clear
 
-``compare``, ``sweep``, ``ablate`` and ``figures`` execute through the
-sweep runner: ``--jobs N`` fans the plan out over N worker processes and
-every result is memoised in the on-disk cache (``.repro-cache/`` by
-default; disable with ``--no-cache``), so repeated and overlapping
-sweeps only simulate new points. ``--backend shards`` runs the missing
-points as share-nothing ``repro worker`` subprocesses over serialized
-shards instead — the same wire format the ``plan``/``worker`` commands
-expose for multi-machine sweeps: *export* a plan, *shard* it, run each
-shard with ``worker run`` wherever, and *merge* the result files back
-into the cache; figure runs then consume them as ordinary warm hits.
-``cache gc`` bounds the cache's size with least-recently-accessed
-eviction.
+Every executing subcommand (``run``, ``compare``, ``sweep``, ``ablate``,
+``figures``) shares one parent parser of session flags —
+``--jobs/--backend/--work-dir/--no-cache/--cache-dir`` — and builds one
+:class:`~repro.session.Session` from them: ``--jobs N`` fans plans out
+over N worker processes and every result (single ``run`` points
+included) is memoised in the on-disk cache (``.repro-cache/`` or
+``$REPRO_CACHE_DIR``; disable with ``--no-cache``), so repeated and
+overlapping invocations only simulate new points. ``--backend shards``
+runs the missing points as share-nothing ``repro worker`` subprocesses
+over serialized shards instead — the same wire format the
+``plan``/``worker`` commands expose for multi-machine sweeps: *export* a
+plan, *shard* it, run each shard with ``worker run`` wherever, and
+*merge* the result files back into the cache; figure runs then consume
+them as ordinary warm hits. ``cache gc`` bounds the cache's size with
+least-recently-accessed eviction.
+
+``sweep`` expands its axis flags through a declarative
+:class:`~repro.session.Grid` and dumps its ``--json`` payload from the
+:class:`~repro.resultset.ResultSet` record format.
 """
 
 from __future__ import annotations
@@ -41,19 +48,12 @@ from pathlib import Path
 
 from .analysis import format_table, table1_overhead, table2_workloads
 from .analysis.experiments import ABLATION_WORKLOADS, ABLATIONS
-from .analysis.paperfigs import (
-    add_runner_arguments,
-    figures_plan,
-    main as figures_main,
-    runner_from_args,
-)
-from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms, run_workload
+from .analysis.paperfigs import figures_plan, generate_report
+from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms
 from .errors import ReproError
 from .runner import (
-    DEFAULT_CACHE_DIR,
     Plan,
     ResultCache,
-    expand,
     merge_results,
     result_to_payload,
     run_shard,
@@ -61,19 +61,26 @@ from .runner import (
     write_results,
 )
 from .runner.progress import Progress
+from .session import (
+    Grid,
+    add_session_arguments,
+    resolve_cache_dir,
+    session_from_args,
+)
 from .workloads import WORKLOAD_ORDER
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_workload(
-        args.workload,
-        mechanism=args.mechanism,
-        dtype=args.dtype,
-        nsb=args.nsb,
-        scale=args.scale,
-        seed=args.seed,
-        with_base=True,
-    )
+    with session_from_args(args, quiet=True) as session:
+        result = session.run(
+            args.workload,
+            mechanism=args.mechanism,
+            dtype=args.dtype,
+            nsb=args.nsb,
+            scale=args.scale,
+            seed=args.seed,
+            with_base=True,
+        )
     stats = result.stats
     print(f"workload   : {result.program_name}")
     print(f"mechanism  : {result.mechanism} ({result.mode})")
@@ -87,10 +94,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    with runner_from_args(args) as runner:
+    with session_from_args(args) as session:
         results = compare_mechanisms(
             args.workload,
-            runner=runner,
+            runner=session,
             dtype=args.dtype,
             nsb=args.nsb,
             scale=args.scale,
@@ -143,19 +150,19 @@ def _numbers(text: str, parse, axis: str) -> tuple:
         raise SystemExit(f"invalid {axis} list '{text}'") from None
 
 
-def _sweep_specs(args: argparse.Namespace) -> list:
-    """Expand the sweep CLI's axis flags into a plan."""
-    return expand(
-        workloads=_csv(args.workloads, WORKLOAD_ORDER, "workload"),
-        mechanisms=_csv(
+def _sweep_grid(args: argparse.Namespace) -> Grid:
+    """The sweep CLI's axis flags as a declarative :class:`Grid`."""
+    return Grid(
+        workload=_csv(args.workloads, WORKLOAD_ORDER, "workload"),
+        mechanism=_csv(
             args.mechanisms,
             tuple(MECHANISM_ORDER) + ("preload",),
             "mechanism",
         ),
-        dtypes=_csv(args.dtypes, tuple(DTYPE_BYTES), "dtype"),
+        dtype=_csv(args.dtypes, tuple(DTYPE_BYTES), "dtype"),
         nsb=(False, True) if args.nsb == "both" else (args.nsb == "on",),
-        scales=_numbers(args.scales, float, "scale"),
-        seeds=_numbers(args.seeds, int, "seed"),
+        scale=_numbers(args.scales, float, "scale"),
+        seed=_numbers(args.seeds, int, "seed"),
         with_base=args.with_base,
     )
 
@@ -188,50 +195,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Plans mix kinds (sim/trace/with_base), so the per-point metrics
         # table is skipped in favour of raw payload records.
         plan = Plan.load(args.spec)
-        with runner_from_args(args) as runner:
-            results = runner.run_plan(plan.specs)
-        report = runner.last_report
+        with session_from_args(args) as session:
+            rs = session.sweep(plan)
+        report = session.last_report
         print(
             f"plan {args.spec}: {report.total} points, "
             f"{report.submitted} simulated, {report.cache_hits} cached"
         )
         if args.json is not None:
-            records = _payload_records(plan.specs, results)
+            records = _payload_records(rs.specs, rs.results)
             with open(args.json, "w", encoding="utf-8") as handle:
                 json.dump(records, handle, indent=1, sort_keys=True)
             print(f"wrote {args.json} ({len(records)} records)")
         return 0
-    specs = _sweep_specs(args)
-    with runner_from_args(args) as runner:
-        results = runner.run_plan(specs)
-    rows, records = [], []
-    for spec, result in zip(specs, results):
-        rows.append(
-            [
-                spec.workload,
-                spec.mechanism,
-                spec.dtype,
-                "y" if spec.nsb else "n",
-                spec.scale,
-                spec.seed,
-                result.total_cycles,
-                round(result.stats.prefetch.accuracy, 3),
-                round(result.stats.coverage(), 3),
-                result.stats.traffic.off_chip_total_bytes,
-            ]
-        )
-        records.append(
-            {
-                "spec": spec.to_dict(),
-                "total_cycles": result.total_cycles,
-                "base_cycles": result.base_cycles,
-                "accuracy": result.stats.prefetch.accuracy,
-                "coverage": result.stats.coverage(),
-                "off_chip_bytes": result.stats.traffic.off_chip_total_bytes,
-                "l2_demand_misses": result.stats.l2.demand_misses,
-            }
-        )
-    report = runner.last_report
+    with session_from_args(args) as session:
+        rs = session.sweep(_sweep_grid(args))
+    rows = [
+        [
+            spec.workload,
+            spec.mechanism,
+            spec.dtype,
+            "y" if spec.nsb else "n",
+            spec.scale,
+            spec.seed,
+            result.total_cycles,
+            round(result.stats.prefetch.accuracy, 3),
+            round(result.stats.coverage(), 3),
+            result.stats.traffic.off_chip_total_bytes,
+        ]
+        for spec, result in rs
+    ]
+    report = session.last_report
     print(
         format_table(
             [
@@ -254,9 +248,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     if args.json is not None:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(records, handle, indent=2)
-        print(f"wrote {args.json} ({len(records)} records)")
+        rs.to_json(args.json)
+        print(f"wrote {args.json} ({len(rs)} records)")
     return 0
 
 
@@ -266,8 +259,8 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     kwargs = dict(workloads=workloads, scale=args.scale, seed=args.seed)
     if args.values is not None:
         kwargs["values"] = _numbers(args.values, int, "values")
-    with runner_from_args(args) as runner:
-        result = study(runner=runner, **kwargs)
+    with session_from_args(args) as session:
+        result = study(session=session, **kwargs)
     geomeans = result.geomean_speedups()
     rows = [
         [value]
@@ -311,7 +304,7 @@ def _cmd_plan_export(args: argparse.Namespace) -> int:
     if args.figures:
         plan = figures_plan(scale=args.scale, seed=args.seed)
     else:
-        plan = Plan(specs=_sweep_specs(args), meta={"source": "sweep"})
+        plan = _sweep_grid(args).plan(source="sweep")
     path = plan.save(args.out)
     print(f"wrote {path}: {len(plan)} points " f"({len(plan.unique_specs())} unique)")
     return 0
@@ -331,7 +324,7 @@ def _cmd_plan_shard(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan_merge(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir)
+    cache = ResultCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
     report = merge_results(args.results, cache)
     print(
         f"merged {report.records} results from {report.files} file(s) "
@@ -350,25 +343,12 @@ def _cmd_worker_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    argv = [
-        "--scale",
-        str(args.scale),
-        "--seed",
-        str(args.seed),
-        "-o",
-        args.output,
-        "--jobs",
-        str(args.jobs),
-        "--cache-dir",
-        args.cache_dir,
-        "--backend",
-        args.backend,
-    ]
-    if args.work_dir:
-        argv += ["--work-dir", args.work_dir]
-    if args.no_cache:
-        argv.append("--no-cache")
-    return figures_main(argv)
+    with session_from_args(args) as session:
+        text = generate_report(scale=args.scale, seed=args.seed, session=session)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text)} chars)")
+    return 0
 
 
 def _print_cache_stats(cache: ResultCache) -> None:
@@ -380,7 +360,7 @@ def _print_cache_stats(cache: ResultCache) -> None:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir)
+    cache = ResultCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
     action = getattr(args, "cache_cmd", None)
     if action is None:
         action = "clear" if args.clear else "stats"
@@ -477,7 +457,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run one workload/mechanism")
+    # One parent parser owns the session flags for every executing
+    # subcommand; `session_from_args` fills the real defaults, so the
+    # flags may be repeated at any nesting level without clobbering
+    # (see repro.session.add_session_arguments).
+    session_parent = argparse.ArgumentParser(add_help=False)
+    add_session_arguments(session_parent)
+    cache_parent = argparse.ArgumentParser(add_help=False)
+    cache_parent.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        help="cache directory (default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+    run_p = sub.add_parser(
+        "run", parents=[session_parent], help="run one workload/mechanism"
+    )
     run_p.add_argument("workload", choices=list(WORKLOAD_ORDER))
     run_p.add_argument(
         "--mechanism",
@@ -490,17 +485,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.set_defaults(fn=_cmd_run)
 
-    cmp_p = sub.add_parser("compare", help="run all mechanisms on a workload")
+    cmp_p = sub.add_parser(
+        "compare",
+        parents=[session_parent],
+        help="run all mechanisms on a workload",
+    )
     cmp_p.add_argument("workload", choices=list(WORKLOAD_ORDER))
     cmp_p.add_argument("--dtype", default="fp16", choices=list(DTYPE_BYTES))
     cmp_p.add_argument("--nsb", action="store_true")
     cmp_p.add_argument("--scale", type=float, default=0.5)
     cmp_p.add_argument("--seed", type=int, default=0)
-    add_runner_arguments(cmp_p)
     cmp_p.set_defaults(fn=_cmd_compare)
 
     sweep_p = sub.add_parser(
-        "sweep", help="run an explicit (workload x mechanism x ...) plan"
+        "sweep",
+        parents=[session_parent],
+        help="run an explicit (workload x mechanism x ...) plan",
     )
     _add_sweep_axis_arguments(sweep_p)
     sweep_p.add_argument(
@@ -516,11 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also dump one JSON record per point",
     )
-    add_runner_arguments(sweep_p)
     sweep_p.set_defaults(fn=_cmd_sweep)
 
     abl_p = sub.add_parser(
-        "ablate", help="NVR/NSB sensitivity sweeps through the runner"
+        "ablate",
+        parents=[session_parent],
+        help="NVR/NSB sensitivity sweeps through the runner",
     )
     abl_p.add_argument("study", choices=sorted(ABLATIONS))
     abl_p.add_argument(
@@ -541,7 +542,6 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also dump the full ablation record as JSON",
     )
-    add_runner_arguments(abl_p)
     abl_p.set_defaults(fn=_cmd_ablate)
 
     plan_p = sub.add_parser(
@@ -597,14 +597,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard_p.set_defaults(fn=_cmd_plan_shard)
     merge_p = plan_sub.add_parser(
         "merge",
+        parents=[cache_parent],
         help="fold 'worker run' result files into the result cache",
     )
     merge_p.add_argument("results", nargs="+", help="result files from 'worker run'")
-    merge_p.add_argument(
-        "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
-    )
     merge_p.set_defaults(fn=_cmd_plan_merge)
 
     worker_p = sub.add_parser(
@@ -626,17 +622,16 @@ def build_parser() -> argparse.ArgumentParser:
     wrun_p.set_defaults(fn=_cmd_worker_run)
 
     cache_p = sub.add_parser(
-        "cache", help="inspect, garbage-collect or clear the result cache"
-    )
-    cache_p.add_argument(
-        "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
+        "cache",
+        parents=[cache_parent],
+        help="inspect, garbage-collect or clear the result cache",
     )
     cache_p.add_argument("--clear", action="store_true", help="same as 'cache clear'")
     cache_sub = cache_p.add_subparsers(dest="cache_cmd")
     gc_p = cache_sub.add_parser(
-        "gc", help="evict least-recently-accessed entries over a size bound"
+        "gc",
+        parents=[cache_parent],
+        help="evict least-recently-accessed entries over a size bound",
     )
     gc_p.add_argument(
         "--max-mb",
@@ -649,20 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report what would be evicted without deleting anything",
     )
-    # SUPPRESS keeps the parent's --cache-dir (flag or default) when the
-    # option is not repeated after the subcommand — a plain default here
-    # would silently clobber `repro cache --cache-dir X gc`.
-    gc_p.add_argument(
-        "--cache-dir",
-        default=argparse.SUPPRESS,
-        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
-    )
-    clear_p = cache_sub.add_parser("clear", help="delete every entry")
-    clear_p.add_argument(
-        "--cache-dir",
-        default=argparse.SUPPRESS,
-        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
-    )
+    cache_sub.add_parser("clear", parents=[cache_parent], help="delete every entry")
     cache_p.set_defaults(fn=_cmd_cache)
 
     wl_p = sub.add_parser("workloads", help="list Table II workloads")
@@ -673,11 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
     oh_p = sub.add_parser("overhead", help="Table I hardware overhead")
     oh_p.set_defaults(fn=_cmd_overhead)
 
-    fig_p = sub.add_parser("figures", help="regenerate EXPERIMENTS.md")
+    fig_p = sub.add_parser(
+        "figures", parents=[session_parent], help="regenerate EXPERIMENTS.md"
+    )
     fig_p.add_argument("--scale", type=float, default=0.6)
     fig_p.add_argument("--seed", type=int, default=0)
     fig_p.add_argument("-o", "--output", default="EXPERIMENTS.md")
-    add_runner_arguments(fig_p)
     fig_p.set_defaults(fn=_cmd_figures)
     return parser
 

@@ -1,14 +1,18 @@
 """One runner per paper table/figure (the DESIGN.md experiment index).
 
 Every runner is a pure function of (scale, seed): it expresses its
-simulation matrix as a plan of :class:`~repro.runner.RunSpec` points,
-submits the plan through a :class:`~repro.runner.SweepRunner` and shapes
-the results into the structure that both the benchmarks and
-EXPERIMENTS.md generation consume. Pass a shared ``runner`` to reuse
-its worker pool and its on-disk result cache across figures — identical
-points then simulate exactly once per cache lifetime. ``scale`` trades
-run time for statistical weight; the shapes (who wins, by what factor,
-where crossovers fall) are stable from ``scale≈0.3`` upward.
+simulation matrix as a plan of :class:`~repro.runner.RunSpec` points —
+built declaratively by the per-figure ``*_plan()`` builders on top of
+:class:`~repro.session.Grid` — submits the plan through a
+:class:`~repro.session.Session` and selects the results it needs out of
+the returned :class:`~repro.resultset.ResultSet` by axis (no positional
+spec/result zipping). Pass a shared ``session`` to reuse one worker pool
+and one on-disk result cache across figures — identical points then
+simulate exactly once per cache lifetime; a bare
+:class:`~repro.runner.SweepRunner` is still accepted via the deprecated
+``runner`` keyword. ``scale`` trades run time for statistical weight;
+the shapes (who wins, by what factor, where crossovers fall) are stable
+from ``scale≈0.3`` upward.
 """
 
 from __future__ import annotations
@@ -16,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..api import MECHANISM_ORDER
-from ..core.controller import NVRConfig
 from ..core.overhead import OverheadReport, nvr_overhead
 from ..llm import (
     NPUHardware,
@@ -26,9 +29,9 @@ from ..llm import (
     layer_miss_rates,
     prefill_throughput,
 )
-from ..runner import MemorySpec, RunSpec, SweepRunner, shape_l2
+from ..runner import RunSpec, SweepRunner, shape_l2
+from ..session import Grid, Session, coerce_session
 from ..sim.memory.cache import CacheConfig
-from ..sim.npu.executor import ExecutorConfig
 from ..sim.soc import RunResult
 from ..utils import KIB, geometric_mean
 from ..workloads import WORKLOAD_INFO, WORKLOAD_ORDER
@@ -72,16 +75,14 @@ def fig1b_plan(
     drift=1.0: scores are re-ranked from scratch each step (worst-case
     TopK churn), isolating the miss penalty from selection locality.
     """
-    return [
-        RunSpec(
-            "ds",
-            mechanism="stream",
-            scale=scale,
-            seed=seed,
-            workload_args=(("topk_ratio", ratio), ("drift", 1.0)),
-        )
-        for ratio in ratios
-    ]
+    return Grid(
+        workload="ds",
+        mechanism="stream",
+        scale=scale,
+        seed=seed,
+        topk_ratio=list(ratios),
+        drift=1.0,
+    ).specs()
 
 
 def fig1b_sparsity_gap(
@@ -89,6 +90,7 @@ def fig1b_sparsity_gap(
     scale: float = 0.4,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> Fig1bResult:
     """Fig. 1b: 16x fewer parameters yields well under 16x speedup.
 
@@ -98,10 +100,11 @@ def fig1b_sparsity_gap(
     defeats exactly that engine, so the measured speedup falls short of
     the parameter reduction — the motivation gap.
     """
-    runner = runner or SweepRunner()
-    specs = fig1b_plan(ratios, scale=scale, seed=seed)
+    session = coerce_session(session, runner)
+    rs = session.sweep(fig1b_plan(ratios, scale=scale, seed=seed))
     cycles, offchip = [], []
-    for result in runner.run_plan(specs):
+    for ratio in ratios:
+        result = rs.one(topk_ratio=ratio)
         steps = max(1, result.n_rows or 0)
         cycles.append(result.total_cycles / steps)
         offchip.append(result.stats.traffic.off_chip_total_bytes / steps)
@@ -167,21 +170,24 @@ def fig5_plan(
     scale: float = 0.5,
     seed: int = 0,
 ) -> list[RunSpec]:
-    """The Fig. 5 ``panels x workloads x mechanisms`` grid as plan content."""
-    return [
-        RunSpec(
-            workload,
-            mechanism=mech,
+    """The Fig. 5 ``panels x workloads x mechanisms`` grid as plan content.
+
+    The panel axis is not a cartesian product (the NSB panel repeats the
+    int32 dtype), so the plan is one Grid per panel, concatenated in
+    panel order.
+    """
+    specs: list[RunSpec] = []
+    for _, dtype, nsb in [p for p in _FIG5_PANELS if p[0] in panels]:
+        specs += Grid(
+            workload=workloads,
+            mechanism=mechanisms,
             dtype=dtype,
             nsb=nsb,
             scale=scale,
             seed=seed,
             with_base=True,
-        )
-        for _, dtype, nsb in [p for p in _FIG5_PANELS if p[0] in panels]
-        for workload in workloads
-        for mech in mechanisms
-    ]
+        ).specs()
+    return specs
 
 
 def fig5_latency_breakdown(
@@ -191,6 +197,7 @@ def fig5_latency_breakdown(
     scale: float = 0.5,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> Fig5Result:
     """Fig. 5: all four panels of the latency breakdown.
 
@@ -198,16 +205,15 @@ def fig5_latency_breakdown(
     base+stall points — the hottest sweep of the reproduction, and the
     reason the runner exists.
     """
-    runner = runner or SweepRunner()
-    panel_defs = [p for p in _FIG5_PANELS if p[0] in panels]
-    specs = fig5_plan(workloads, mechanisms, panels, scale=scale, seed=seed)
-    results = iter(runner.run_plan(specs))
+    session = coerce_session(session, runner)
+    rs = session.sweep(fig5_plan(workloads, mechanisms, panels, scale=scale, seed=seed))
     out: dict[str, dict[str, dict[str, Fig5Cell]]] = {}
-    for panel_name, _, _ in panel_defs:
+    for panel_name, dtype, nsb in [p for p in _FIG5_PANELS if p[0] in panels]:
         panel: dict[str, dict[str, Fig5Cell]] = {}
         for workload in workloads:
             per_mech: dict[str, RunResult] = {
-                mech: next(results) for mech in mechanisms
+                mech: rs.one(workload=workload, mechanism=mech, dtype=dtype, nsb=nsb)
+                for mech in mechanisms
             }
             ino_total = per_mech["inorder"].total_cycles
             panel[workload] = {
@@ -246,11 +252,9 @@ def fig6_plan(
     seed: int = 0,
 ) -> list[RunSpec]:
     """The Fig. 6a/6b accuracy/coverage grid as plan content."""
-    return [
-        RunSpec(workload, mechanism=mech, scale=scale, seed=seed)
-        for workload in workloads
-        for mech in mechanisms
-    ]
+    return Grid(
+        workload=workloads, mechanism=mechanisms, scale=scale, seed=seed
+    ).specs()
 
 
 def fig6_accuracy_coverage(
@@ -259,16 +263,16 @@ def fig6_accuracy_coverage(
     scale: float = 0.5,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> Fig6Result:
     """Fig. 6a/6b: prefetcher accuracy and coverage per workload."""
-    runner = runner or SweepRunner()
-    specs = fig6_plan(workloads, mechanisms, scale=scale, seed=seed)
-    results = iter(runner.run_plan(specs))
+    session = coerce_session(session, runner)
+    rs = session.sweep(fig6_plan(workloads, mechanisms, scale=scale, seed=seed))
     data: dict[str, dict[str, tuple[float, float]]] = {}
     for workload in workloads:
         data[workload] = {}
         for mech in mechanisms:
-            result = next(results)
+            result = rs.one(workload=workload, mechanism=mech)
             data[workload][mech] = (
                 result.stats.prefetch.accuracy,
                 result.stats.coverage(),
@@ -306,10 +310,17 @@ def fig6c_plan(
     workload: str = "ds", scale: float = 0.5, seed: int = 0
 ) -> list[RunSpec]:
     """The Fig. 6c InO / NVR / NVR+NSB triple as plan content."""
-    return [
-        RunSpec(workload, mechanism=mech, nsb=nsb, scale=scale, seed=seed)
-        for mech, nsb in _FIG6C_CONFIGS.values()
-    ]
+    return (
+        Grid(
+            workload=workload,
+            mechanism=["inorder", "nvr"],
+            scale=scale,
+            seed=seed,
+        ).specs()
+        + Grid(
+            workload=workload, mechanism="nvr", nsb=True, scale=scale, seed=seed
+        ).specs()
+    )
 
 
 def fig6c_data_movement(
@@ -317,6 +328,7 @@ def fig6c_data_movement(
     scale: float = 0.5,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> Fig6cResult:
     """Fig. 6c: InO vs NVR vs NVR+NSB demand off-chip traffic.
 
@@ -324,11 +336,11 @@ def fig6c_data_movement(
     removed): NVR turns demand misses into overlappable prefetches
     (~30x), and the NSB removes re-fetches on top (~5x more).
     """
-    runner = runner or SweepRunner()
-    specs = fig6c_plan(workload, scale=scale, seed=seed)
+    session = coerce_session(session, runner)
+    rs = session.sweep(fig6c_plan(workload, scale=scale, seed=seed))
     offchip, in_chip = {}, {}
-    for name, result in zip(_FIG6C_CONFIGS, runner.run_plan(specs)):
-        shares = bandwidth_shares(result.stats)
+    for name, (mech, nsb) in _FIG6C_CONFIGS.items():
+        shares = bandwidth_shares(rs.one(mechanism=mech, nsb=nsb).stats)
         offchip[name] = shares["off_chip_demand"]
         in_chip[name] = shares["l2_to_npu"] + shares["nsb_to_npu"]
     return Fig6cResult(offchip_demand=offchip, in_chip=in_chip)
@@ -383,11 +395,17 @@ class Fig7Result:
 
 def fig7_plan(workload: str = "ds", scale: float = 0.5, seed: int = 0) -> list[RunSpec]:
     """The Fig. 7 preload / NVR / NVR+NSB triple as plan content."""
-    return [
-        RunSpec(workload, mechanism="preload", scale=scale, seed=seed),
-        RunSpec(workload, mechanism="nvr", scale=scale, seed=seed),
-        RunSpec(workload, mechanism="nvr", nsb=True, scale=scale, seed=seed),
-    ]
+    return (
+        Grid(
+            workload=workload,
+            mechanism=["preload", "nvr"],
+            scale=scale,
+            seed=seed,
+        ).specs()
+        + Grid(
+            workload=workload, mechanism="nvr", nsb=True, scale=scale, seed=seed
+        ).specs()
+    )
 
 
 def fig7_bandwidth_allocation(
@@ -395,6 +413,7 @@ def fig7_bandwidth_allocation(
     scale: float = 0.5,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> Fig7Result:
     """Fig. 7: who uses the memory system, with and without the NSB.
 
@@ -403,10 +422,11 @@ def fig7_bandwidth_allocation(
     line-granular speculative fetches plus residual demand misses
     replace its over-fetched bursts.
     """
-    runner = runner or SweepRunner()
-    baseline, no_nsb, with_nsb = runner.run_plan(
-        fig7_plan(workload, scale=scale, seed=seed)
-    )
+    session = coerce_session(session, runner)
+    rs = session.sweep(fig7_plan(workload, scale=scale, seed=seed))
+    baseline = rs.one(mechanism="preload")
+    no_nsb = rs.one(mechanism="nvr", nsb=False)
+    with_nsb = rs.one(mechanism="nvr", nsb=True)
     preload = max(1, baseline.stats.traffic.off_chip_total_bytes)
 
     def shares(result: RunResult) -> dict[str, float]:
@@ -431,11 +451,17 @@ def fig7_bandwidth_allocation(
 
 
 def fig8a_layer_miss(
-    scale: float = 0.3, seed: int = 0, runner: SweepRunner | None = None
+    scale: float = 0.3,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """Fig. 8a: per-layer batch/element miss rates, InO vs NVR."""
     return layer_miss_rates(
-        mechanisms=("inorder", "nvr"), scale=scale, seed=seed, runner=runner
+        mechanisms=("inorder", "nvr"),
+        scale=scale,
+        seed=seed,
+        session=coerce_session(session, runner),
     )
 
 
@@ -459,15 +485,17 @@ def fig8bc_llm_throughput(
     calib_scale: float = 0.3,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> Fig8bcResult:
     """Fig. 8b/8c: prefill and decode throughput vs bandwidth."""
+    session = coerce_session(session, runner)
     spec, hw = TransformerSpec(), NPUHardware()
     calibs = {
         "inorder": calibrate_memory_efficiency(
-            "inorder", scale=calib_scale, seed=seed, runner=runner
+            "inorder", scale=calib_scale, seed=seed, session=session
         ),
         "nvr": calibrate_memory_efficiency(
-            "nvr", scale=calib_scale, seed=seed, runner=runner
+            "nvr", scale=calib_scale, seed=seed, session=session
         ),
     }
     prefill: dict[str, dict[int, list[float]]] = {}
@@ -518,17 +546,14 @@ def fig9_plan(
     seed: int = 0,
 ) -> list[RunSpec]:
     """The Fig. 9 NSB-size x L2-size grid as plan content."""
-    return [
-        RunSpec(
-            workload,
-            mechanism="nvr",
-            scale=scale,
-            seed=seed,
-            memory=MemorySpec(l2_kib=l2_kib, nsb_kib=nsb_kib),
-        )
-        for nsb_kib in nsb_sizes
-        for l2_kib in l2_sizes
-    ]
+    return Grid(
+        workload=workload,
+        mechanism="nvr",
+        scale=scale,
+        seed=seed,
+        nsb_kib=nsb_sizes,
+        l2_kib=l2_sizes,
+    ).specs()
 
 
 def fig9_nsb_sensitivity(
@@ -538,17 +563,17 @@ def fig9_nsb_sensitivity(
     scale: float = 0.4,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> Fig9Result:
     """Fig. 9: NSB and L2 cache impact, perf = 1/(latency x area)."""
-    runner = runner or SweepRunner()
-    specs = fig9_plan(nsb_sizes, l2_sizes, workload, scale=scale, seed=seed)
-    results = iter(runner.run_plan(specs))
+    session = coerce_session(session, runner)
+    rs = session.sweep(fig9_plan(nsb_sizes, l2_sizes, workload, scale=scale, seed=seed))
     perf: list[list[float]] = []
     cycles: list[list[int]] = []
     for nsb_kib in nsb_sizes:
         perf_row, cyc_row = [], []
         for l2_kib in l2_sizes:
-            result = next(results)
+            result = rs.one(nsb_kib=nsb_kib, l2_kib=l2_kib)
             area = nsb_kib + l2_kib
             perf_row.append(1e9 / (result.total_cycles * area))
             cyc_row.append(result.total_cycles)
@@ -564,8 +589,8 @@ def fig9_nsb_sensitivity(
 
 # ---------------------------------------------------------------------------
 # Sensitivity ablations (Sec. V sensitivity space: runahead depth/width,
-# NSB sizing, issue width) — the first consumers built directly on the
-# SystemSpec layer: every point carries a full serialisable platform
+# NSB sizing, issue width) — declarative Grid sweeps over the derived
+# platform axes: every point carries a full serialisable platform
 # description, so the studies cache and parallelise like the figures.
 # ---------------------------------------------------------------------------
 
@@ -603,18 +628,28 @@ class AblationResult:
 def _run_ablation(
     name: str,
     axis: str,
+    grid_axis: str,
     values: tuple[int, ...],
-    spec_for,
     workloads: tuple[str, ...],
+    scale: float,
+    seed: int,
     runner: SweepRunner | None,
+    session: Session | None,
 ) -> AblationResult:
-    runner = runner or SweepRunner()
-    specs = [spec_for(w, v) for v in values for w in workloads]
-    results = iter(runner.run_plan(specs))
-    cycles: dict[str, list[int]] = {w: [] for w in workloads}
-    for _ in values:
-        for w in workloads:
-            cycles[w].append(next(results).total_cycles)
+    session = coerce_session(session, runner)
+    rs = session.sweep(
+        Grid(
+            workload=workloads,
+            mechanism="nvr",
+            scale=scale,
+            seed=seed,
+            **{grid_axis: tuple(values)},
+        )
+    )
+    cycles = {
+        w: [rs.one(workload=w, **{grid_axis: v}).total_cycles for v in values]
+        for w in workloads
+    }
     return AblationResult(
         name=name,
         axis=axis,
@@ -630,18 +665,12 @@ def ablate_nvr_depth(
     scale: float = 0.4,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> AblationResult:
     """Runahead depth sweep: how far ahead NVR chases the W stream."""
     return _run_ablation(
-        "nvr-depth", "depth_tiles", values,
-        lambda w, v: RunSpec(
-            w,
-            mechanism="nvr",
-            nvr=NVRConfig(depth_tiles=v),
-            scale=scale,
-            seed=seed,
-        ),
-        workloads, runner,
+        "nvr-depth", "depth_tiles", "nvr_depth",
+        values, workloads, scale, seed, runner, session,
     )
 
 
@@ -651,18 +680,12 @@ def ablate_nvr_width(
     scale: float = 0.4,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> AblationResult:
     """Vector width sweep: NVR's parallel-entry count N (Table I: 16)."""
     return _run_ablation(
-        "nvr-width", "vector_width", values,
-        lambda w, v: RunSpec(
-            w,
-            mechanism="nvr",
-            nvr=NVRConfig(vector_width=v),
-            scale=scale,
-            seed=seed,
-        ),
-        workloads, runner,
+        "nvr-width", "vector_width", "nvr_width",
+        values, workloads, scale, seed, runner, session,
     )
 
 
@@ -672,18 +695,12 @@ def ablate_nsb_size(
     scale: float = 0.4,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> AblationResult:
     """NSB capacity sweep at the default 256 KiB L2 (Fig. 9's row axis)."""
     return _run_ablation(
-        "nsb-size", "nsb_kib", values,
-        lambda w, v: RunSpec(
-            w,
-            mechanism="nvr",
-            memory=MemorySpec(nsb_kib=v),
-            scale=scale,
-            seed=seed,
-        ),
-        workloads, runner,
+        "nsb-size", "nsb_kib", "nsb_kib",
+        values, workloads, scale, seed, runner, session,
     )
 
 
@@ -693,18 +710,12 @@ def ablate_issue_width(
     scale: float = 0.4,
     seed: int = 0,
     runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> AblationResult:
     """Load-pipeline issue width sweep (line requests per cycle)."""
     return _run_ablation(
-        "issue-width", "issue_width", values,
-        lambda w, v: RunSpec(
-            w,
-            mechanism="nvr",
-            executor=ExecutorConfig(issue_width=v),
-            scale=scale,
-            seed=seed,
-        ),
-        workloads, runner,
+        "issue-width", "issue_width", "issue_width",
+        values, workloads, scale, seed, runner, session,
     )
 
 
@@ -739,20 +750,23 @@ class Table2Row:
 
 def table2_plan(scale: float = 0.3, seed: int = 0) -> list[RunSpec]:
     """The Table II trace-statistics pass as plan content."""
-    return [
-        RunSpec(short, kind="trace", scale=scale, seed=seed)
-        for short in WORKLOAD_ORDER
-    ]
+    return Grid(
+        workload=WORKLOAD_ORDER, kind="trace", scale=scale, seed=seed
+    ).specs()
 
 
 def table2_workloads(
-    scale: float = 0.3, seed: int = 0, runner: SweepRunner | None = None
+    scale: float = 0.3,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> list[Table2Row]:
     """Table II: the workload suite, with measured trace statistics."""
-    runner = runner or SweepRunner()
-    specs = table2_plan(scale=scale, seed=seed)
+    session = coerce_session(session, runner)
+    rs = session.sweep(table2_plan(scale=scale, seed=seed))
     rows = []
-    for short, stats in zip(WORKLOAD_ORDER, runner.run_plan(specs)):
+    for short in WORKLOAD_ORDER:
+        stats = rs.one(workload=short)
         info = WORKLOAD_INFO[short]
         rows.append(
             Table2Row(

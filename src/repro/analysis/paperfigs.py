@@ -15,15 +15,12 @@ import sys
 import time
 
 from ..llm import calibration_plan, layer_miss_plan
-from ..runner import (
-    BACKEND_NAMES,
-    DEFAULT_CACHE_DIR,
-    NullProgress,
-    Plan,
-    Progress,
-    ResultCache,
-    SweepRunner,
-    make_backend,
+from ..runner import Plan, SweepRunner
+from ..session import (
+    Session,
+    add_session_arguments,
+    coerce_session,
+    session_from_args,
 )
 from ..utils import geometric_mean
 from ..workloads import WORKLOAD_ORDER
@@ -54,15 +51,15 @@ FIG8_SCALE_CAP = 0.4
 FIG9_SCALE_CAP = 0.5
 
 
-def _header(scale: float, seed: int, elapsed: float, runner=None) -> str:
+def _header(scale: float, seed: int, elapsed: float, session=None) -> str:
     run_line = (
         f"Run parameters: scale={scale}, seed={seed}, wall time "
         f"{elapsed / 60:.1f} min."
     )
-    if runner is not None:
+    if session is not None:
         run_line += (
-            f" Sweep: {runner.submitted} points simulated, "
-            f"{runner.cache_hits} served from cache ({runner.jobs} jobs)."
+            f" Sweep: {session.submitted} points simulated, "
+            f"{session.cache_hits} served from cache ({session.jobs} jobs)."
         )
     return (
         "# EXPERIMENTS — paper vs measured\n\n"
@@ -79,8 +76,8 @@ def _header(scale: float, seed: int, elapsed: float, runner=None) -> str:
     )
 
 
-def _fig1b(scale: float, seed: int, runner=None) -> str:
-    res = fig1b_sparsity_gap(scale=scale, seed=seed, runner=runner)
+def _fig1b(scale: float, seed: int, session=None) -> str:
+    res = fig1b_sparsity_gap(scale=scale, seed=seed, session=session)
     rows = [
         [f"1/{r}", round(s, 2), r, round(r / s, 2), int(o)]
         for r, s, o in zip(res.ratios, res.speedups, res.offchip_per_step)
@@ -110,8 +107,8 @@ def _fig1b(scale: float, seed: int, runner=None) -> str:
     )
 
 
-def _fig5(scale: float, seed: int, runner=None) -> str:
-    res = fig5_latency_breakdown(scale=scale, seed=seed, runner=runner)
+def _fig5(scale: float, seed: int, session=None) -> str:
+    res = fig5_latency_breakdown(scale=scale, seed=seed, session=session)
     sections = []
     for panel, data in res.panels.items():
         rows = []
@@ -147,8 +144,8 @@ def _fig5(scale: float, seed: int, runner=None) -> str:
     )
 
 
-def _fig6(scale: float, seed: int, runner=None) -> str:
-    res = fig6_accuracy_coverage(scale=scale, seed=seed, runner=runner)
+def _fig6(scale: float, seed: int, session=None) -> str:
+    res = fig6_accuracy_coverage(scale=scale, seed=seed, session=session)
     rows = []
     for workload in WORKLOAD_ORDER:
         per = res.data[workload]
@@ -186,8 +183,8 @@ def _fig6(scale: float, seed: int, runner=None) -> str:
     )
 
 
-def _fig6c(scale: float, seed: int, runner=None) -> str:
-    res = fig6c_data_movement(scale=scale, seed=seed, runner=runner)
+def _fig6c(scale: float, seed: int, session=None) -> str:
+    res = fig6c_data_movement(scale=scale, seed=seed, session=session)
     rows = [
         [
             name,
@@ -214,8 +211,8 @@ def _fig6c(scale: float, seed: int, runner=None) -> str:
     )
 
 
-def _fig7(scale: float, seed: int, runner=None) -> str:
-    res = fig7_bandwidth_allocation(scale=scale, seed=seed, runner=runner)
+def _fig7(scale: float, seed: int, session=None) -> str:
+    res = fig7_bandwidth_allocation(scale=scale, seed=seed, session=session)
     shares = ("npu_demand", "nvr_prefetch", "l2_to_npu", "nsb_to_npu")
     rows = [
         ["explicit preload (baseline)", 100.0, "-", "-", "-"],
@@ -240,8 +237,8 @@ def _fig7(scale: float, seed: int, runner=None) -> str:
     )
 
 
-def _fig8(scale: float, seed: int, runner=None) -> str:
-    rates = fig8a_layer_miss(scale=scale, seed=seed, runner=runner)
+def _fig8(scale: float, seed: int, session=None) -> str:
+    rates = fig8a_layer_miss(scale=scale, seed=seed, session=session)
     rows = [
         [
             layer,
@@ -257,7 +254,7 @@ def _fig8(scale: float, seed: int, runner=None) -> str:
         rows,
         title="miss rates per attention layer",
     )
-    res = fig8bc_llm_throughput(calib_scale=scale, seed=seed, runner=runner)
+    res = fig8bc_llm_throughput(calib_scale=scale, seed=seed, session=session)
     prefill = format_series(
         "GB/s", res.bandwidths,
         {f"base l={l}": res.prefill["inorder"][l] for l in res.prefill["inorder"]} | {
@@ -290,8 +287,8 @@ def _fig8(scale: float, seed: int, runner=None) -> str:
     )
 
 
-def _fig9(scale: float, seed: int, runner=None) -> str:
-    res = fig9_nsb_sensitivity(scale=scale, seed=seed, runner=runner)
+def _fig9(scale: float, seed: int, session=None) -> str:
+    res = fig9_nsb_sensitivity(scale=scale, seed=seed, session=session)
     grid = format_grid(
         [f"NSB {n}" for n in res.nsb_sizes],
         [f"L2 {l}" for l in res.l2_sizes],
@@ -343,7 +340,7 @@ def _table1() -> str:
     )
 
 
-def _table2(scale: float, seed: int, runner=None) -> str:
+def _table2(scale: float, seed: int, session=None) -> str:
     rows = [
         [
             r.short,
@@ -353,7 +350,7 @@ def _table2(scale: float, seed: int, runner=None) -> str:
             round(r.footprint_kib),
             round(r.reuse_factor, 1),
         ]
-        for r in table2_workloads(scale=scale, seed=seed, runner=runner)
+        for r in table2_workloads(scale=scale, seed=seed, session=session)
     ]
     table = format_table(
         ["short", "workload", "domain", "gathers", "footprint KiB", "reuse"],
@@ -369,29 +366,33 @@ def _table2(scale: float, seed: int, runner=None) -> str:
 
 
 def generate_report(
-    scale: float = 0.6, seed: int = 0, runner: SweepRunner | None = None
+    scale: float = 0.6,
+    seed: int = 0,
+    runner: SweepRunner | None = None,
+    session: Session | None = None,
 ) -> str:
     """Produce the full EXPERIMENTS.md text.
 
-    All figures share ``runner`` (defaulting to a serial, uncached one).
-    When the runner carries a cache, points duplicated across figures
-    simulate once and a warm cache regenerates the whole report without
-    simulating at all.
+    All figures share ``session`` (defaulting to the process-wide
+    :func:`~repro.session.default_session`; a bare runner is accepted
+    via the deprecated ``runner`` keyword). The session's cache means
+    points duplicated across figures simulate once and a warm cache
+    regenerates the whole report without simulating at all.
     """
     start = time.time()
-    runner = runner or SweepRunner()
+    session = coerce_session(session, runner)
     sections = [
-        _fig1b(scale, seed, runner),
-        _fig5(scale, seed, runner),
-        _fig6(scale, seed, runner),
-        _fig6c(scale, seed, runner),
-        _fig7(scale, seed, runner),
-        _fig8(min(scale, FIG8_SCALE_CAP), seed, runner),
-        _fig9(min(scale, FIG9_SCALE_CAP), seed, runner),
+        _fig1b(scale, seed, session),
+        _fig5(scale, seed, session),
+        _fig6(scale, seed, session),
+        _fig6c(scale, seed, session),
+        _fig7(scale, seed, session),
+        _fig8(min(scale, FIG8_SCALE_CAP), seed, session),
+        _fig9(min(scale, FIG9_SCALE_CAP), seed, session),
         _table1(),
-        _table2(scale, seed, runner),
+        _table2(scale, seed, session),
     ]
-    header = _header(scale, seed, time.time() - start, runner)
+    header = _header(scale, seed, time.time() - start, session)
     return header + "\n" + "\n".join(sections)
 
 
@@ -421,50 +422,18 @@ def figures_plan(scale: float = 0.6, seed: int = 0) -> Plan:
 
 
 def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
-    """The shared sweep-execution flags (figures/compare/sweep CLIs)."""
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for sweep execution (default 1 = serial)",
-    )
-    parser.add_argument(
-        "--backend",
-        choices=BACKEND_NAMES,
-        default="local",
-        help="how cache-missed points execute: 'local' in-process "
-        "workers, 'shards' via share-nothing 'repro worker run' "
-        "subprocesses over serialized plan shards (default local)",
-    )
-    parser.add_argument(
-        "--work-dir",
-        default=None,
-        metavar="DIR",
-        help="keep the shards backend's shard/result files in DIR "
-        "(default: a temporary directory)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the on-disk result cache",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
-    )
+    """Deprecated alias of :func:`repro.session.add_session_arguments`."""
+    add_session_arguments(parser)
 
 
 def runner_from_args(args: argparse.Namespace, quiet: bool = False) -> SweepRunner:
-    """Build the CLI's :class:`SweepRunner` from the shared flags."""
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    progress = NullProgress() if quiet else Progress()
-    backend = make_backend(
-        getattr(args, "backend", "local"),
-        jobs=args.jobs,
-        work_dir=getattr(args, "work_dir", None),
-    )
-    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress, backend=backend)
+    """Deprecated: build a session's runner from the shared flags.
+
+    Use :func:`repro.session.session_from_args` (or
+    ``Session.from_args``) — the Session owns the cache/backend/jobs
+    policy in one object.
+    """
+    return session_from_args(args, quiet=quiet).runner
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -472,10 +441,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.6)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
-    add_runner_arguments(parser)
+    add_session_arguments(parser)
     args = parser.parse_args(argv)
-    with runner_from_args(args) as runner:
-        text = generate_report(scale=args.scale, seed=args.seed, runner=runner)
+    with session_from_args(args) as session:
+        text = generate_report(scale=args.scale, seed=args.seed, session=session)
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output} ({len(text)} chars)")

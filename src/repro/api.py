@@ -13,10 +13,17 @@ depth/width, memory geometry, issue width) is exposed as a keyword
 argument, and every knob is spec-able: mechanism names resolve through
 :data:`repro.registry.MECHANISMS`, and object-valued overrides
 (``memory=``, ``nvr_config=``, ``executor=``) are folded into a
-serialisable :class:`~repro.spec.SystemSpec`, so *every*
-``compare_mechanisms`` call — sensitivity sweeps included — executes
-through the shared :class:`~repro.runner.SweepRunner` cache/pool. There
-is no serial fallback path.
+serialisable :class:`~repro.spec.SystemSpec`.
+
+Both calls are thin shims over the process-wide
+:class:`~repro.session.Session` (:func:`repro.session.default_session`),
+so single points and sweeps alike deduplicate and memoise in the on-disk
+result cache — a repeated ``run_workload`` call is a warm hit, exactly
+like a sweep point. For anything beyond one-off calls (shared worker
+pools, scratch caches, grids), use a :class:`~repro.session.Session`
+directly; the ``runner=``/``jobs=``/``cache=``/``backend=`` keywords of
+:func:`compare_mechanisms` remain for back-compat but are deprecated in
+favour of passing a ``Session``.
 """
 
 from __future__ import annotations
@@ -42,6 +49,10 @@ __all__ = [
     "make_system",
     "run_workload",
 ]
+
+#: Workload arguments must be scalars to be plan content (cacheable);
+#: anything else falls back to the direct in-process path.
+_SCALARS = (bool, int, float, str)
 
 
 def make_system(
@@ -94,11 +105,30 @@ def run_workload(
         with_base: also run a perfect-memory pass to fill
             ``result.base_cycles`` (the Fig. 5 base/stall split).
 
-    Executes directly in-process (it is a single point, not a sweep);
-    use :func:`compare_mechanisms` or a
-    :class:`~repro.runner.SweepRunner` plan for anything cached or
-    parallel.
+    Executes through :func:`~repro.session.default_session`, so the point
+    is content-addressed and memoised in the on-disk result cache —
+    repeating the call (examples, notebooks) is a warm hit. Non-scalar
+    ``workload_kwargs`` cannot be plan content and fall back to a direct,
+    uncached in-process run.
     """
+    if all(isinstance(v, _SCALARS) for v in workload_kwargs.values()):
+        from .runner import RunSpec
+        from .session import default_session
+
+        spec = RunSpec(
+            workload,
+            mechanism=mechanism,
+            dtype=dtype,
+            nsb=nsb,
+            scale=scale,
+            seed=seed,
+            with_base=with_base,
+            memory=memory,
+            nvr=nvr_config,
+            executor=executor,
+            workload_args=tuple(workload_kwargs.items()),
+        )
+        return default_session().run(spec)
     program = build_workload(
         workload,
         scale=scale,
@@ -127,12 +157,15 @@ def compare_mechanisms(
 ) -> dict[str, RunResult]:
     """Run one workload under several mechanisms; returns name -> result.
 
-    Submits the mechanism sweep as one plan through
-    :class:`repro.runner.SweepRunner`, so points deduplicate, execute
-    across ``jobs`` worker processes and memoise in ``cache``. Pass an
-    existing ``runner`` to share its cache/pool with a larger sweep, or
-    a ``backend`` (e.g. :class:`repro.runner.FileShardBackend`) to run
-    missing points through share-nothing worker processes.
+    Submits the mechanism sweep through a
+    :class:`~repro.session.Session`, so points deduplicate, execute
+    across worker processes and memoise in the on-disk cache. Pass a
+    ``Session`` (or, for back-compat, a bare
+    :class:`~repro.runner.SweepRunner`) as ``runner`` to share its
+    cache/pool with a larger sweep; with no arguments the process-wide
+    :func:`~repro.session.default_session` is used. The ``jobs``/
+    ``cache``/``backend`` keywords are deprecated spellings of the same
+    ``Session`` knobs and build a one-shot session when given.
 
     Object-valued overrides are first-class plan content: ``memory=``
     and ``executor=`` apply to every mechanism, while ``nvr_config=``
@@ -144,6 +177,7 @@ def compare_mechanisms(
     """
     from .errors import ConfigError
     from .runner import RunSpec
+    from .session import Session, coerce_session, default_session
 
     if nvr_config is not None and not any(
         MECHANISMS.get(m).uses_nvr_config for m in mechanisms
@@ -167,8 +201,11 @@ def compare_mechanisms(
         )
         for m in mechanisms
     ]
-    if runner is None:
-        from .runner import SweepRunner
-
-        runner = SweepRunner(jobs=jobs, cache=cache, backend=backend)
-    return dict(zip(mechanisms, runner.run_plan(specs)))
+    if runner is not None:
+        results = coerce_session(runner=runner).sweep(specs).results
+    elif jobs == 1 and cache is None and backend is None:
+        results = default_session().sweep(specs).results
+    else:
+        with Session(jobs=jobs, cache=cache, backend=backend) as session:
+            results = session.sweep(specs).results
+    return dict(zip(mechanisms, results))

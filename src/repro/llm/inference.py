@@ -33,6 +33,7 @@ import numpy as np
 from ..api import make_system
 from ..errors import ConfigError
 from ..runner import RunSpec, SweepRunner
+from ..session import Grid, Session, coerce_session
 from ..sim.memory.hierarchy import MemoryConfig
 from ..sim.npu.program import ProgramConfig, SparseProgram, build_one_side_program
 from ..sparse.csr import CSRMatrix
@@ -63,13 +64,18 @@ def calibration_plan(
     seed: int = 0,
 ) -> list[RunSpec]:
     """The Fig. 8 calibration pair (in-order reference + mechanism)."""
-    reference = RunSpec(
-        "ds", mechanism="inorder", scale=scale, seed=seed, with_base=True
+    reference = Grid(
+        workload="ds", mechanism="inorder", scale=scale, seed=seed, with_base=True
     )
-    measured = RunSpec(
-        "ds", mechanism=mechanism, nsb=nsb, scale=scale, seed=seed, with_base=True
+    measured = Grid(
+        workload="ds",
+        mechanism=mechanism,
+        nsb=nsb,
+        scale=scale,
+        seed=seed,
+        with_base=True,
     )
-    return [reference, measured]
+    return reference.specs() + measured.specs()
 
 
 def calibrate_memory_efficiency(
@@ -78,6 +84,7 @@ def calibrate_memory_efficiency(
     scale: float = 0.3,
     seed: int = 0,
     runner: "SweepRunner | None" = None,
+    session: "Session | None" = None,
 ) -> MemoryCalibration:
     """Measure gather efficiency and traffic ratio on the DS trace.
 
@@ -85,14 +92,14 @@ def calibrate_memory_efficiency(
     in-order reference for the traffic baseline) and derives the two
     roofline inputs: ``gather_efficiency = ideal / (ideal + stall)``
     memory cycles, ``traffic_ratio`` = off-chip bytes vs no-prefetch.
-    The in-order reference is a plain runner spec, so the two Fig. 8
-    calibrations share one reference simulation whenever ``runner``
+    The in-order reference is a plain plan spec, so the two Fig. 8
+    calibrations share one reference simulation whenever ``session``
     carries a cache (the specs are identical across both calls).
     """
-    runner = runner or SweepRunner()
-    ref, res = runner.run_plan(
+    session = coerce_session(session, runner)
+    ref, res = session.sweep(
         calibration_plan(mechanism, nsb=nsb, scale=scale, seed=seed)
-    )
+    ).results
     bytes_per_cycle = MemoryConfig().dram.bytes_per_cycle
     mem_ideal = max(1.0, res.stats.traffic.off_chip_total_bytes / bytes_per_cycle)
     efficiency = mem_ideal / (mem_ideal + res.stall_cycles)
@@ -193,11 +200,13 @@ def layer_miss_plan(
     dtype = _ELEM_DTYPE.get(elem_bytes)
     if dtype is None:
         return []
-    return [
-        RunSpec("ds", mechanism=mech, dtype=dtype, scale=scale, seed=s)
-        for mech in mechanisms
-        for s in (seed, seed + 101)
-    ]
+    return Grid(
+        workload="ds",
+        mechanism=mechanisms,
+        dtype=dtype,
+        scale=scale,
+        seed=[seed, seed + 101],
+    ).specs()
 
 
 def layer_miss_rates(
@@ -206,16 +215,17 @@ def layer_miss_rates(
     seed: int = 0,
     elem_bytes: int = 2,
     runner: "SweepRunner | None" = None,
+    session: "Session | None" = None,
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """Batch and element miss rates per attention layer (Fig. 8a).
 
     Returns ``{layer: {mechanism: (batch_miss_rate, element_miss_rate)}}``
     for the QKV projection (streaming), QK^T (K-cache gather) and AV
     (V-cache gather) layers. For the named element widths (1/2/4 bytes)
-    the gather layers are plain runner specs; exotic widths — and the
+    the gather layers are plain plan specs; exotic widths — and the
     custom dense QKV program always — execute in-process.
     """
-    runner = runner or SweepRunner()
+    session = coerce_session(session, runner)
     dtype = _ELEM_DTYPE.get(elem_bytes)
     qkv_program = _qkv_program(scale, elem_bytes)
     gather_seeds = {"qkt": seed, "av": seed + 101}
@@ -223,9 +233,10 @@ def layer_miss_rates(
     for mech in mechanisms:
         qkv = make_system(qkv_program, mechanism=mech).run()
         if dtype is not None:
-            gathers = runner.run_plan(
+            rs = session.sweep(
                 layer_miss_plan((mech,), scale=scale, seed=seed, elem_bytes=elem_bytes)
             )
+            gathers = [rs.one(seed=s) for s in gather_seeds.values()]
         else:
             gathers = [
                 make_system(

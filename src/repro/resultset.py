@@ -1,0 +1,443 @@
+"""ResultSet: an ordered, queryable (spec, result) container.
+
+Every :meth:`~repro.session.Session.sweep` returns a :class:`ResultSet`
+— the third leg of the Session/Grid/ResultSet front door. It pairs each
+submitted :class:`~repro.runner.RunSpec` with its
+:class:`~repro.sim.soc.RunResult` (or
+:class:`~repro.workloads.base.TraceStats` for ``kind="trace"`` points)
+in plan order, and replaces the hand-zipped ``for spec, result in
+zip(specs, results)`` loops the figure runners used to carry:
+
+* **select** — :meth:`filter` narrows by axis values, :meth:`one` fetches
+  exactly one result (``rs.one(workload="ds", mechanism="nvr")``);
+* **reshape** — :meth:`pivot` turns two axes into a table,
+  :meth:`speedup_over` computes per-group ratios against a baseline
+  selection (``rs.speedup_over(mechanism="inorder")``);
+* **export** — :meth:`to_records` / :meth:`to_csv` /
+  :meth:`to_markdown` / :meth:`to_json` flatten the set for files,
+  notebooks and the ``repro sweep --json`` CLI payload.
+
+Axes are resolved by :func:`axis_value`: the scalar spec fields
+(``workload``/``mechanism``/``dtype``/``nsb``/``scale``/``seed``/
+``with_base``/``kind``), the derived platform axes a
+:class:`~repro.session.Grid` can sweep (``nvr_depth``, ``nvr_width``,
+``nvr_fuzz``, ``nsb_kib``, ``l2_kib``, ``cpu_traffic``,
+``issue_width``, ``ooo_window``) and, as a fallback, any workload
+argument carried by the spec (``topk_ratio``, ``drift``, ...).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from .core.controller import NVRConfig
+from .errors import ConfigError
+from .runner.plan import RunSpec
+from .sim.npu.executor import ExecutorConfig
+from .sim.soc import RunResult
+from .utils import KIB
+from .workloads.base import TraceStats
+
+#: Scalar axes read straight off the spec.
+SPEC_AXES: tuple[str, ...] = (
+    "workload",
+    "mechanism",
+    "dtype",
+    "nsb",
+    "scale",
+    "seed",
+    "with_base",
+    "kind",
+)
+
+#: Platform axes derived from the spec's canonical SystemSpec (the same
+#: names :class:`~repro.session.Grid` accepts as sweep axes).
+DERIVED_AXES: tuple[str, ...] = (
+    "nvr_depth",
+    "nvr_width",
+    "nvr_fuzz",
+    "nsb_kib",
+    "l2_kib",
+    "cpu_traffic",
+    "issue_width",
+    "ooo_window",
+)
+
+_MISSING = object()
+
+_DERIVED_DEFAULTS: dict[str, object] | None = None
+
+
+def _derived_defaults() -> dict[str, object]:
+    """Each derived axis' value on the all-defaults platform (memoised)."""
+    global _DERIVED_DEFAULTS
+    if _DERIVED_DEFAULTS is None:
+        nvr = RunSpec("ds", mechanism="nvr")
+        base = RunSpec("ds", mechanism="inorder")
+        _DERIVED_DEFAULTS = {
+            axis: axis_value(
+                nvr if axis in ("nvr_depth", "nvr_width", "nvr_fuzz") else base,
+                axis,
+            )
+            for axis in DERIVED_AXES
+        }
+    return _DERIVED_DEFAULTS
+
+
+def axis_value(spec: RunSpec, axis: str):
+    """Resolve one axis of a spec (see the module docstring for the set).
+
+    Unknown axes fall through to the spec's workload arguments; a spec
+    that does not carry the argument yields a *missing* sentinel that
+    never matches a filter.
+    """
+    if axis in SPEC_AXES:
+        return getattr(spec, axis)
+    system = spec.system
+    if axis in ("nvr_depth", "nvr_width", "nvr_fuzz"):
+        nvr = system.nvr if system.nvr is not None else NVRConfig()
+        field = {
+            "nvr_depth": "depth_tiles",
+            "nvr_width": "vector_width",
+            "nvr_fuzz": "fuzz_vectors",
+        }[axis]
+        return getattr(nvr, field)
+    if axis in ("issue_width", "ooo_window"):
+        executor = system.executor if system.executor is not None else ExecutorConfig()
+        return getattr(executor, axis)
+    if axis == "l2_kib":
+        return system.resolved_memory().l2.size_bytes // KIB
+    if axis == "nsb_kib":
+        nsb = system.resolved_memory().nsb
+        return nsb.size_bytes // KIB if nsb is not None else None
+    if axis == "cpu_traffic":
+        return system.resolved_memory().cpu_traffic is not None
+    args = dict(spec.workload_args)
+    if axis in args:
+        return args[axis]
+    return _MISSING
+
+
+#: Named result metrics accepted wherever a ``value`` is selected.
+_SIM_METRICS: tuple[str, ...] = (
+    "total_cycles",
+    "base_cycles",
+    "stall_cycles",
+    "accuracy",
+    "coverage",
+    "off_chip_bytes",
+    "l2_demand_misses",
+)
+
+
+def metric_value(result, metric):
+    """Extract a named (or callable) metric from one result."""
+    if callable(metric):
+        return metric(result)
+    if isinstance(result, TraceStats):
+        try:
+            return getattr(result, metric)
+        except AttributeError:
+            raise ConfigError(
+                f"trace statistics have no metric '{metric}'"
+            ) from None
+    if metric == "accuracy":
+        return result.stats.prefetch.accuracy
+    if metric == "coverage":
+        return result.stats.coverage()
+    if metric == "off_chip_bytes":
+        return result.stats.traffic.off_chip_total_bytes
+    if metric == "l2_demand_misses":
+        return result.stats.l2.demand_misses
+    try:
+        return getattr(result, metric)
+    except AttributeError:
+        raise ConfigError(
+            f"unknown result metric '{metric}' "
+            f"(named metrics: {', '.join(_SIM_METRICS)}; "
+            "or pass a callable)"
+        ) from None
+
+
+def _axes_record(spec: RunSpec, derived: tuple[str, ...] = ()) -> dict:
+    """The identifying axis columns of one spec (for records/grouping).
+
+    ``derived`` names extra platform axes (resolved via
+    :func:`axis_value`) to include — the ResultSet passes the derived
+    axes that are non-default anywhere in the set, so an ablation export
+    says which ``nvr_depth``/``nsb_kib``/... each row belongs to.
+    """
+    record = {axis: getattr(spec, axis) for axis in SPEC_AXES if axis != "kind"}
+    if spec.kind != "sim":
+        record["kind"] = spec.kind
+    for axis in derived:
+        record[axis] = axis_value(spec, axis)
+    record.update(dict(spec.workload_args))
+    return record
+
+
+@dataclass(frozen=True)
+class Pivot:
+    """A two-axis reshape of a :class:`ResultSet` (see :meth:`ResultSet.pivot`)."""
+
+    row_axis: str
+    col_axis: str
+    rows: list
+    cols: list
+    values: list[list]
+
+    def cell(self, row, col):
+        return self.values[self.rows.index(row)][self.cols.index(col)]
+
+    def to_markdown(self) -> str:
+        header = [f"{self.row_axis}\\{self.col_axis}"] + [str(c) for c in self.cols]
+        lines = ["| " + " | ".join(header) + " |"]
+        lines.append("|" + "|".join(" --- " for _ in header) + "|")
+        for row, series in zip(self.rows, self.values):
+            cells = [str(row)] + [_fmt(v) for v in series]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class ResultSet:
+    """Ordered ``(RunSpec, result)`` pairs with selection and export.
+
+    Iteration yields the pairs in submission (plan) order; ``specs`` and
+    ``results`` expose the two columns. All selection methods return new
+    sets / plain data — a ResultSet is immutable once built.
+    """
+
+    def __init__(self, entries: Sequence[tuple[RunSpec, RunResult | TraceStats]]):
+        self._entries = list(entries)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[RunSpec, RunResult | TraceStats]]:
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self._entries[index])
+        return self._entries[index]
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._entries)} points)"
+
+    @property
+    def specs(self) -> list[RunSpec]:
+        return [spec for spec, _ in self._entries]
+
+    @property
+    def results(self) -> list[RunResult | TraceStats]:
+        return [result for _, result in self._entries]
+
+    # -- selection -----------------------------------------------------------
+
+    def filter(
+        self, predicate: Callable[[RunSpec, object], bool] | None = None, **axes
+    ) -> "ResultSet":
+        """Entries whose axes equal ``axes`` (and satisfy ``predicate``)."""
+        out = []
+        for spec, result in self._entries:
+            if any(axis_value(spec, axis) != want for axis, want in axes.items()):
+                continue
+            if predicate is not None and not predicate(spec, result):
+                continue
+            out.append((spec, result))
+        return ResultSet(out)
+
+    def one(self, **axes) -> RunResult | TraceStats:
+        """The single result matching ``axes``; raises unless exactly one."""
+        matches = self.filter(**axes)
+        if len(matches) != 1:
+            wanted = ", ".join(f"{k}={v!r}" for k, v in axes.items())
+            raise ConfigError(
+                f"expected exactly one result for ({wanted}), "
+                f"found {len(matches)} of {len(self)}"
+            )
+        return matches.results[0]
+
+    def _record_derived_axes(self) -> tuple[str, ...]:
+        """Derived axes worth a record column: non-default somewhere."""
+        defaults = _derived_defaults()
+        return tuple(
+            axis
+            for axis in DERIVED_AXES
+            if any(
+                axis_value(spec, axis) != defaults[axis]
+                for spec, _ in self._entries
+            )
+        )
+
+    # -- reshaping -----------------------------------------------------------
+
+    def pivot(self, rows: str, cols: str, value="total_cycles") -> Pivot:
+        """Reshape two axes into a table of ``value`` cells.
+
+        Row/column labels appear in first-occurrence order (i.e. the
+        grid's expansion order). Each (row, col) cell must be unique —
+        duplicated points are a :class:`~repro.errors.ConfigError`, not a
+        silent aggregate.
+        """
+        row_labels: list = []
+        col_labels: list = []
+        cells: dict[tuple, object] = {}
+        for spec, result in self._entries:
+            r, c = axis_value(spec, rows), axis_value(spec, cols)
+            if r is _MISSING or c is _MISSING:
+                continue
+            if r not in row_labels:
+                row_labels.append(r)
+            if c not in col_labels:
+                col_labels.append(c)
+            if (r, c) in cells:
+                raise ConfigError(
+                    f"pivot cell ({rows}={r}, {cols}={c}) is not unique — "
+                    "filter the set down before pivoting"
+                )
+            cells[(r, c)] = metric_value(result, value)
+        values = [
+            [cells.get((r, c)) for c in col_labels] for r in row_labels
+        ]
+        return Pivot(
+            row_axis=rows, col_axis=cols, rows=row_labels, cols=col_labels,
+            values=values,
+        )
+
+    def speedup_over(self, value="total_cycles", **baseline) -> list[dict]:
+        """Per-point speedup versus a baseline selection.
+
+        ``baseline`` names the axes that identify the reference points
+        (``mechanism="inorder"``); every other point is matched to the
+        baseline sharing its remaining axes, and its record gains a
+        ``"speedup"`` column (``baseline_value / point_value`` — > 1
+        means faster than the baseline for cycle-like metrics). Baseline
+        points themselves are omitted from the output.
+        """
+        if not baseline:
+            raise ConfigError(
+                "speedup_over needs at least one baseline axis, "
+                "e.g. speedup_over(mechanism='inorder')"
+            )
+        group_axes = [
+            axis
+            for axis in (*SPEC_AXES, *DERIVED_AXES)
+            if axis not in baseline
+        ]
+
+        def group_key(spec: RunSpec) -> tuple:
+            parts = [(axis, axis_value(spec, axis)) for axis in group_axes]
+            parts += [
+                (k, v) for k, v in spec.workload_args if k not in baseline
+            ]
+            return tuple(parts)
+
+        reference: dict[tuple, object] = {}
+        for spec, result in self.filter(**baseline):
+            reference[group_key(spec)] = metric_value(result, value)
+        derived = self._record_derived_axes()
+        out = []
+        for spec, result in self._entries:
+            if all(axis_value(spec, k) == v for k, v in baseline.items()):
+                continue
+            key = group_key(spec)
+            if key not in reference:
+                label = ", ".join(f"{k}={v!r}" for k, v in baseline.items())
+                raise ConfigError(
+                    f"no baseline ({label}) point matches {spec.label()}"
+                )
+            out.append(
+                {
+                    **_axes_record(spec, derived),
+                    "speedup": reference[key] / metric_value(result, value),
+                }
+            )
+        return out
+
+    # -- export --------------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        """One flat dict per point: axis columns plus result metrics.
+
+        Derived platform axes (``nvr_depth``, ``nsb_kib``, ...) appear
+        as columns whenever any point in the set carries a non-default
+        value, so ablation exports are self-describing.
+        """
+        derived = self._record_derived_axes()
+        records = []
+        for spec, result in self._entries:
+            record = _axes_record(spec, derived)
+            if isinstance(result, TraceStats):
+                record.update(
+                    gather_elements=result.gather_elements,
+                    footprint_bytes=result.footprint_bytes,
+                    reuse_factor=result.reuse_factor,
+                )
+            else:
+                record.update(
+                    total_cycles=result.total_cycles,
+                    base_cycles=result.base_cycles,
+                    stall_cycles=result.stall_cycles,
+                    accuracy=result.stats.prefetch.accuracy,
+                    coverage=result.stats.coverage(),
+                    off_chip_bytes=result.stats.traffic.off_chip_total_bytes,
+                    l2_demand_misses=result.stats.l2.demand_misses,
+                )
+            records.append(record)
+        return records
+
+    def _columns(self) -> list[str]:
+        columns: list[str] = []
+        for record in self.to_records():
+            for key in record:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def to_csv(self, path: str | os.PathLike | None = None) -> str:
+        """CSV text of :meth:`to_records` (written to ``path`` if given)."""
+        columns = self._columns()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+        writer.writeheader()
+        for record in self.to_records():
+            writer.writerow({k: "" if v is None else v for k, v in record.items()})
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_markdown(self) -> str:
+        """A GitHub-style pipe table of :meth:`to_records`."""
+        columns = self._columns()
+        lines = ["| " + " | ".join(columns) + " |"]
+        lines.append("|" + "|".join(" --- " for _ in columns) + "|")
+        for record in self.to_records():
+            cells = [
+                "" if record.get(c) is None else _fmt(record.get(c, ""))
+                for c in columns
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def to_json(self, path: str | os.PathLike | None = None, indent: int = 2) -> str:
+        """JSON text of :meth:`to_records` (written to ``path`` if given)."""
+        text = json.dumps(self.to_records(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text

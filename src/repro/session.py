@@ -1,0 +1,537 @@
+"""Session + Grid: the one experiment object behind every entry point.
+
+A :class:`Session` owns the execution policy of a set of experiments —
+result cache, backend, worker count, progress — exactly once, and every
+front door routes through one: :func:`repro.api.run_workload` and
+:func:`repro.api.compare_mechanisms` are shims over the process-wide
+:func:`default_session`, the CLI builds one per invocation from the
+shared flags, and the figure runners accept one so a whole report shares
+a single cache and worker pool::
+
+    from repro import Grid, Session
+
+    with Session(jobs=4) as session:
+        point = session.run("gcn", mechanism="nvr", scale=0.3)
+        rs = session.sweep(
+            Grid(
+                workload=["gcn", "ds"],
+                mechanism=["inorder", "nvr"],
+                dtype=["int8", "fp16"],
+                scale=0.3,
+            )
+        )
+        print(rs.pivot("workload", "mechanism").to_markdown())
+
+:class:`Grid` is the declarative sweep builder: every keyword is an axis
+(scalar or sequence), and the cartesian product expands deterministically
+— in axis declaration order, workload-major for the canonical axes — to
+:class:`~repro.runner.RunSpec` points. Besides the spec axes
+(``workload``/``mechanism``/``dtype``/``nsb``/``scale``/``seed``/
+``with_base``/``kind`` and the object-valued
+``memory``/``nvr``/``executor`` overrides) it accepts derived platform
+axes (``l2_kib``, ``nsb_kib``, ``cpu_traffic``, ``nvr_depth``,
+``nvr_width``, ``nvr_fuzz``, ``issue_width``, ``ooo_window``); any other
+keyword sweeps a workload argument (``topk_ratio=[2, 4, 8]``). Grid
+expansion is pinned by the golden hashes in
+``tests/golden_spec_keys.json`` — the same discipline as the spec
+serialisation format.
+
+``session.sweep`` returns a :class:`~repro.resultset.ResultSet`;
+``session.run`` executes a single point through the same dedupe/cache
+path, so repeated point runs (examples, notebooks) are warm hits like
+sweeps.
+
+The default cache directory honours the ``REPRO_CACHE_DIR`` environment
+variable (falling back to ``.repro-cache/``), so examples, tests and CI
+jobs can share one cache without threading a path everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import os
+from typing import Iterator, Sequence
+
+from .errors import ConfigError
+from .resultset import ResultSet
+from .runner import (
+    BACKEND_NAMES,
+    Backend,
+    DEFAULT_CACHE_DIR,
+    MemorySpec,
+    NVRSpec,
+    Plan,
+    PlanReport,
+    ResultCache,
+    RunSpec,
+    SweepRunner,
+    make_backend,
+)
+from .runner.plan import _tuple
+from .runner.progress import NullProgress, Progress
+from .sim.npu.executor import ExecutorConfig
+
+__all__ = [
+    "Grid",
+    "Session",
+    "add_session_arguments",
+    "coerce_session",
+    "default_session",
+    "resolve_cache_dir",
+    "session_from_args",
+    "set_default_session",
+]
+
+#: Environment override for the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(explicit: str | os.PathLike | None = None) -> str | os.PathLike:
+    """Explicit path > ``$REPRO_CACHE_DIR`` > ``.repro-cache/``."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+# ---------------------------------------------------------------------------
+# Grid — declarative cartesian sweep builder
+# ---------------------------------------------------------------------------
+
+#: Axes forwarded to RunSpec verbatim (in canonical expansion order).
+_SPEC_AXES: tuple[str, ...] = (
+    "workload",
+    "mechanism",
+    "dtype",
+    "nsb",
+    "scale",
+    "seed",
+    "with_base",
+    "kind",
+    "memory",
+    "nvr",
+    "executor",
+)
+
+#: Derived axes: grid name -> (RunSpec argument, shorthand field).
+_MEMORY_AXES = {"l2_kib": "l2_kib", "nsb_kib": "nsb_kib", "cpu_traffic": "cpu_traffic"}
+_NVR_AXES = {
+    "nvr_depth": "depth_tiles",
+    "nvr_width": "vector_width",
+    "nvr_fuzz": "fuzz_vectors",
+}
+_EXECUTOR_AXES = {"issue_width": "issue_width", "ooo_window": "ooo_window"}
+
+
+class Grid:
+    """A declarative cartesian sweep: every keyword is an axis.
+
+    Expansion is deterministic: axes expand in declaration order (later
+    axes vary fastest), so ``Grid(workload=ws, mechanism=ms)`` is
+    workload-major like the paper figures' bar order. Derived platform
+    axes combine into one shorthand override per point (``l2_kib`` +
+    ``nsb_kib`` become a single
+    :class:`~repro.runner.MemorySpec`); combining a derived axis with its
+    object-valued override (``memory=`` with ``l2_kib=``) is a
+    :class:`~repro.errors.ConfigError`.
+    """
+
+    def __init__(self, **axes) -> None:
+        if "workload" not in axes:
+            raise ConfigError("a Grid needs at least a workload axis")
+        for override, derived in (
+            ("memory", _MEMORY_AXES),
+            ("nvr", _NVR_AXES),
+            ("executor", _EXECUTOR_AXES),
+        ):
+            clashes = sorted(set(axes) & set(derived))
+            if override in axes and clashes:
+                raise ConfigError(
+                    f"pass the {override} axis either as {override}= or as "
+                    f"{', '.join(clashes)}, not both"
+                )
+        self._axes: dict[str, tuple] = {
+            name: _tuple(value) for name, value in axes.items()
+        }
+        for name, values in self._axes.items():
+            if not values:
+                raise ConfigError(f"grid axis '{name}' has no values")
+
+    @property
+    def axes(self) -> dict[str, tuple]:
+        """The declared axes (name -> value tuple), in declaration order."""
+        return dict(self._axes)
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self._axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.specs())
+
+    def __repr__(self) -> str:
+        shape = " x ".join(f"{name}[{len(v)}]" for name, v in self._axes.items())
+        return f"Grid({shape} = {len(self)} points)"
+
+    def _spec_for(self, point: dict) -> RunSpec:
+        kwargs = {name: point.pop(name) for name in _SPEC_AXES if name in point}
+        memory = {
+            field: point.pop(name)
+            for name, field in _MEMORY_AXES.items()
+            if name in point
+        }
+        if memory:
+            kwargs["memory"] = MemorySpec(**memory)
+        nvr = {
+            field: point.pop(name) for name, field in _NVR_AXES.items() if name in point
+        }
+        if nvr:
+            kwargs["nvr"] = NVRSpec(**nvr)
+        executor = {
+            field: point.pop(name)
+            for name, field in _EXECUTOR_AXES.items()
+            if name in point
+        }
+        if executor:
+            kwargs["executor"] = ExecutorConfig(**executor)
+        return RunSpec(workload_args=tuple(point.items()), **kwargs)
+
+    def specs(self) -> list[RunSpec]:
+        """Expand to :class:`~repro.runner.RunSpec` points, deterministically."""
+        names = list(self._axes)
+        return [
+            self._spec_for(dict(zip(names, combo)))
+            for combo in itertools.product(*self._axes.values())
+        ]
+
+    def plan(self, **meta) -> Plan:
+        """The expansion as a wire-format :class:`~repro.runner.Plan`."""
+        return Plan(specs=self.specs(), meta={"source": "grid", **meta})
+
+
+# ---------------------------------------------------------------------------
+# Session — cache + backend + jobs, owned once
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """Owns execution policy (cache, backend, jobs, progress) once.
+
+    Args:
+        jobs: worker processes (1 = inline serial execution).
+        cache: ``None``/``True`` for the default on-disk cache (under
+            :func:`resolve_cache_dir`), ``False`` to disable caching, or
+            a ready :class:`~repro.runner.ResultCache`.
+        cache_dir: directory for the default cache (ignored when
+            ``cache`` is an object or ``False``).
+        backend: a backend name (``"local"``/``"shards"``), a ready
+            :class:`~repro.runner.Backend`, or ``None`` for the local
+            pool.
+        work_dir: shard/result file directory for the shards backend.
+        progress: ``True`` for live progress lines, ``False``/``None``
+            for silence, or a progress object.
+        runner: wrap an existing :class:`~repro.runner.SweepRunner`
+            instead of building one — the session then shares (and does
+            not own or close) its cache/pool. Mutually exclusive with
+            the other knobs.
+
+    The underlying :class:`~repro.runner.SweepRunner` is built lazily on
+    first use, so constructing a Session is free. Use the session as a
+    context manager (or call :meth:`close`) to release worker processes.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | bool | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        backend: Backend | str | None = None,
+        work_dir: str | os.PathLike | None = None,
+        progress=None,
+        runner: SweepRunner | None = None,
+    ) -> None:
+        if runner is not None:
+            if (
+                jobs != 1
+                or cache is not None
+                or cache_dir is not None
+                or backend is not None
+                or work_dir is not None
+                or progress is not None
+            ):
+                raise ConfigError(
+                    "pass either runner= or the cache/backend/jobs knobs, "
+                    "not both — a wrapped runner already owns its policy"
+                )
+            self._runner: SweepRunner | None = runner
+            self._owns_runner = False
+        else:
+            self._runner = None
+            self._owns_runner = True
+        self._jobs = max(1, int(jobs))
+        self._cache = cache
+        self._cache_dir = cache_dir
+        self._backend = backend
+        self._work_dir = work_dir
+        self._progress = progress
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _build_cache(self) -> ResultCache | None:
+        if isinstance(self._cache, ResultCache):
+            return self._cache
+        if self._cache is False:
+            return None
+        return ResultCache(resolve_cache_dir(self._cache_dir))
+
+    def _build_backend(self) -> Backend | None:
+        if self._backend is None or isinstance(self._backend, str):
+            name = self._backend or "local"
+            return make_backend(name, jobs=self._jobs, work_dir=self._work_dir)
+        return self._backend
+
+    @property
+    def runner(self) -> SweepRunner:
+        """The lazily-built :class:`~repro.runner.SweepRunner`."""
+        if self._runner is None:
+            progress = self._progress
+            if progress is None or progress is False:
+                progress = NullProgress()
+            elif progress is True:
+                progress = Progress()
+            self._runner = SweepRunner(
+                jobs=self._jobs,
+                cache=self._build_cache(),
+                progress=progress,
+                backend=self._build_backend(),
+            )
+        return self._runner
+
+    @property
+    def cache(self) -> ResultCache | None:
+        return self.runner.cache
+
+    @property
+    def jobs(self) -> int:
+        return self.runner.jobs if self._runner is not None else self._jobs
+
+    @property
+    def submitted(self) -> int:
+        """Points simulated over the session's lifetime."""
+        return self.runner.submitted
+
+    @property
+    def cache_hits(self) -> int:
+        """Points served from the cache over the session's lifetime."""
+        return self.runner.cache_hits
+
+    @property
+    def last_report(self) -> PlanReport | None:
+        return self.runner.last_report
+
+    def close(self) -> None:
+        """Release owned worker resources (idempotent; session stays usable)."""
+        if self._runner is not None and self._owns_runner:
+            self._runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def point_spec(
+        self,
+        workload: str,
+        mechanism: str = "nvr",
+        dtype: str = "fp16",
+        nsb: bool = False,
+        scale: float = 1.0,
+        seed: int = 0,
+        with_base: bool = False,
+        memory=None,
+        nvr=None,
+        nvr_config=None,
+        executor=None,
+        kind: str = "sim",
+        **workload_args,
+    ) -> RunSpec:
+        """Build the :class:`~repro.runner.RunSpec` for one point.
+
+        ``nvr_config`` is accepted as an alias of ``nvr`` (the
+        :func:`repro.api.run_workload` spelling).
+        """
+        if nvr is not None and nvr_config is not None:
+            raise ConfigError("pass nvr= or nvr_config=, not both")
+        return RunSpec(
+            workload,
+            mechanism=mechanism,
+            dtype=dtype,
+            nsb=nsb,
+            scale=scale,
+            seed=seed,
+            with_base=with_base,
+            memory=memory,
+            nvr=nvr if nvr is not None else nvr_config,
+            executor=executor,
+            workload_args=tuple(workload_args.items()),
+            kind=kind,
+        )
+
+    def run(self, point, /, **kwargs):
+        """Execute a single point through the cache/dedupe path.
+
+        ``point`` is either a ready :class:`~repro.runner.RunSpec` or a
+        workload name plus :meth:`point_spec` keyword axes. Returns the
+        :class:`~repro.sim.soc.RunResult` (or
+        :class:`~repro.workloads.base.TraceStats` for ``kind="trace"``).
+        """
+        if isinstance(point, RunSpec):
+            if kwargs:
+                raise ConfigError(
+                    "pass either a ready RunSpec or keyword axes, not both"
+                )
+            spec = point
+        elif isinstance(point, str):
+            spec = self.point_spec(point, **kwargs)
+        else:
+            raise ConfigError(
+                f"run() takes a RunSpec or a workload name, got "
+                f"{type(point).__name__}"
+            )
+        return self.runner.run(spec)
+
+    def sweep(self, plan) -> ResultSet:
+        """Execute a :class:`Grid`, :class:`~repro.runner.Plan` or spec list.
+
+        Points deduplicate, hit the session cache and fan out over the
+        session backend; the :class:`~repro.resultset.ResultSet` pairs
+        every submitted spec with its result, in submission order.
+        """
+        if isinstance(plan, Grid):
+            specs = plan.specs()
+        elif isinstance(plan, Plan):
+            specs = list(plan.specs)
+        elif isinstance(plan, RunSpec):
+            specs = [plan]
+        else:
+            specs = list(plan)
+        results = self.runner.run_plan(specs)
+        return ResultSet(list(zip(specs, results)))
+
+
+# ---------------------------------------------------------------------------
+# Default session + coercion
+# ---------------------------------------------------------------------------
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The process-wide session behind the convenience API.
+
+    Serial, cached under :func:`resolve_cache_dir`, silent. Built on
+    first use; swap it with :func:`set_default_session` (tests,
+    notebooks with a scratch cache).
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION
+
+
+def set_default_session(session: Session | None) -> Session | None:
+    """Replace the process-wide default session; returns the previous one."""
+    global _DEFAULT_SESSION
+    previous = _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+    return previous
+
+
+def coerce_session(session=None, runner: SweepRunner | None = None) -> Session:
+    """Normalise the figure runners' ``session``/``runner`` arguments.
+
+    Accepts a :class:`Session`, a bare :class:`~repro.runner.SweepRunner`
+    (the pre-Session calling convention, wrapped without taking
+    ownership), or nothing — which yields :func:`default_session`.
+    """
+    chosen = session if session is not None else runner
+    if chosen is None:
+        return default_session()
+    if isinstance(chosen, Session):
+        return chosen
+    if isinstance(chosen, SweepRunner):
+        return Session(runner=chosen)
+    raise ConfigError(
+        f"expected a Session or SweepRunner, got {type(chosen).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI integration — one shared parent parser for every subcommand
+# ---------------------------------------------------------------------------
+
+
+def add_session_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared session flags on a parser (or parent parser).
+
+    Every default is ``argparse.SUPPRESS``: unset flags simply do not
+    appear in the namespace and :func:`session_from_args` fills the real
+    defaults. That lets nested parsers (``repro cache`` and
+    ``repro cache gc``) share the same flags without a set-at-one-level
+    value being clobbered by the other level's default.
+    """
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="worker processes for sweep execution (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=argparse.SUPPRESS,
+        help="how cache-missed points execute: 'local' in-process "
+        "workers, 'shards' via share-nothing 'repro worker run' "
+        "subprocesses over serialized plan shards (default local)",
+    )
+    parser.add_argument(
+        "--work-dir",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="keep the shards backend's shard/result files in DIR "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        help=f"result cache directory (default $"
+        f"{CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})",
+    )
+
+
+def session_from_args(args: argparse.Namespace, quiet: bool = False) -> Session:
+    """Build the CLI's :class:`Session` from the shared flags."""
+    return Session(
+        jobs=getattr(args, "jobs", 1),
+        cache=False if getattr(args, "no_cache", False) else None,
+        cache_dir=getattr(args, "cache_dir", None),
+        backend=getattr(args, "backend", None),
+        work_dir=getattr(args, "work_dir", None),
+        progress=not quiet,
+    )
+
+
+# Session.from_args reads naturally at call sites that already hold the
+# class; it is the same factory.
+Session.from_args = staticmethod(session_from_args)  # type: ignore[attr-defined]

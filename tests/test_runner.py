@@ -518,7 +518,10 @@ class TestCLI:
         assert "2 points" in out
         records = json.loads((tmp_path / "sweep.json").read_text())
         assert len(records) == 2
-        assert records[0]["spec"]["workload"] == "st"
+        # ResultSet record format: flat axis columns + metrics.
+        assert records[0]["workload"] == "st"
+        assert records[0]["mechanism"] == "inorder"
+        assert records[0]["total_cycles"] > 0
 
     def test_sweep_rejects_unknown_axis_value(self, tmp_path):
         with pytest.raises(SystemExit):

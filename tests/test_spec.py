@@ -27,6 +27,7 @@ from repro.registry import MECHANISM_ORDER, MECHANISMS, MechanismDef, Registry
 from repro.runner import MemorySpec, RunSpec
 from repro.sim.memory.hierarchy import CPUTrafficConfig, MemoryConfig
 from repro.sim.npu.executor import ENGINES, ExecutorConfig
+from repro.session import Grid
 from repro.spec import SystemSpec, stable_hash
 from repro.workloads import WORKLOAD_ORDER, build_workload
 from repro.workloads.registry import WORKLOAD_BUILDERS, register_workload
@@ -79,6 +80,59 @@ def golden_specs() -> dict[str, RunSpec]:
             workload_args=(("heavy_ratio", 0.2),),
         ),
     }
+
+
+def golden_grids() -> dict[str, Grid]:
+    """The pinned Grid corpus: expansion *order* and content, hashed.
+
+    A drifted hash here means either the RunSpec serialisation format or
+    Grid's deterministic expansion order changed — both orphan caches /
+    break plan reproducibility and must be called out in the PR.
+    """
+    return {
+        "grid:canonical-axes": Grid(
+            workload=["ds", "gcn"],
+            mechanism=["inorder", "nvr"],
+            dtype=["int8", "fp16"],
+            nsb=[False, True],
+            scale=0.25,
+            seed=[0, 1],
+            with_base=True,
+        ),
+        "grid:derived-axes": Grid(
+            workload="ds",
+            mechanism="nvr",
+            scale=0.3,
+            nvr_depth=[2, 8],
+            nvr_width=[8, 16],
+            nsb_kib=[4, 16],
+            l2_kib=[128, 256],
+            issue_width=[1, 4],
+        ),
+        "grid:workload-args": Grid(
+            workload="ds",
+            mechanism="stream",
+            scale=0.2,
+            topk_ratio=[2, 4],
+            drift=1.0,
+        ),
+        "grid:trace": Grid(workload=list(WORKLOAD_ORDER), kind="trace", scale=0.1),
+    }
+
+
+def _grid_hash(grid: Grid) -> str:
+    """Order-sensitive content hash of a grid's expansion."""
+    keys = "\n".join(spec.key() for spec in grid.specs())
+    return hashlib.sha256(keys.encode()).hexdigest()
+
+
+def _current_goldens() -> dict[str, str]:
+    current = {
+        name: hashlib.sha256(spec.key().encode()).hexdigest()
+        for name, spec in golden_specs().items()
+    }
+    current.update({name: _grid_hash(grid) for name, grid in golden_grids().items()})
+    return current
 
 
 class TestConfigRoundTrips:
@@ -306,15 +360,12 @@ class TestGoldenKeys:
 
     def test_golden_spec_keys(self):
         goldens = json.loads(GOLDEN_PATH.read_text())
-        current = {
-            name: hashlib.sha256(spec.key().encode()).hexdigest()
-            for name, spec in golden_specs().items()
-        }
-        assert current == goldens, (
-            "RunSpec serialisation format changed: this orphans every "
-            "existing result cache. If intentional, regenerate with "
-            "`PYTHONPATH=src python tests/test_spec.py regen` and call "
-            "it out in the PR description."
+        assert _current_goldens() == goldens, (
+            "RunSpec serialisation format (or Grid expansion order) "
+            "changed: this orphans every existing result cache. If "
+            "intentional, regenerate with `PYTHONPATH=src python "
+            "tests/test_spec.py regen` and call it out in the PR "
+            "description."
         )
 
 
@@ -322,9 +373,6 @@ if __name__ == "__main__":
     import sys
 
     if len(sys.argv) > 1 and sys.argv[1] == "regen":
-        goldens = {
-            name: hashlib.sha256(spec.key().encode()).hexdigest()
-            for name, spec in golden_specs().items()
-        }
+        goldens = _current_goldens()
         GOLDEN_PATH.write_text(json.dumps(goldens, indent=2) + "\n")
         print(f"wrote {GOLDEN_PATH} ({len(goldens)} entries)")
