@@ -14,6 +14,9 @@ Usage::
     python -m repro plan shard plan.json --shards 4 --out-dir shards/
     python -m repro worker run shards/plan-shard-0-of-4.json --out r0.json
     python -m repro plan merge r0.json r1.json ...
+    python -m repro queue worker --work-dir work/ &
+    python -m repro sweep --backend queue --work-dir work/ --workloads ds
+    python -m repro queue status --work-dir work/
     python -m repro cache
     python -m repro cache gc --max-mb 64 --dry-run
     python -m repro cache clear
@@ -31,7 +34,12 @@ over serialized shards instead — the same wire format the
 ``plan``/``worker`` commands expose for multi-machine sweeps: *export* a
 plan, *shard* it, run each shard with ``worker run`` wherever, and
 *merge* the result files back into the cache; figure runs then consume
-them as ordinary warm hits. ``cache gc`` bounds the cache's size with
+them as ordinary warm hits. ``--backend queue`` inverts the deal:
+missing points become claimable unit files under ``--work-dir`` and any
+number of ``repro queue worker`` processes *pull* them, heartbeating a
+lease so crashed workers' units are re-enqueued automatically; ``queue
+status`` inspects a work directory and ``touch <work-dir>/stop`` drains
+the workers. ``cache gc`` bounds the cache's size with
 least-recently-accessed eviction.
 
 ``sweep`` expands its axis flags through a declarative
@@ -54,19 +62,28 @@ from .errors import ReproError
 from .runner import (
     Plan,
     ResultCache,
+    WorkQueue,
     merge_results,
     result_to_payload,
+    run_queue_worker,
     run_shard,
     trace_to_payload,
     write_results,
 )
 from .runner.progress import Progress
+from .runner.queue import (
+    DEFAULT_HEARTBEAT,
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_POLL,
+    LEASE_TIMEOUT_ENV,
+)
 from .session import (
     Grid,
     add_session_arguments,
     resolve_cache_dir,
     session_from_args,
 )
+from .utils import sanitize_nonfinite
 from .workloads import WORKLOAD_ORDER
 
 
@@ -205,7 +222,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.json is not None:
             records = _payload_records(rs.specs, rs.results)
             with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(records, handle, indent=1, sort_keys=True)
+                json.dump(
+                    sanitize_nonfinite(records),
+                    handle,
+                    indent=1,
+                    sort_keys=True,
+                    allow_nan=False,
+                )
             print(f"wrote {args.json} ({len(records)} records)")
         return 0
     with session_from_args(args) as session:
@@ -339,6 +362,35 @@ def _cmd_worker_run(args: argparse.Namespace) -> int:
     records = run_shard(plan, jobs=args.jobs, progress=Progress())
     path = write_results(args.out, records)
     print(f"wrote {path} ({len(records)} results)")
+    return 0
+
+
+def _cmd_queue_worker(args: argparse.Namespace) -> int:
+    def log(text: str) -> None:
+        print(text, file=sys.stderr, flush=True)
+
+    done = run_queue_worker(
+        args.work_dir,
+        worker_id=args.worker_id,
+        idle_timeout=args.idle_timeout,
+        max_units=args.max_units,
+        poll=args.poll,
+        heartbeat=args.heartbeat,
+        log=log,
+    )
+    print(f"executed {done} unit(s) from {args.work_dir}")
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    queue = WorkQueue(args.work_dir)
+    status = queue.status(args.lease_timeout)
+    print(f"work dir  : {queue.root}")
+    print(f"queued    : {status.queued}")
+    print(f"claimed   : {status.claimed} ({status.expired} lease-expired)")
+    print(f"results   : {status.results}")
+    print(f"failed    : {status.failed}")
+    print(f"stopping  : {'yes' if status.stopping else 'no'}")
     return 0
 
 
@@ -620,6 +672,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="local worker processes for this shard (default 1)",
     )
     wrun_p.set_defaults(fn=_cmd_worker_run)
+
+    queue_p = sub.add_parser(
+        "queue",
+        help="pull-based work queue: workers claim units from a shared "
+        "--work-dir (pairs with 'sweep --backend queue')",
+    )
+    queue_sub = queue_p.add_subparsers(dest="queue_cmd", required=True)
+    qworker_p = queue_sub.add_parser(
+        "worker",
+        help="claim and execute queue units until stopped or idle",
+    )
+    qworker_p.add_argument(
+        "--work-dir",
+        required=True,
+        metavar="DIR",
+        help="the shared work directory to pull units from",
+    )
+    qworker_p.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease identity (default host:pid)",
+    )
+    qworker_p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="exit after this long with an empty queue "
+        "(default: wait for work forever)",
+    )
+    qworker_p.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N units",
+    )
+    qworker_p.add_argument(
+        "--poll",
+        type=float,
+        default=DEFAULT_POLL,
+        metavar="SEC",
+        help=f"queue re-scan interval when idle (default {DEFAULT_POLL:g})",
+    )
+    qworker_p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT,
+        metavar="SEC",
+        help="lease touch interval while executing "
+        f"(default {DEFAULT_HEARTBEAT:g}; keep well under the "
+        "orchestrator's lease timeout)",
+    )
+    qworker_p.set_defaults(fn=_cmd_queue_worker)
+    qstatus_p = queue_sub.add_parser(
+        "status", help="one scan of a work directory's queue state"
+    )
+    qstatus_p.add_argument(
+        "--work-dir",
+        required=True,
+        metavar="DIR",
+        help="the shared work directory to inspect",
+    )
+    qstatus_p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="age that counts a claimed unit's lease as expired "
+        f"(default ${LEASE_TIMEOUT_ENV} or {DEFAULT_LEASE_TIMEOUT:g})",
+    )
+    qstatus_p.set_defaults(fn=_cmd_queue_status)
 
     cache_p = sub.add_parser(
         "cache",

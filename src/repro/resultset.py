@@ -41,7 +41,7 @@ from .errors import ConfigError
 from .runner.plan import RunSpec
 from .sim.npu.executor import ExecutorConfig
 from .sim.soc import RunResult
-from .utils import KIB
+from .utils import KIB, sanitize_nonfinite
 from .workloads.base import TraceStats
 
 #: Scalar axes read straight off the spec.
@@ -328,6 +328,12 @@ class ResultSet:
         ``"speedup"`` column (``baseline_value / point_value`` — > 1
         means faster than the baseline for cycle-like metrics). Baseline
         points themselves are omitted from the output.
+
+        Ambiguity and degeneracy are :class:`~repro.errors.ConfigError`s,
+        matching :meth:`pivot`'s no-silent-aggregate contract: two
+        baseline points sharing a group key would make the reference
+        depend on iteration order, and a zero point metric has no
+        defined ratio.
         """
         if not baseline:
             raise ConfigError(
@@ -347,9 +353,18 @@ class ResultSet:
             ]
             return tuple(parts)
 
+        label = ", ".join(f"{k}={v!r}" for k, v in baseline.items())
+        metric_name = value if isinstance(value, str) else "metric"
         reference: dict[tuple, object] = {}
         for spec, result in self.filter(**baseline):
-            reference[group_key(spec)] = metric_value(result, value)
+            key = group_key(spec)
+            if key in reference:
+                raise ConfigError(
+                    f"baseline ({label}) matches more than one point for "
+                    f"{spec.label()} — filter the set down before "
+                    "speedup_over"
+                )
+            reference[key] = metric_value(result, value)
         derived = self._record_derived_axes()
         out = []
         for spec, result in self._entries:
@@ -357,14 +372,19 @@ class ResultSet:
                 continue
             key = group_key(spec)
             if key not in reference:
-                label = ", ".join(f"{k}={v!r}" for k, v in baseline.items())
                 raise ConfigError(
                     f"no baseline ({label}) point matches {spec.label()}"
+                )
+            point_value = metric_value(result, value)
+            if point_value == 0:
+                raise ConfigError(
+                    f"cannot compute speedup: {metric_name} is 0 for "
+                    f"{spec.label()}"
                 )
             out.append(
                 {
                     **_axes_record(spec, derived),
-                    "speedup": reference[key] / metric_value(result, value),
+                    "speedup": reference[key] / point_value,
                 }
             )
         return out
@@ -436,8 +456,15 @@ class ResultSet:
         return "\n".join(lines)
 
     def to_json(self, path: str | os.PathLike | None = None, indent: int = 2) -> str:
-        """JSON text of :meth:`to_records` (written to ``path`` if given)."""
-        text = json.dumps(self.to_records(), indent=indent)
+        """JSON text of :meth:`to_records` (written to ``path`` if given).
+
+        Non-finite metrics (a CV over an empty trace) become ``null``:
+        ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity``
+        literals, which are not JSON and break strict parsers.
+        """
+        text = json.dumps(
+            sanitize_nonfinite(self.to_records()), indent=indent, allow_nan=False
+        )
         if path is not None:
             Path(path).write_text(text + "\n", encoding="utf-8")
         return text

@@ -9,11 +9,16 @@ parallel — and distributable — plan:
 * :mod:`repro.runner.pool` — :class:`SweepRunner`, the dedupe + cache +
   backend execution engine;
 * :mod:`repro.runner.backend` — pluggable :class:`Backend` protocol:
-  :class:`LocalPoolBackend` (in-process ``ProcessPoolExecutor``) and
+  :class:`LocalPoolBackend` (in-process ``ProcessPoolExecutor``),
   :class:`FileShardBackend` (share-nothing ``repro worker`` processes
-  over serialized shards);
-* :mod:`repro.runner.worker` — shard execution and result merging, the
-  machinery behind ``repro worker run`` / ``repro plan merge``;
+  over serialized shards) and :class:`QueueBackend` (workers *pull*
+  claimable units from a shared directory);
+* :mod:`repro.runner.queue` — the pull-based work queue:
+  :class:`WorkQueue` unit/lease/result protocol and the
+  :class:`QueueBackend` orchestrator with crash recovery;
+* :mod:`repro.runner.worker` — shard and queue-unit execution plus
+  result merging, the machinery behind ``repro worker run``,
+  ``repro queue worker`` and ``repro plan merge``;
 * :mod:`repro.runner.cache` — :class:`ResultCache`, content-addressed
   JSON memoisation under ``.repro-cache/`` with an inter-process lock
   for structural mutations;
@@ -49,10 +54,12 @@ from .plan import (
 )
 from .pool import PlanReport, SweepRunner, execute_spec
 from .progress import NullProgress, Progress
+from .queue import QueueBackend, QueueStatus, WorkQueue, unit_id
 from .worker import (
     MergeReport,
     load_results,
     merge_results,
+    run_queue_worker,
     run_shard,
     write_results,
 )
@@ -73,10 +80,13 @@ __all__ = [
     "Plan",
     "PlanReport",
     "Progress",
+    "QueueBackend",
+    "QueueStatus",
     "ResultCache",
     "RunSpec",
     "SweepRunner",
     "SystemSpec",
+    "WorkQueue",
     "execute_spec",
     "expand",
     "load_results",
@@ -85,8 +95,10 @@ __all__ = [
     "merge_results",
     "payload_to_result",
     "result_to_payload",
+    "run_queue_worker",
     "run_shard",
     "shape_l2",
     "trace_to_payload",
+    "unit_id",
     "write_results",
 ]

@@ -7,18 +7,23 @@ executing the pending points to a :class:`Backend`:
 * :class:`LocalPoolBackend` — the default: inline for one point or one
   job, a persistent ``ProcessPoolExecutor`` otherwise. Everything stays
   in this process tree.
-* :class:`FileShardBackend` — the distributed execution model: the
+* :class:`FileShardBackend` — the push-model distributed execution: the
   pending points are compiled into a wire-format
   :class:`~repro.runner.plan.Plan`, sharded deterministically, and each
   shard is executed by an independent ``repro worker run`` process that
   shares nothing with the submitter but a work directory. The worker
   result files are read back (and folded into the submitter's cache by
   the runner, exactly like locally-computed payloads).
+* :class:`~repro.runner.queue.QueueBackend` — the pull model: pending
+  points become claimable unit files in a work directory and any number
+  of ``repro queue worker`` processes pull them; leases detect crashed
+  workers and their units are re-enqueued (see
+  :mod:`repro.runner.queue`).
 
-Both backends yield ``(key, spec, payload)`` triples as points complete;
+All backends yield ``(key, spec, payload)`` triples as points complete;
 results are a pure function of the spec, so every backend produces
-bit-identical payloads — the invariant the ``distributed-smoke`` CI job
-pins.
+bit-identical payloads — the invariant the ``distributed-smoke`` and
+``queue-smoke`` CI jobs pin.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from ..errors import ConfigError, SimulationError
 from .plan import Plan, RunSpec
 
 #: Backend names accepted by ``--backend`` (see :func:`make_backend`).
-BACKEND_NAMES = ("local", "shards")
+BACKEND_NAMES = ("local", "shards", "queue")
 
 
 class Backend(Protocol):
@@ -232,13 +237,25 @@ def make_backend(
     jobs: int = 1,
     work_dir: str | os.PathLike | None = None,
 ) -> Backend:
-    """Build the ``--backend`` CLI choice: 'local' or 'shards'.
+    """Build the ``--backend`` CLI choice: 'local', 'shards' or 'queue'.
 
-    ``jobs`` means worker processes for both: the pool width locally,
-    the shard count (one worker process per shard) for 'shards'.
+    ``jobs`` means worker processes where this process owns them: the
+    pool width locally, the shard count (one worker process per shard)
+    for 'shards'. The 'queue' backend ignores it — its parallelism is
+    however many ``repro queue worker`` processes attach to the shared
+    ``work_dir`` (which is therefore required).
     """
     if name == "local":
         return LocalPoolBackend(jobs=jobs)
     if name == "shards":
         return FileShardBackend(shards=max(1, int(jobs)), work_dir=work_dir)
+    if name == "queue":
+        from .queue import QueueBackend  # circular at import time only
+
+        if work_dir is None:
+            raise ConfigError(
+                "the queue backend needs --work-dir (the directory the "
+                "'repro queue worker' processes watch)"
+            )
+        return QueueBackend(work_dir)
     raise ConfigError(f"unknown backend '{name}' (known: {', '.join(BACKEND_NAMES)})")

@@ -44,6 +44,7 @@ from ..sim.stats import (
     RunStats,
     TrafficStats,
 )
+from ..utils import sanitize_nonfinite
 from ..workloads.base import TraceStats
 from .plan import RunSpec
 
@@ -91,14 +92,24 @@ def atomic_write_json(path: str | os.PathLike, document: dict) -> Path:
     can never observe a half-written file, a killed writer leaves only a
     ``.tmp`` orphan (swept by cache maintenance), and ``sort_keys`` makes
     the bytes independent of dict insertion order — so a payload rebuilt
-    from JSON and a locally-computed one serialise identically.
+    from JSON and a locally-computed one serialise identically. Non-finite
+    floats become ``null`` (``allow_nan=False``): a locally-computed
+    payload and one that round-tripped through a worker file must keep
+    producing the same bytes, so NaN is normalised away before either is
+    written.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.stem, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, separators=(",", ":"), sort_keys=True)
+            json.dump(
+                sanitize_nonfinite(document),
+                handle,
+                separators=(",", ":"),
+                sort_keys=True,
+                allow_nan=False,
+            )
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -119,10 +130,18 @@ _STATS_GROUPS = {
 
 
 def result_to_payload(result: RunResult) -> dict:
-    """Serialise a :class:`RunResult` to a pure-JSON dict."""
+    """Serialise a :class:`RunResult` to a pure-JSON dict.
+
+    Non-finite floats are normalised to ``None`` *here*, at payload
+    construction, so the in-memory payload a cold run keeps and the one
+    a warm run reads back from JSON (which cannot hold NaN) materialise
+    identically.
+    """
     d = asdict(result)
     d.pop("stats")
-    return {"kind": "sim", "result": d, "stats": asdict(result.stats)}
+    return sanitize_nonfinite(
+        {"kind": "sim", "result": d, "stats": asdict(result.stats)}
+    )
 
 
 def payload_to_result(payload: dict) -> RunResult:
@@ -133,8 +152,11 @@ def payload_to_result(payload: dict) -> RunResult:
 
 
 def trace_to_payload(stats: TraceStats) -> dict:
-    """Serialise Table II trace statistics to a pure-JSON dict."""
-    return {"kind": "trace", "trace": asdict(stats)}
+    """Serialise Table II trace statistics to a pure-JSON dict.
+
+    Non-finite floats become ``None`` (see :func:`result_to_payload`).
+    """
+    return sanitize_nonfinite({"kind": "trace", "trace": asdict(stats)})
 
 
 def payload_to_trace(payload: dict) -> TraceStats:
@@ -215,12 +237,21 @@ class ResultCache:
     # -- access --------------------------------------------------------------
 
     def get(self, spec: RunSpec) -> dict | None:
-        """Cached payload for ``spec``, or ``None``; never raises."""
+        """Cached payload for ``spec``, or ``None``; never raises.
+
+        The stored ``salt`` and ``spec`` must match the requesting spec:
+        the path already hashes both, but a cache directory copied
+        between code versions — or a worker file hand-merged at the
+        wrong path — would otherwise be served silently. A mismatched
+        entry degrades to a miss, exactly like a corrupt one.
+        """
         path = self.path_for(spec)
         try:
             with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
             payload = entry["payload"]
+            if entry["salt"] != self.salt or entry["spec"] != spec.to_dict():
+                raise ValueError("entry does not match the requesting spec")
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None

@@ -142,16 +142,41 @@ class SweepRunner:
             else:
                 pending.append((key, spec))
 
-        self.progress.plan_started(len(specs), len(unique), len(unique) - len(pending))
-        done = len(unique) - len(pending)
-        if pending:
-            for key, spec, payload in self.backend.run(pending):
-                payloads[key] = payload
-                self._store(spec, payload)
-                done += 1
-                self.progress.point_done(spec.label(), "run", done, len(unique))
-
         hits = len(unique) - len(pending)
+        self.progress.plan_started(len(specs), len(unique), hits)
+        done = hits
+        streamed = 0
+        try:
+            if pending:
+                for key, spec, payload in self.backend.run(pending):
+                    payloads[key] = payload
+                    self._store(spec, payload)
+                    streamed += 1
+                    done += 1
+                    self.progress.point_done(spec.label(), "run", done, len(unique))
+        except BaseException:
+            # A failed plan still accounts for what it did: the streamed
+            # results are cached (a retry resumes warm), the cumulative
+            # counters and last_report carry the partial counts, and the
+            # observer gets plan_failed so a live progress line is
+            # cleared before the traceback prints over it.
+            self.submitted += streamed
+            self.cache_hits += hits
+            self.last_report = PlanReport(
+                total=len(specs),
+                unique=len(unique),
+                cache_hits=hits,
+                submitted=streamed,
+                elapsed=time.time() - start,
+            )
+            # getattr: pre-plan_failed observers (custom classes not
+            # derived from NullProgress) must not turn the real error
+            # into an AttributeError.
+            plan_failed = getattr(self.progress, "plan_failed", None)
+            if plan_failed is not None:
+                plan_failed(done, len(unique), self.last_report.elapsed)
+            raise
+
         self.submitted += len(pending)
         self.cache_hits += hits
         self.last_report = PlanReport(

@@ -1,10 +1,13 @@
 """Progress reporting for plan execution.
 
 The runner drives a tiny observer protocol — ``plan_started`` /
-``point_done`` / ``plan_finished`` — so the CLI can show live progress
-while library callers (tests, benchmarks) default to silence. On a TTY
-the point trail collapses to one self-overwriting line; when piped, only
-the per-plan summary lines are printed so logs stay readable.
+``point_done`` / ``plan_finished`` (or ``plan_failed`` when the backend
+raises mid-plan) — so the CLI can show live progress while library
+callers (tests, benchmarks) default to silence. On a TTY the point trail
+collapses to one self-overwriting line; when piped, only the per-plan
+summary lines are printed so logs stay readable. ``plan_failed`` clears
+the live ``\\r`` line before the exception propagates, so a traceback
+never glues onto a half-drawn progress trail.
 """
 
 from __future__ import annotations
@@ -23,6 +26,9 @@ class NullProgress:
         pass
 
     def plan_finished(self, submitted: int, hits: int, elapsed: float) -> None:
+        pass
+
+    def plan_failed(self, done: int, total: int, elapsed: float) -> None:
         pass
 
 
@@ -62,3 +68,8 @@ class Progress(NullProgress):
             f"plan done: {submitted} simulated, {hits} cache hits, "
             f"{elapsed:.1f}s"
         )
+
+    def plan_failed(self, done: int, total: int, elapsed: float) -> None:
+        if self.live:
+            self._emit("", end="\r")
+        self._emit(f"plan failed: {done}/{total} points done, {elapsed:.1f}s")

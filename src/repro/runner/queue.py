@@ -1,0 +1,585 @@
+"""Pull-based filesystem work queue: units, leases, streamed results.
+
+The third execution model, after the in-process pool and the statically
+sharded workers: the submitter *enqueues* cache-missed points as
+claimable unit files, and any number of ``repro queue worker`` processes
+— started before, during or after the sweep, on any machine sharing the
+work directory — *pull* units at their own pace. Static shards deal the
+plan once and a dead worker strands its shard; the queue re-deals
+automatically, because ownership is a lease that must be heartbeaten.
+
+Layout of a work directory (every transition is an atomic write or
+rename, so any number of workers and submitters can share it)::
+
+    work_dir/
+        queue/unit-<id>.json     claimable units (one wire-format spec)
+        claimed/unit-<id>.json   claimed units (renamed out of queue/)
+        leases/unit-<id>.json    worker identity; mtime is the heartbeat
+        results/unit-<id>.json   one-record worker result files
+        failed/unit-<id>.json    spec-failure reports (worker error text)
+        stop                     sentinel: workers drain and exit
+
+The unit id is a content address (sha256 of the spec key), so enqueues
+are idempotent and two submitters wanting the same point share one unit.
+
+The protocol:
+
+* **claim** — a worker renames ``queue/u`` to ``claimed/u``; the rename
+  is atomic, so exactly one claimant wins. It then writes a lease file
+  and touches it every ``heartbeat`` seconds while executing.
+* **report** — the worker writes ``results/u`` (a standard one-record
+  worker result file, validated by
+  :func:`~repro.runner.worker.load_results` on the way back and stamped
+  with the worker's code-fingerprint salt, so a stale result in a
+  reused work directory is discarded and re-run instead of served),
+  then removes its claim and lease. A spec that *fails* — a
+  :class:`~repro.errors.ReproError` out of the simulator — is reported
+  through ``failed/u`` instead: the worker stays alive for other units
+  and the orchestrator raises the error, exactly like a local run
+  would. Corrupt unit files are quarantined the same way rather than
+  poisoning every worker that claims them.
+* **recover** — the orchestrator (:class:`QueueBackend`) watches the
+  units it is waiting on; a claimed unit whose lease has not been
+  touched for ``lease_timeout`` seconds belonged to a crashed (or
+  wedged) worker and is renamed back into ``queue/`` for the next
+  claimant. Results are a pure function of the spec, so the rare
+  double-execution after a *slow* worker is recovered produces
+  bit-identical bytes.
+
+:class:`QueueBackend` plugs the queue into the standard
+:class:`~repro.runner.backend.Backend` seam: ``repro sweep --backend
+queue --work-dir DIR`` (or :meth:`repro.session.Session.remote`) streams
+results back as they land, folding each into the submitter's
+:class:`~repro.runner.cache.ResultCache` incrementally — so a crashed
+*orchestrator* also resumes warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigError, SimulationError
+from ..spec import parse_json
+from .cache import atomic_write_json, default_salt
+from .plan import PLAN_FORMAT, RunSpec
+
+#: Seconds without a lease heartbeat before a claimed unit is considered
+#: abandoned and re-enqueued. Overridable per-backend and through the
+#: environment (the CI crash-recovery job shortens it).
+LEASE_TIMEOUT_ENV = "REPRO_QUEUE_LEASE_TIMEOUT"
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: How often pollers (orchestrator and idle workers) re-scan, seconds.
+DEFAULT_POLL = 0.2
+
+#: How often a busy worker touches its lease, seconds. Must be well
+#: under the lease timeout or healthy-but-slow workers get recovered.
+DEFAULT_HEARTBEAT = 1.0
+
+
+def default_lease_timeout() -> float:
+    raw = os.environ.get(LEASE_TIMEOUT_ENV)
+    if raw is None:
+        return DEFAULT_LEASE_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"${LEASE_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigError(f"${LEASE_TIMEOUT_ENV} must be > 0, got {value:g}")
+    return value
+
+
+def unit_id(spec: RunSpec) -> str:
+    """Content address of one queue unit (stable across submitters)."""
+    return hashlib.sha256(spec.key().encode()).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class ClaimedUnit:
+    """A unit a worker has exclusive ownership of (claim + lease)."""
+
+    id: str
+    spec: RunSpec
+
+
+@dataclass
+class QueueStatus:
+    """One scan of a work directory (``repro queue status``)."""
+
+    queued: int = 0
+    claimed: int = 0
+    expired: int = 0  # claimed units whose lease heartbeat has lapsed
+    results: int = 0
+    failed: int = 0  # spec-failure reports awaiting their orchestrator
+    stopping: bool = False
+
+
+class WorkQueue:
+    """The on-disk queue protocol: enqueue, claim, lease, report, recover.
+
+    Pure mechanism — no policy. Both sides of the protocol
+    (:class:`QueueBackend` submitting, :func:`~repro.runner.worker.
+    run_queue_worker` consuming) speak through this class, so the
+    directory layout and atomicity rules live in exactly one place.
+    """
+
+    def __init__(self, work_dir: str | os.PathLike) -> None:
+        self.root = Path(work_dir)
+        self.queue_dir = self.root / "queue"
+        self.claimed_dir = self.root / "claimed"
+        self.lease_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        self.failed_dir = self.root / "failed"
+        self.stop_path = self.root / "stop"
+
+    def ensure(self) -> "WorkQueue":
+        for directory in (
+            self.queue_dir,
+            self.claimed_dir,
+            self.lease_dir,
+            self.results_dir,
+            self.failed_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- paths ---------------------------------------------------------------
+
+    def queued_path(self, uid: str) -> Path:
+        return self.queue_dir / f"unit-{uid}.json"
+
+    def claimed_path(self, uid: str) -> Path:
+        return self.claimed_dir / f"unit-{uid}.json"
+
+    def lease_path(self, uid: str) -> Path:
+        return self.lease_dir / f"unit-{uid}.json"
+
+    def result_path(self, uid: str) -> Path:
+        return self.results_dir / f"unit-{uid}.json"
+
+    def failed_path(self, uid: str) -> Path:
+        return self.failed_dir / f"unit-{uid}.json"
+
+    @staticmethod
+    def _uid_of(path: Path) -> str:
+        return path.name[len("unit-") : -len(".json")]
+
+    def unit_ids(self, directory: Path) -> set[str]:
+        """One readdir's worth of unit ids (results/failed scans)."""
+        return {self._uid_of(p) for p in directory.glob("unit-*.json")}
+
+    # -- submitter side ------------------------------------------------------
+
+    def enqueue(self, spec: RunSpec) -> str:
+        """Make ``spec`` claimable (idempotent); returns its unit id.
+
+        A unit that is already queued, claimed, or reported is left
+        alone — the id is a content address, so a second submitter
+        wanting the same point simply waits on the first one's unit.
+        """
+        uid = unit_id(spec)
+        if not (
+            self.queued_path(uid).exists()
+            or self.claimed_path(uid).exists()
+            or self.result_path(uid).exists()
+        ):
+            document = {"format": PLAN_FORMAT, "unit": uid, "spec": spec.to_dict()}
+            atomic_write_json(self.queued_path(uid), document)
+        return uid
+
+    def withdraw(self, uid: str) -> None:
+        """Remove a still-unclaimed unit (abandoned sweep cleanup)."""
+        self.queued_path(uid).unlink(missing_ok=True)
+
+    def forget(self, uid: str) -> None:
+        """Drop every trace of a consumed unit (result already read)."""
+        for path in (
+            self.result_path(uid),
+            self.failed_path(uid),
+            self.queued_path(uid),
+            self.claimed_path(uid),
+            self.lease_path(uid),
+        ):
+            path.unlink(missing_ok=True)
+
+    def recover_expired(self, lease_timeout: float, uids=None) -> list[str]:
+        """Re-enqueue claimed units whose lease stopped heartbeating.
+
+        ``uids`` restricts the scan to the units one orchestrator is
+        waiting on (``None`` scans everything — the ``status`` CLI).
+        A claim with no lease file at all (the worker died between the
+        rename and the lease write) expires on the claim file's own
+        mtime. Returns the recovered unit ids.
+        """
+        recovered = []
+        now = time.time()
+        if uids is None:
+            uids = [self._uid_of(p) for p in self.claimed_dir.glob("unit-*.json")]
+        for uid in uids:
+            claimed = self.claimed_path(uid)
+            lease = self.lease_path(uid)
+            try:
+                beat = lease.stat().st_mtime
+            except OSError:
+                try:
+                    beat = claimed.stat().st_mtime
+                except OSError:
+                    continue  # not claimed (anymore)
+            if now - beat < lease_timeout:
+                continue
+            try:
+                os.replace(claimed, self.queued_path(uid))
+            except OSError:
+                continue  # completed or re-claimed under us
+            lease.unlink(missing_ok=True)
+            recovered.append(uid)
+        return recovered
+
+    # -- worker side ---------------------------------------------------------
+
+    def claim_next(self, worker_id: str) -> ClaimedUnit | None:
+        """Claim one queued unit via atomic rename, or ``None`` if idle.
+
+        Exactly one claimant wins each unit; losers skip to the next
+        file. The winner touches the claim and writes its lease before
+        this returns, so the orchestrator's no-lease grace window only
+        covers a crash inside this method. A corrupt unit file is
+        quarantined as a failure report (and skipped) rather than
+        raised: one bad file must not kill every worker that claims it.
+        """
+        for path in sorted(self.queue_dir.glob("unit-*.json")):
+            uid = self._uid_of(path)
+            target = self.claimed_path(uid)
+            try:
+                os.replace(path, target)
+            except OSError:
+                continue  # lost the race for this unit
+            try:
+                # os.replace preserves mtime; re-stamp it so the no-lease
+                # grace window measures from the claim, not the enqueue.
+                os.utime(target)
+            except OSError:
+                pass
+            try:
+                spec = self._load_unit(target, uid)
+            except ConfigError as exc:
+                if not target.exists():
+                    # recover_expired() re-enqueued the claim before we
+                    # could read it (the no-lease window): a lost race,
+                    # not a corrupt unit.
+                    continue
+                self.report_failure(uid, worker_id, str(exc))
+                target.unlink(missing_ok=True)
+                continue
+            atomic_write_json(
+                self.lease_path(uid),
+                {"worker": worker_id, "unit": uid, "claimed_at": time.time()},
+            )
+            return ClaimedUnit(id=uid, spec=spec)
+        return None
+
+    def heartbeat(self, unit: ClaimedUnit) -> None:
+        """Refresh the lease mtime (ignores a lease recovered from us)."""
+        try:
+            os.utime(self.lease_path(unit.id))
+        except OSError:
+            pass
+
+    def release(self, unit: ClaimedUnit) -> None:
+        """Return a claimed unit to the queue (interrupted worker)."""
+        try:
+            os.replace(self.claimed_path(unit.id), self.queued_path(unit.id))
+        except OSError:
+            pass
+        self.lease_path(unit.id).unlink(missing_ok=True)
+
+    def complete(self, unit: ClaimedUnit) -> None:
+        """Drop the claim and lease after the result file is in place."""
+        self.claimed_path(unit.id).unlink(missing_ok=True)
+        self.lease_path(unit.id).unlink(missing_ok=True)
+
+    def report_failure(self, uid: str, worker_id: str, error: str) -> None:
+        """Record that a unit's spec itself failed (executed, raised).
+
+        The report is the unit's terminal state for this attempt: the
+        orchestrator consumes it and raises the error to the submitter,
+        exactly like a local run surfacing the exception — while the
+        reporting worker stays alive for other units. Like results, the
+        report is salt-stamped so a stale report in a reused work dir
+        is discarded instead of aborting a new sweep with an obsolete
+        error.
+        """
+        atomic_write_json(
+            self.failed_path(uid),
+            {
+                "unit": uid,
+                "worker": worker_id,
+                "error": error,
+                "salt": default_salt(),
+            },
+        )
+
+    def _load_unit(self, path: Path, uid: str) -> RunSpec:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigError(f"cannot read unit file {path}: {exc}") from None
+        document = parse_json(text, f"unit file {path}")
+        version = document.get("format")
+        if version != PLAN_FORMAT:
+            raise ConfigError(
+                f"{path}: unsupported unit format {version!r} "
+                f"(this reader understands format {PLAN_FORMAT})"
+            )
+        try:
+            spec = RunSpec.from_dict(document["spec"])
+        except (ConfigError, KeyError, TypeError) as exc:
+            raise ConfigError(f"{path}: unit spec: {exc}") from None
+        if unit_id(spec) != uid:
+            raise ConfigError(
+                f"{path}: unit id does not match its spec — corrupt or "
+                "misplaced unit file"
+            )
+        return spec
+
+    # -- introspection -------------------------------------------------------
+
+    def stop_requested(self) -> bool:
+        return self.stop_path.exists()
+
+    def status(self, lease_timeout: float | None = None) -> QueueStatus:
+        lease_timeout = (
+            lease_timeout if lease_timeout is not None else default_lease_timeout()
+        )
+        now = time.time()
+        expired = 0
+        claimed = list(self.claimed_dir.glob("unit-*.json"))
+        for path in claimed:
+            uid = self._uid_of(path)
+            try:
+                beat = self.lease_path(uid).stat().st_mtime
+            except OSError:
+                try:
+                    beat = path.stat().st_mtime
+                except OSError:
+                    continue
+            if now - beat >= lease_timeout:
+                expired += 1
+        return QueueStatus(
+            queued=len(list(self.queue_dir.glob("unit-*.json"))),
+            claimed=len(claimed),
+            expired=expired,
+            results=len(list(self.results_dir.glob("unit-*.json"))),
+            failed=len(list(self.failed_dir.glob("unit-*.json"))),
+            stopping=self.stop_requested(),
+        )
+
+
+class QueueBackend:
+    """Orchestrator side of the queue: enqueue, watch, recover, stream.
+
+    A :class:`~repro.runner.backend.Backend` whose workers are *pulled*,
+    not dealt: ``run`` enqueues every pending point, then streams each
+    result back the moment its file lands — the runner folds it into the
+    cache immediately, so a sweep interrupted at point N resumes with N
+    warm hits. Crashed workers are detected by lease expiry and their
+    units silently re-enqueued; an interrupted sweep withdraws its
+    still-unclaimed units so nothing is orphaned in the queue.
+
+    Attributes:
+        work_dir: the shared work directory (required — this is the
+            rendezvous point with the workers).
+        lease_timeout: seconds without a heartbeat before recovery
+            (default ``$REPRO_QUEUE_LEASE_TIMEOUT`` or 30).
+        poll: seconds between result/recovery scans.
+        timeout: overall seconds to wait per plan before raising
+            :class:`~repro.errors.SimulationError` (``None`` waits
+            forever — a queue with no workers blocks by design).
+    """
+
+    def __init__(
+        self,
+        work_dir: str | os.PathLike,
+        lease_timeout: float | None = None,
+        poll: float = DEFAULT_POLL,
+        timeout: float | None = None,
+    ) -> None:
+        if work_dir is None:
+            raise ConfigError("the queue backend needs a work directory")
+        self.queue = WorkQueue(work_dir)
+        self.lease_timeout = (
+            float(lease_timeout)
+            if lease_timeout is not None
+            else default_lease_timeout()
+        )
+        if self.lease_timeout <= 0:
+            raise ConfigError(f"lease timeout must be > 0, got {self.lease_timeout:g}")
+        self.poll = float(poll)
+        self.timeout = timeout
+        # Indirection so tests can interrupt the orchestrator's poll
+        # loop without touching the module-global time.sleep that the
+        # workers share.
+        self._sleep = time.sleep
+
+    # Progress sizing: parallelism is however many workers attach, which
+    # this process cannot know; report the serial width.
+    @property
+    def jobs(self) -> int:
+        return 1
+
+    def run(self, pending):
+        from .worker import load_results  # circular at import time only
+
+        queue = self.queue.ensure()
+        waiting: dict[str, tuple[str, RunSpec]] = {}
+        for key, spec in pending:
+            uid = queue.enqueue(spec)
+            waiting[uid] = (key, spec)
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        # Lease recovery and the vanished-unit scan stat every
+        # outstanding unit, which is pure overhead at poll frequency —
+        # lease expiry has lease_timeout granularity, so a quarter of it
+        # is plenty (the first pass runs immediately: a stale claim from
+        # a crashed previous run must not wait).
+        maintenance_every = max(self.poll, self.lease_timeout / 4)
+        next_maintenance = time.monotonic()
+        discards: dict[str, int] = {}
+        try:
+            while waiting:
+                progressed = False
+                landed = queue.unit_ids(queue.results_dir)
+                for uid in [u for u in waiting if u in landed]:
+                    key, spec = waiting[uid]
+                    payload = self._consume(uid, key, spec, load_results, discards)
+                    if payload is None:
+                        continue
+                    del waiting[uid]
+                    progressed = True
+                    yield key, spec, payload
+                for uid in queue.unit_ids(queue.failed_dir) & waiting.keys():
+                    self._raise_failure(uid, waiting[uid][1])
+                if time.monotonic() >= next_maintenance:
+                    queue.recover_expired(self.lease_timeout, uids=list(waiting))
+                    self._requeue_vanished(waiting)
+                    next_maintenance = time.monotonic() + maintenance_every
+                if waiting and not progressed:
+                    if deadline is not None and time.monotonic() > deadline:
+                        status = queue.status(self.lease_timeout)
+                        raise SimulationError(
+                            f"queue backend timed out after {self.timeout:g}s "
+                            f"with {len(waiting)} unit(s) outstanding "
+                            f"({status.queued} queued, {status.claimed} "
+                            f"claimed) — are any 'repro queue worker' "
+                            f"processes attached to {queue.root}?"
+                        )
+                    self._sleep(self.poll)
+        except BaseException:
+            # An abandoned sweep must not leave claimable orphans: the
+            # still-unclaimed units are withdrawn (claimed ones belong
+            # to their workers, whose streamed results keep landing in
+            # results/ for the retry to consume warm).
+            for uid in waiting:
+                queue.withdraw(uid)
+            raise
+
+    #: Consecutive same-unit salt discards before the sweep fails loudly
+    #: instead of silently re-running forever against a version-skewed
+    #: worker fleet.
+    MAX_SALT_DISCARDS = 3
+
+    def _consume(self, uid, key: str, spec: RunSpec, load_results, discards):
+        """Read, validate and clean up one unit's result file, if landed.
+
+        A result stamped with a different code-fingerprint salt — a work
+        directory reused across simulator versions — is discarded and
+        its unit re-enqueued: serving it would launder a stale payload
+        past the cache's own salt verification. A unit discarded
+        :data:`MAX_SALT_DISCARDS` times means a live worker is running
+        *different* code, which would loop forever — that is an error.
+        """
+        path = self.queue.result_path(uid)
+        if not path.exists():
+            return None
+        try:
+            records = load_results(path)
+        except ConfigError:
+            if not path.exists():
+                # A concurrent orchestrator waiting on the same unit
+                # consumed it between our scan and the read.
+                return None
+            raise
+        if len(records) != 1 or records[0]["key"] != key:
+            raise SimulationError(
+                f"{path} does not hold exactly the result for "
+                f"{spec.label()} — corrupt or misplaced result file"
+            )
+        if records[0].get("salt") != default_salt():
+            discards[uid] = discards.get(uid, 0) + 1
+            if discards[uid] >= self.MAX_SALT_DISCARDS:
+                raise SimulationError(
+                    f"discarded {discards[uid]} results for {spec.label()} "
+                    "computed with a different simulator version — a "
+                    "'repro queue worker' running other code is attached "
+                    f"to {self.queue.root}"
+                )
+            self.queue.forget(uid)
+            self.queue.enqueue(spec)
+            return None
+        payload = records[0]["payload"]
+        self.queue.forget(uid)
+        return payload
+
+    def _raise_failure(self, uid: str, spec: RunSpec) -> None:
+        """Surface a worker's spec-failure report as the sweep's error.
+
+        The report is consumed (so a retry re-attempts the unit) and the
+        worker's error raised here — the queue equivalent of the
+        exception a local backend would propagate directly. A report
+        from a different simulator version (stale file in a reused work
+        dir) is dropped instead: its error may no longer exist.
+        """
+        path = self.queue.failed_path(uid)
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            if not path.exists():
+                return  # consumed by a concurrent orchestrator
+            report = {}
+        if report.get("salt") != default_salt():
+            path.unlink(missing_ok=True)
+            return
+        self.queue.forget(uid)
+        raise SimulationError(
+            f"{spec.label()} failed on worker "
+            f"{report.get('worker', 'unknown')}: "
+            f"{report.get('error', 'unreadable failure report')}"
+        )
+
+    def _requeue_vanished(self, waiting: dict) -> None:
+        """Re-enqueue units that disappeared without producing a result.
+
+        A concurrent orchestrator waiting on the same unit consumes the
+        result file *and* the unit with it (``forget``); whoever is
+        still waiting simply enqueues again. Benign races re-execute a
+        point at worst — results are bit-identical by construction.
+        """
+        for uid, (_, spec) in waiting.items():
+            if (
+                self.queue.result_path(uid).exists()
+                or self.queue.failed_path(uid).exists()
+                or self.queue.queued_path(uid).exists()
+                or self.queue.claimed_path(uid).exists()
+            ):
+                continue
+            self.queue.enqueue(spec)
+
+    def close(self) -> None:
+        """Nothing to release: workers are independent processes."""

@@ -1,8 +1,11 @@
-"""Shard execution and result merging: the distributed worker side.
+"""Shard and queue-unit execution, result files, and merging.
 
-A worker is any process (usually ``python -m repro worker run`` on
-another machine) that can import ``repro`` and see a shard file. It
-owes the submitter nothing but a result file::
+A worker is any process that can import ``repro`` and see the work: a
+*shard* worker (``python -m repro worker run``) executes a pre-dealt
+wire-format plan file, a *queue* worker (``python -m repro queue
+worker``, :func:`run_queue_worker` here) pulls claimable unit files from
+a shared :class:`~repro.runner.queue.WorkQueue` directory until told to
+stop. Both owe the submitter nothing but result files::
 
     shard.json      a wire-format Plan (usually one Plan.shard() output)
     results.json    {"format": 1, "results": [{"key", "spec", "payload"}]}
@@ -22,14 +25,23 @@ cannot collect entries out from under it.
 from __future__ import annotations
 
 import os
+import socket
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 from ..spec import parse_json
-from .cache import ResultCache, atomic_write_json
+from .cache import ResultCache, atomic_write_json, default_salt
 from .plan import PLAN_FORMAT, Plan, RunSpec
 from .progress import NullProgress
+from .queue import (
+    DEFAULT_HEARTBEAT,
+    DEFAULT_POLL,
+    ClaimedUnit,
+    WorkQueue,
+)
 
 
 def run_shard(plan: Plan, jobs: int = 1, progress=None) -> list[dict]:
@@ -61,6 +73,131 @@ def run_shard(plan: Plan, jobs: int = 1, progress=None) -> list[dict]:
         {"key": key, "spec": spec.to_dict(), "payload": payload}
         for key, (spec, payload) in sorted(payloads.items())
     ]
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _silent(text: str) -> None:
+    pass
+
+
+def _process_unit(
+    queue: WorkQueue, unit: ClaimedUnit, worker_id: str, heartbeat: float
+) -> str | None:
+    """Execute one claimed unit: heartbeat, run, report, clean up.
+
+    The lease is touched from a daemon thread for the whole execution,
+    so a healthy-but-slow unit is never recovered out from under us.
+    Returns ``None`` on success. Any :class:`Exception` out of the spec
+    itself — a :class:`~repro.errors.ReproError`, or a plain bug like a
+    ``TypeError`` in the simulator — is *reported* (``failed/`` file,
+    returned as text) rather than raised: such errors are deterministic,
+    so releasing the unit would just poison the next claimant, and the
+    orchestrator surfaces them to the submitter like a local backend
+    would. Only interrupts (``KeyboardInterrupt``/``SystemExit``)
+    release the unit back into the queue and remove the lease, so an
+    interrupted worker leaves nothing orphaned.
+    """
+    from .pool import execute_spec  # circular at import time only
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat):
+            queue.heartbeat(unit)
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        payload = execute_spec(unit.spec)
+        record = {
+            "key": unit.spec.key(),
+            "spec": unit.spec.to_dict(),
+            "payload": payload,
+            # Stamped so a reused work dir can never serve a result
+            # computed by a different simulator version (the
+            # orchestrator discards salt mismatches and re-runs).
+            "salt": default_salt(),
+        }
+        write_results(queue.result_path(unit.id), [record])
+    except Exception as exc:
+        stop.set()
+        thread.join()
+        error = (
+            str(exc)
+            if isinstance(exc, ReproError)
+            else f"{type(exc).__name__}: {exc}"
+        )
+        queue.report_failure(unit.id, worker_id, error)
+        queue.complete(unit)
+        return error
+    except BaseException:
+        stop.set()
+        thread.join()
+        queue.release(unit)
+        raise
+    stop.set()
+    thread.join()
+    queue.complete(unit)
+    return None
+
+
+def run_queue_worker(
+    work_dir: str | os.PathLike,
+    worker_id: str | None = None,
+    idle_timeout: float | None = None,
+    max_units: int | None = None,
+    poll: float = DEFAULT_POLL,
+    heartbeat: float = DEFAULT_HEARTBEAT,
+    log=None,
+) -> int:
+    """Pull and execute queue units until stopped; returns units processed.
+
+    The claim/run/report loop behind ``repro queue worker``: claim a
+    unit by atomic rename, execute it (heartbeating the lease), write
+    its one-record result file — or its failure report, when the spec
+    itself raises — and repeat. The loop ends when
+
+    * a ``stop`` sentinel appears in the work directory,
+    * ``max_units`` units have been executed, or
+    * the queue has been empty for ``idle_timeout`` seconds
+      (``None`` = wait for work forever).
+
+    ``log`` is an optional ``callable(str)`` for per-unit progress lines
+    (the CLI passes a stderr printer; library callers default silent).
+    """
+    queue = WorkQueue(work_dir).ensure()
+    worker_id = worker_id if worker_id is not None else _default_worker_id()
+    emit = log if log is not None else _silent
+    done = 0
+    idle_since = time.monotonic()
+    while True:
+        if queue.stop_requested():
+            emit(f"worker {worker_id}: stop requested, exiting ({done} done)")
+            break
+        if max_units is not None and done >= max_units:
+            break
+        unit = queue.claim_next(worker_id)
+        if unit is None:
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_since >= idle_timeout
+            ):
+                emit(f"worker {worker_id}: idle for {idle_timeout:g}s, exiting")
+                break
+            time.sleep(poll)
+            continue
+        emit(f"worker {worker_id}: claimed {unit.id[:12]} ({unit.spec.label()})")
+        error = _process_unit(queue, unit, worker_id, heartbeat)
+        done += 1
+        if error is not None:
+            emit(f"worker {worker_id}: unit {unit.id[:12]} failed: {error}")
+        else:
+            emit(f"worker {worker_id}: done {unit.id[:12]} ({done} total)")
+        idle_since = time.monotonic()
+    return done
 
 
 def write_results(path: str | os.PathLike, records: list[dict]) -> Path:

@@ -63,6 +63,7 @@ from .runner import (
     NVRSpec,
     Plan,
     PlanReport,
+    QueueBackend,
     ResultCache,
     RunSpec,
     SweepRunner,
@@ -226,10 +227,12 @@ class Session:
             a ready :class:`~repro.runner.ResultCache`.
         cache_dir: directory for the default cache (ignored when
             ``cache`` is an object or ``False``).
-        backend: a backend name (``"local"``/``"shards"``), a ready
-            :class:`~repro.runner.Backend`, or ``None`` for the local
-            pool.
-        work_dir: shard/result file directory for the shards backend.
+        backend: a backend name (``"local"``/``"shards"``/``"queue"``),
+            a ready :class:`~repro.runner.Backend`, or ``None`` for the
+            local pool.
+        work_dir: shard/result file directory for the shards backend;
+            the shared unit directory (required) for the queue backend —
+            see also the :meth:`remote` shorthand.
         progress: ``True`` for live progress lines, ``False``/``None``
             for silence, or a progress object.
         runner: wrap an existing :class:`~repro.runner.SweepRunner`
@@ -341,6 +344,53 @@ class Session:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- remote execution ----------------------------------------------------
+
+    @classmethod
+    def remote(
+        cls,
+        work_dir: str | os.PathLike,
+        *,
+        lease_timeout: float | None = None,
+        poll: float | None = None,
+        timeout: float | None = None,
+        cache: ResultCache | bool | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        progress=None,
+    ) -> "Session":
+        """A session whose sweeps are executed by pull workers.
+
+        Cache-missed points are enqueued as claimable units under
+        ``work_dir`` and executed by whatever ``repro queue worker``
+        processes watch that directory — on this machine or any other
+        sharing the filesystem. Results stream back into the session
+        cache as they land, and units whose worker crashes are
+        re-enqueued after ``lease_timeout`` seconds without a heartbeat
+        (default ``$REPRO_QUEUE_LEASE_TIMEOUT`` or 30)::
+
+            with Session.remote("sweep-work") as session:
+                rs = session.sweep(grid)   # workers pull the points
+
+        ``timeout`` bounds how long one plan waits overall (``None``
+        waits forever — a queue with no workers blocks by design);
+        ``poll`` is the result-scan interval. Grid sweeps and every
+        figure runner accept the returned session unchanged — the queue
+        is just another backend behind the same front door.
+        """
+        backend_kwargs = {}
+        if lease_timeout is not None:
+            backend_kwargs["lease_timeout"] = lease_timeout
+        if poll is not None:
+            backend_kwargs["poll"] = poll
+        if timeout is not None:
+            backend_kwargs["timeout"] = timeout
+        return cls(
+            cache=cache,
+            cache_dir=cache_dir,
+            backend=QueueBackend(work_dir, **backend_kwargs),
+            progress=progress,
+        )
 
     # -- execution -----------------------------------------------------------
 
@@ -497,14 +547,17 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
         default=argparse.SUPPRESS,
         help="how cache-missed points execute: 'local' in-process "
         "workers, 'shards' via share-nothing 'repro worker run' "
-        "subprocesses over serialized plan shards (default local)",
+        "subprocesses over serialized plan shards, 'queue' by "
+        "enqueueing claimable units that 'repro queue worker' "
+        "processes pull from --work-dir (default local)",
     )
     parser.add_argument(
         "--work-dir",
         default=argparse.SUPPRESS,
         metavar="DIR",
         help="keep the shards backend's shard/result files in DIR "
-        "(default: a temporary directory)",
+        "(default: a temporary directory); for --backend queue, the "
+        "shared work directory the workers watch (required)",
     )
     parser.add_argument(
         "--no-cache",

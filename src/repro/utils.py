@@ -6,6 +6,8 @@ module, not here.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from .errors import ConfigError
@@ -68,6 +70,26 @@ def human_bytes(n_bytes: float) -> str:
             return f"{value:.1f} {unit}"
         value /= 1024.0
     raise AssertionError("unreachable")
+
+
+def sanitize_nonfinite(value):
+    """Replace non-finite floats with ``None``, recursively.
+
+    JSON has no NaN/Infinity: ``json.dumps`` happily emits the bare
+    Python literals, producing files no strict parser accepts. Every
+    JSON writer in the library (cache entries, worker result files, the
+    ``sweep --json`` payload) maps non-finite metrics — a CV over an
+    empty trace, a ratio against zero — to ``null`` through this helper
+    and serialises with ``allow_nan=False``, so one path can never leak
+    an invalid document while another stays clean.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: sanitize_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_nonfinite(item) for item in value]
+    return value
 
 
 def geometric_mean(values: list[float]) -> float:

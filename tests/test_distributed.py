@@ -202,6 +202,18 @@ class TestWorkerResults:
         rewritten = write_results(tmp_path / "r2.json", loaded)
         assert rewritten.read_bytes() == path.read_bytes()
 
+    def test_write_results_maps_nonfinite_to_null(self, tmp_path):
+        # Worker result files follow the same rule as `sweep --json`:
+        # non-finite metrics become null, never bare NaN/Infinity
+        # literals that a strict JSON parser rejects.
+        records = [
+            {"key": "k", "spec": {}, "payload": {"cv": float("nan")}},
+        ]
+        path = write_results(tmp_path / "r.json", records)
+        text = path.read_text(encoding="utf-8")
+        assert "NaN" not in text
+        assert json.loads(text)["results"][0]["payload"]["cv"] is None
+
     def test_load_rejects_corrupt_file(self, tmp_path):
         path = tmp_path / "r.json"
         path.write_text("{oops")

@@ -1,0 +1,573 @@
+"""The pull-based work queue: claims, leases, crash recovery, identity.
+
+The acceptance properties of the queue backend:
+
+* a unit is claimed by exactly one worker (atomic rename), and enqueues
+  are idempotent content-addressed writes;
+* a worker that dies mid-unit — SIGKILL included — is detected by lease
+  expiry and its unit re-enqueued for the next claimant;
+* the merged sweep payload is byte-identical to ``--backend local``
+  (the ``queue-smoke`` CI job pins the CLI flavour of this);
+* an interrupted run (worker or orchestrator) leaves no orphaned
+  ``.tmp``, lease or claimable unit files behind.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.errors import ConfigError, SimulationError
+from repro.runner import (
+    QueueBackend,
+    ResultCache,
+    RunSpec,
+    SweepRunner,
+    WorkQueue,
+    expand,
+    load_results,
+    make_backend,
+    run_queue_worker,
+    unit_id,
+    write_results,
+)
+from repro.session import Session
+
+SCALE = 0.05
+
+
+def small_specs() -> list[RunSpec]:
+    return expand("st", ["inorder", "nvr"], scales=SCALE)
+
+
+def start_worker(work_dir, **kwargs) -> threading.Thread:
+    kwargs.setdefault("poll", 0.02)
+    kwargs.setdefault("idle_timeout", 20)
+    thread = threading.Thread(
+        target=run_queue_worker, args=(work_dir,), kwargs=kwargs, daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def tree_files(root, pattern: str) -> list:
+    return sorted(root.rglob(pattern))
+
+
+class TestWorkQueue:
+    def test_enqueue_is_idempotent_and_content_addressed(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        spec = RunSpec("st", scale=SCALE)
+        uid = queue.enqueue(spec)
+        assert uid == unit_id(spec)
+        assert queue.enqueue(spec) == uid
+        assert len(list(queue.queue_dir.iterdir())) == 1
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        unit = queue.claim_next("w1")
+        assert unit is not None
+        assert queue.claim_next("w2") is None
+        assert queue.claimed_path(unit.id).exists()
+        lease = json.loads(queue.lease_path(unit.id).read_text())
+        assert lease["worker"] == "w1"
+
+    def test_claim_round_trips_the_spec(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        spec = RunSpec("gcn", mechanism="nvr", dtype="int8", scale=0.2, seed=3)
+        queue.enqueue(spec)
+        unit = queue.claim_next("w")
+        assert unit.spec.key() == spec.key()
+
+    def test_release_returns_unit_to_queue(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        unit = queue.claim_next("w")
+        queue.release(unit)
+        assert queue.queued_path(unit.id).exists()
+        assert not queue.claimed_path(unit.id).exists()
+        assert not queue.lease_path(unit.id).exists()
+
+    def test_recover_expired_requeues_stale_lease(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        unit = queue.claim_next("w")
+        past = time.time() - 60
+        os.utime(queue.lease_path(unit.id), (past, past))
+        assert queue.recover_expired(1.0) == [unit.id]
+        assert queue.queued_path(unit.id).exists()
+        assert not queue.lease_path(unit.id).exists()
+
+    def test_recover_leaves_fresh_leases_alone(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        unit = queue.claim_next("w")
+        assert queue.recover_expired(60.0) == []
+        assert queue.claimed_path(unit.id).exists()
+
+    def test_recover_claim_without_lease_uses_claim_mtime(self, tmp_path):
+        # A worker killed between the claim rename and the lease write.
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        unit = queue.claim_next("w")
+        queue.lease_path(unit.id).unlink()
+        past = time.time() - 60
+        os.utime(queue.claimed_path(unit.id), (past, past))
+        assert queue.recover_expired(1.0) == [unit.id]
+        assert queue.queued_path(unit.id).exists()
+
+    def test_corrupt_unit_file_is_quarantined_not_fatal(self, tmp_path):
+        # One bad file must not kill every worker that claims it: the
+        # unit is reported as failed and the worker moves on.
+        queue = WorkQueue(tmp_path).ensure()
+        (queue.queue_dir / "unit-deadbeef.json").write_text("{oops")
+        good = RunSpec("st", scale=SCALE)
+        queue.enqueue(good)
+        unit = queue.claim_next("w")
+        assert unit is not None and unit.spec.key() == good.key()
+        # Whichever side of the sort order the corrupt file landed on,
+        # after one more scan it is quarantined and the queue is idle.
+        assert queue.claim_next("w") is None
+        report = json.loads(queue.failed_path("deadbeef").read_text())
+        assert "not valid JSON" in report["error"]
+        assert not list(queue.queue_dir.iterdir())
+
+    def test_misplaced_unit_file_is_quarantined(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        spec = RunSpec("st", scale=SCALE)
+        queue.enqueue(spec)
+        good = queue.queued_path(unit_id(spec))
+        good.rename(queue.queue_dir / f"unit-{'0' * 32}.json")
+        assert queue.claim_next("w") is None
+        report = json.loads(queue.failed_path("0" * 32).read_text())
+        assert "does not match its spec" in report["error"]
+
+    def test_status_counts(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        for spec in small_specs():
+            queue.enqueue(spec)
+        unit = queue.claim_next("w")
+        past = time.time() - 60
+        os.utime(queue.lease_path(unit.id), (past, past))
+        status = queue.status(lease_timeout=1.0)
+        assert status.queued == 1
+        assert status.claimed == 1
+        assert status.expired == 1
+        assert status.results == 0
+        assert not status.stopping
+
+
+class TestQueueWorker:
+    def test_worker_drains_queue_and_reports(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        specs = small_specs()
+        uids = [queue.enqueue(spec) for spec in specs]
+        done = run_queue_worker(tmp_path, max_units=len(specs), poll=0.02)
+        assert done == len(specs)
+        for uid, spec in zip(uids, specs):
+            records = load_results(queue.result_path(uid))
+            assert len(records) == 1
+            assert records[0]["key"] == spec.key()
+        assert not list(queue.claimed_dir.iterdir())
+        assert not list(queue.lease_dir.iterdir())
+
+    def test_worker_honours_stop_sentinel(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        queue.stop_path.touch()
+        assert run_queue_worker(tmp_path, poll=0.02) == 0
+        assert len(list(queue.queue_dir.iterdir())) == 1  # untouched
+
+    def test_worker_idle_timeout(self, tmp_path):
+        start = time.monotonic()
+        assert run_queue_worker(tmp_path, idle_timeout=0.1, poll=0.02) == 0
+        assert time.monotonic() - start < 5
+
+    def test_failing_spec_is_reported_and_worker_survives(
+        self, tmp_path, monkeypatch
+    ):
+        # A spec that raises inside the simulator must not poison the
+        # queue: the worker files a failure report, stays alive for the
+        # other units, and the orchestrator raises the error.
+        import repro.runner.pool as pool
+
+        bad = RunSpec("st", scale=SCALE, seed=7)
+        real_execute = pool.execute_spec
+
+        def flaky_execute(spec):
+            if spec.seed == 7:
+                raise SimulationError("synthetic failure")
+            return real_execute(spec)
+
+        monkeypatch.setattr(pool, "execute_spec", flaky_execute)
+        queue = WorkQueue(tmp_path / "work").ensure()
+        good = RunSpec("st", scale=SCALE)
+        queue.enqueue(bad)
+        queue.enqueue(good)
+        done = run_queue_worker(tmp_path / "work", max_units=2, poll=0.02)
+        assert done == 2  # the failure did not kill the worker
+        assert queue.result_path(unit_id(good)).exists()
+        report = json.loads(queue.failed_path(unit_id(bad)).read_text())
+        assert report["error"] == "synthetic failure"
+        assert not list(queue.claimed_dir.iterdir())
+        assert not list(queue.lease_dir.iterdir())
+
+        backend = QueueBackend(tmp_path / "work", poll=0.02, timeout=10)
+        runner = SweepRunner(backend=backend)
+        with pytest.raises(SimulationError, match="synthetic failure"):
+            runner.run_plan([bad, good])
+        # The report was consumed (a retry re-attempts) and the abandoned
+        # run withdrew its units.
+        assert not queue.failed_path(unit_id(bad)).exists()
+        assert not list(queue.queue_dir.iterdir())
+
+    def test_simulator_bug_is_reported_not_poisonous(self, tmp_path, monkeypatch):
+        # A deterministic non-ReproError (a plain bug in the simulator)
+        # must be reported like a spec failure, not cycled through every
+        # worker until the fleet is dead.
+        import repro.runner.pool as pool
+
+        def buggy_execute(spec):
+            raise TypeError("boom")
+
+        monkeypatch.setattr(pool, "execute_spec", buggy_execute)
+        queue = WorkQueue(tmp_path / "work").ensure()
+        uid = queue.enqueue(RunSpec("st", scale=SCALE))
+        assert run_queue_worker(tmp_path / "work", max_units=1, poll=0.02) == 1
+        report = json.loads(queue.failed_path(uid).read_text())
+        assert report["error"] == "TypeError: boom"
+        assert not list(queue.claimed_dir.iterdir())
+
+    def test_interrupted_worker_leaves_no_orphans(self, tmp_path, monkeypatch):
+        import repro.runner.pool as pool
+
+        def boom(spec):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(pool, "execute_spec", boom)
+        queue = WorkQueue(tmp_path).ensure()
+        uid = queue.enqueue(RunSpec("st", scale=SCALE))
+        with pytest.raises(KeyboardInterrupt):
+            run_queue_worker(tmp_path, poll=0.02)
+        # The unit went back to the queue; no lease, claim or temp file
+        # survives the interrupt.
+        assert queue.queued_path(uid).exists()
+        assert not list(queue.claimed_dir.iterdir())
+        assert not list(queue.lease_dir.iterdir())
+        assert tree_files(tmp_path, "*.tmp") == []
+
+
+class TestQueueBackend:
+    def test_matches_local_bit_for_bit(self, tmp_path):
+        specs = small_specs()
+        local = SweepRunner(cache=ResultCache(tmp_path / "a"))
+        backend = QueueBackend(tmp_path / "work", poll=0.02, timeout=30)
+        queued = SweepRunner(cache=ResultCache(tmp_path / "b"), backend=backend)
+        start_worker(tmp_path / "work")
+        a = [dataclasses.asdict(r) for r in local.run_plan(specs)]
+        b = [dataclasses.asdict(r) for r in queued.run_plan(specs)]
+        assert a == b
+        files_a = sorted(p.name for p in ResultCache(tmp_path / "a").entries())
+        files_b = sorted(p.name for p in ResultCache(tmp_path / "b").entries())
+        assert files_a == files_b and files_a
+        for name in files_a:
+            pa = next((tmp_path / "a").glob(f"??/{name}"))
+            pb = next((tmp_path / "b").glob(f"??/{name}"))
+            assert pa.read_bytes() == pb.read_bytes()
+
+    def test_crashed_worker_lease_recovered(self, tmp_path):
+        # Simulate the crash deterministically: claim a unit and stop
+        # heartbeating (the claimant is gone), then let the backend's
+        # recovery re-enqueue it for a live worker.
+        work = tmp_path / "work"
+        specs = small_specs()
+        queue = WorkQueue(work).ensure()
+        crashed = queue.enqueue(specs[0])
+        unit = queue.claim_next("crashed-worker")
+        assert unit.id == crashed
+        past = time.time() - 60
+        os.utime(queue.lease_path(unit.id), (past, past))
+
+        backend = QueueBackend(work, lease_timeout=0.5, poll=0.02, timeout=30)
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"), backend=backend)
+        start_worker(work)
+        results = runner.run_plan(specs)
+        assert len(results) == len(specs)
+        # The recovered unit really was re-executed (not stranded), and
+        # nothing claimable or leased is left behind.
+        assert not list(queue.claimed_dir.iterdir())
+        assert not list(queue.lease_dir.iterdir())
+        assert not list(queue.queue_dir.iterdir())
+        local = SweepRunner(cache=ResultCache(tmp_path / "local"))
+        assert [dataclasses.asdict(r) for r in local.run_plan(specs)] == [
+            dataclasses.asdict(r) for r in results
+        ]
+
+    def test_timeout_without_workers_withdraws_units(self, tmp_path):
+        backend = QueueBackend(tmp_path / "work", poll=0.02, timeout=0.3)
+        runner = SweepRunner(backend=backend)
+        with pytest.raises(SimulationError, match="timed out"):
+            runner.run_plan(small_specs())
+        queue = WorkQueue(tmp_path / "work")
+        assert not list(queue.queue_dir.iterdir())
+        assert tree_files(tmp_path, "*.tmp") == []
+
+    def test_keyboard_interrupt_leaves_no_orphans(self, tmp_path):
+        # Ctrl-C lands in the orchestrator's poll sleep; the backend must
+        # withdraw its still-unclaimed units and leave no temp files.
+        def interrupted_sleep(seconds):
+            raise KeyboardInterrupt
+
+        backend = QueueBackend(tmp_path / "work", poll=0.02)
+        backend._sleep = interrupted_sleep
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"), backend=backend)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run_plan(small_specs())
+        queue = WorkQueue(tmp_path / "work")
+        assert not list(queue.queue_dir.iterdir())
+        assert not list(queue.lease_dir.iterdir())
+        assert tree_files(tmp_path, "*.tmp") == []
+
+    def test_streamed_results_survive_a_failed_plan(self, tmp_path):
+        # The first streamed result is cached before the interrupt, so a
+        # retry of the same plan resumes warm (partial-progress contract).
+        work = tmp_path / "work"
+        specs = small_specs()
+        cache = ResultCache(tmp_path / "cache")
+
+        queue = WorkQueue(work).ensure()
+        for spec in specs:
+            queue.enqueue(spec)
+        run_queue_worker(work, max_units=1, poll=0.02)  # one result lands
+
+        def interrupted_sleep(seconds):
+            raise KeyboardInterrupt
+
+        backend = QueueBackend(work, poll=0.02)
+        backend._sleep = interrupted_sleep
+        runner = SweepRunner(cache=cache, backend=backend)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run_plan(specs)
+        assert runner.submitted == 1
+        assert runner.last_report.submitted == 1
+
+        retry = SweepRunner(cache=cache, backend=QueueBackend(work, poll=0.02))
+        start_worker(work)
+        retry.run_plan(specs)
+        assert retry.cache_hits == 1
+        assert retry.submitted == len(specs) - 1
+
+    def test_stale_salt_result_is_discarded_and_rerun(self, tmp_path):
+        # A result left in a reused work dir by a different simulator
+        # version (its salt stamp disagrees) must be re-executed, not
+        # served — the queue cannot launder stale payloads past the
+        # cache's salt verification.
+        work = tmp_path / "work"
+        spec = RunSpec("st", scale=SCALE)
+        queue = WorkQueue(work).ensure()
+        uid = queue.enqueue(spec)
+        run_queue_worker(work, max_units=1, poll=0.02)
+        result_path = queue.result_path(uid)
+        document = json.loads(result_path.read_text())
+        document["results"][0]["salt"] = "a-previous-code-version"
+        result_path.write_text(json.dumps(document))
+
+        backend = QueueBackend(work, poll=0.02, timeout=30)
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"), backend=backend)
+        start_worker(work)
+        (result,) = runner.run_plan([spec])
+        assert runner.submitted == 1
+        local = SweepRunner().run_plan([spec])[0]
+        assert dataclasses.asdict(result) == dataclasses.asdict(local)
+
+    def test_version_skew_fails_after_repeated_discards(self, tmp_path):
+        # One stale result is discarded and re-run; a worker *actively*
+        # producing old-version results would loop forever — after a few
+        # consecutive discards the sweep fails with a diagnosis instead.
+        backend = QueueBackend(tmp_path / "work", poll=0.02)
+        queue = backend.queue.ensure()
+        spec = RunSpec("st", scale=SCALE)
+        uid = queue.enqueue(spec)
+        stale = {
+            "key": spec.key(),
+            "spec": spec.to_dict(),
+            "payload": {"kind": "sim"},
+            "salt": "a-previous-code-version",
+        }
+        discards = {}
+        for _ in range(QueueBackend.MAX_SALT_DISCARDS - 1):
+            write_results(queue.result_path(uid), [stale])
+            consumed = backend._consume(
+                uid, spec.key(), spec, load_results, discards
+            )
+            assert consumed is None  # discarded and re-enqueued
+            assert queue.queued_path(uid).exists()
+        write_results(queue.result_path(uid), [stale])
+        with pytest.raises(SimulationError, match="different simulator version"):
+            backend._consume(uid, spec.key(), spec, load_results, discards)
+
+    def test_stale_failure_report_is_dropped(self, tmp_path):
+        # A failed/ report left by a previous simulator version must not
+        # abort a new sweep with an obsolete error — it is dropped and
+        # the unit executed normally.
+        work = tmp_path / "work"
+        queue = WorkQueue(work).ensure()
+        spec = RunSpec("st", scale=SCALE)
+        uid = unit_id(spec)
+        queue.report_failure(uid, "old-worker", "obsolete error")
+        report_path = queue.failed_path(uid)
+        document = json.loads(report_path.read_text())
+        document["salt"] = "a-previous-code-version"
+        report_path.write_text(json.dumps(document))
+
+        backend = QueueBackend(work, poll=0.02, timeout=30)
+        runner = SweepRunner(backend=backend)
+        start_worker(work)
+        (result,) = runner.run_plan([spec])
+        assert result.total_cycles > 0
+        assert not report_path.exists()
+
+    def test_work_dir_is_required(self):
+        with pytest.raises(ConfigError, match="work"):
+            make_backend("queue")
+        with pytest.raises(ConfigError, match="work"):
+            QueueBackend(None)
+
+    def test_session_remote_front_door(self, tmp_path):
+        work = tmp_path / "work"
+        start_worker(work)
+        with Session.remote(
+            work, poll=0.02, timeout=30, cache_dir=tmp_path / "cache"
+        ) as session:
+            rs = session.sweep(small_specs())
+        assert session.submitted == len(small_specs())
+        with Session(cache_dir=tmp_path / "local") as session:
+            rs_local = session.sweep(small_specs())
+        assert rs.to_json() == rs_local.to_json()
+        # Warm rerun over the same cache simulates nothing (and never
+        # touches the queue, so no worker is needed).
+        with Session.remote(
+            tmp_path / "work2", timeout=5, cache_dir=tmp_path / "cache"
+        ) as session:
+            session.sweep(small_specs())
+            assert session.submitted == 0
+
+
+class TestSigkilledWorker:
+    def test_sigkilled_worker_unit_is_reclaimed_and_identical(self, tmp_path):
+        # The real crash: a `repro queue worker` subprocess is SIGKILLed
+        # mid-unit. Its lease must expire, the unit must be re-claimed
+        # and re-executed, and the merged payload must be byte-identical
+        # to local execution.
+        work = tmp_path / "work"
+        spec = RunSpec("ds", mechanism="nvr", scale=1.0)  # ~1s of work
+        queue = WorkQueue(work).ensure()
+        uid = queue.enqueue(spec)
+
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "queue",
+                "worker",
+                "--work-dir",
+                str(work),
+                "--idle-timeout",
+                "30",
+                "--poll",
+                "0.02",
+                "--heartbeat",
+                "0.05",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not queue.claimed_path(uid).exists():
+                assert time.monotonic() < deadline, "worker never claimed"
+                assert proc.poll() is None, "worker exited prematurely"
+                time.sleep(0.01)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # Killed mid-unit: claimed but never reported.
+        assert queue.claimed_path(uid).exists()
+        assert not queue.result_path(uid).exists()
+
+        backend = QueueBackend(work, lease_timeout=0.5, poll=0.02, timeout=60)
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"), backend=backend)
+        start_worker(work, idle_timeout=60)
+        (result,) = runner.run_plan([spec])
+        assert runner.submitted == 1
+        assert not queue.claimed_path(uid).exists()
+        assert not queue.lease_path(uid).exists()
+
+        local = SweepRunner(cache=ResultCache(tmp_path / "local"))
+        (expected,) = local.run_plan([spec])
+        assert dataclasses.asdict(result) == dataclasses.asdict(expected)
+        name = next((tmp_path / "cache").glob("??/*.json")).name
+        pa = next((tmp_path / "cache").glob(f"??/{name}"))
+        pb = next((tmp_path / "local").glob(f"??/{name}"))
+        assert pa.read_bytes() == pb.read_bytes()
+
+
+class TestQueueCLI:
+    def test_status_command(self, tmp_path, capsys):
+        queue = WorkQueue(tmp_path / "work").ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        rc = cli_main(["queue", "status", "--work-dir", str(tmp_path / "work")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "queued    : 1" in out
+        assert "stopping  : no" in out
+
+    def test_worker_command_max_units(self, tmp_path, capsys):
+        queue = WorkQueue(tmp_path / "work").ensure()
+        uid = queue.enqueue(RunSpec("st", scale=SCALE))
+        rc = cli_main(
+            [
+                "queue",
+                "worker",
+                "--work-dir",
+                str(tmp_path / "work"),
+                "--max-units",
+                "1",
+                "--poll",
+                "0.02",
+            ]
+        )
+        assert rc == 0
+        assert "executed 1 unit(s)" in capsys.readouterr().out
+        assert queue.result_path(uid).exists()
+
+    def test_sweep_backend_queue_requires_work_dir(self, tmp_path, capsys):
+        rc = cli_main(
+            [
+                "sweep",
+                "--workloads",
+                "st",
+                "--scales",
+                str(SCALE),
+                "--backend",
+                "queue",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "work-dir" in captured.err
+        assert "Traceback" not in captured.err

@@ -9,16 +9,20 @@ The acceptance properties of the subsystem:
 """
 
 import dataclasses
+import io
 import json
 import os
+import shutil
 
 import pytest
 
 from repro.__main__ import main as cli_main
 from repro.api import compare_mechanisms, run_workload
+from repro.errors import SimulationError
 from repro.runner import (
     MemorySpec,
     NVRSpec,
+    Progress,
     ResultCache,
     RunSpec,
     SweepRunner,
@@ -27,6 +31,7 @@ from repro.runner import (
     payload_to_result,
     result_to_payload,
     shape_l2,
+    trace_to_payload,
 )
 from repro.workloads.base import TraceStats
 
@@ -212,6 +217,23 @@ class TestPayloads:
         assert stats.gather_elements > 0
         assert stats.reuse_factor >= 1.0
 
+    def test_payload_construction_normalises_nonfinite(self):
+        # Normalised at construction, not just serialisation: the
+        # in-memory payload a cold run keeps and the JSON a warm run
+        # reads back must materialise identically.
+        stats = TraceStats(
+            gather_elements=0,
+            unique_slots=0,
+            footprint_bytes=0,
+            reuse_factor=float("nan"),
+            mean_row_length=0.0,
+            row_length_cv=float("inf"),
+            locality_score=0.0,
+        )
+        payload = trace_to_payload(stats)
+        assert payload["trace"]["reuse_factor"] is None
+        assert payload["trace"]["row_length_cv"] is None
+
 
 class TestCache:
     def test_miss_then_hit(self, tmp_path):
@@ -265,6 +287,37 @@ class TestCache:
         cache.clear()
         assert not orphan.exists()
 
+    def test_entry_at_wrong_path_is_miss(self, tmp_path):
+        # A worker file hand-merged at the wrong path must not be served
+        # for the spec that happens to hash there.
+        cache = ResultCache(tmp_path)
+        spec_a = RunSpec("st", scale=SCALE)
+        spec_b = RunSpec("ds", scale=SCALE)
+        path_a = cache.put(spec_a, {"x": 1})
+        target = cache.path_for(spec_b)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(path_a, target)
+        assert cache.get(spec_b) is None
+        assert cache.get(spec_a) == {"x": 1}
+
+    def test_entry_with_foreign_salt_is_miss(self, tmp_path):
+        # An entry carried over from a different code version (its salt
+        # field disagrees) degrades to a miss even at the right path.
+        cache = ResultCache(tmp_path, salt="v1")
+        spec = RunSpec("st", scale=SCALE)
+        path = cache.put(spec, {"x": 1})
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["salt"] = "v0"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_nonfinite_payload_values_stored_as_null(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("st", scale=SCALE)
+        path = cache.put(spec, {"kind": "sim", "cv": float("nan")})
+        assert "NaN" not in path.read_text(encoding="utf-8")
+        assert cache.get(spec) == {"kind": "sim", "cv": None}
+
 
 class TestCacheGC:
     def _fill(self, tmp_path, n=4):
@@ -314,6 +367,100 @@ class TestCacheGC:
         assert report.removed == 0
         assert report.freed_bytes == 0
         assert len(cache) == 4
+
+
+class FailingBackend:
+    """Yields ``fail_after`` real results, then dies mid-plan."""
+
+    jobs = 1
+
+    def __init__(self, fail_after: int = 1) -> None:
+        self.fail_after = fail_after
+
+    def run(self, pending):
+        for i, (key, spec) in enumerate(pending):
+            if i >= self.fail_after:
+                raise SimulationError("backend died mid-plan")
+            yield key, spec, execute_spec(spec)
+
+    def close(self) -> None:
+        pass
+
+
+class RecordingProgress:
+    def __init__(self) -> None:
+        self.events = []
+
+    def plan_started(self, total, unique, cached):
+        self.events.append("started")
+
+    def point_done(self, label, source, done, total):
+        self.events.append(f"point:{done}")
+
+    def plan_finished(self, submitted, hits, elapsed):
+        self.events.append("finished")
+
+    def plan_failed(self, done, total, elapsed):
+        self.events.append(f"failed:{done}/{total}")
+
+
+class TestPlanFailure:
+    def test_partial_counts_recorded_and_streamed_results_cached(self, tmp_path):
+        plan = small_plan()  # 4 unique points
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache, backend=FailingBackend(fail_after=2))
+        with pytest.raises(SimulationError, match="mid-plan"):
+            runner.run_plan(plan)
+        assert runner.submitted == 2
+        assert runner.last_report is not None
+        assert runner.last_report.submitted == 2
+        assert runner.last_report.unique == 4
+        assert len(cache) == 2
+        # The streamed results are ordinary cache entries: a retry of
+        # the same plan resumes warm.
+        retry = SweepRunner(cache=ResultCache(tmp_path))
+        retry.run_plan(plan)
+        assert retry.cache_hits == 2
+        assert retry.submitted == 2
+
+    def test_observer_gets_plan_failed_not_finished(self):
+        progress = RecordingProgress()
+        runner = SweepRunner(backend=FailingBackend(fail_after=1), progress=progress)
+        with pytest.raises(SimulationError):
+            runner.run_plan(small_plan())
+        assert progress.events[0] == "started"
+        assert progress.events[-1] == "failed:1/4"
+        assert "finished" not in progress.events
+
+    def test_legacy_observer_without_plan_failed_keeps_real_error(self):
+        # A custom observer written against the pre-plan_failed protocol
+        # must not turn the backend's failure into an AttributeError.
+        class LegacyProgress:
+            def plan_started(self, total, unique, cached):
+                pass
+
+            def point_done(self, label, source, done, total):
+                pass
+
+            def plan_finished(self, submitted, hits, elapsed):
+                pass
+
+        runner = SweepRunner(
+            backend=FailingBackend(fail_after=0), progress=LegacyProgress()
+        )
+        with pytest.raises(SimulationError, match="mid-plan"):
+            runner.run_plan(small_plan())
+
+    def test_progress_plan_failed_clears_live_line(self):
+        buffer = io.StringIO()
+        progress = Progress(stream=buffer, live=True)
+        progress.plan_started(2, 2, 0)
+        progress.point_done("st/nvr", "run", 1, 2)
+        progress.plan_failed(1, 2, 0.5)
+        text = buffer.getvalue()
+        # The live \r line is cleared before the failure summary, so a
+        # traceback printed next never glues onto the point trail.
+        assert text.split("\r")[-1] == "plan failed: 1/2 points done, 0.5s\n"
 
 
 class TestSweepRunner:

@@ -346,6 +346,16 @@ class TestResultSet:
         with pytest.raises(ConfigError, match="baseline axis"):
             rs.speedup_over()
 
+    def test_speedup_over_zero_metric_is_config_error(self, rs):
+        with pytest.raises(ConfigError, match="is 0 for"):
+            rs.speedup_over(value=lambda result: 0, mechanism="inorder")
+
+    def test_speedup_over_duplicate_baseline_is_config_error(self, rs):
+        entries = list(rs)
+        doubled = ResultSet(entries + [entries[0]])  # st/inorder twice
+        with pytest.raises(ConfigError, match="more than one"):
+            doubled.speedup_over(mechanism="inorder")
+
     def test_to_records(self, rs):
         records = rs.to_records()
         assert len(records) == 4
@@ -379,6 +389,24 @@ class TestResultSet:
         for record in rs.to_records():
             assert f"| {record['workload']} |" in text
             assert str(record["total_cycles"]) in text
+
+    def test_to_json_maps_nonfinite_to_null(self):
+        from repro.workloads.base import TraceStats
+
+        stats = TraceStats(
+            gather_elements=0,
+            unique_slots=0,
+            footprint_bytes=0,
+            reuse_factor=float("nan"),
+            mean_row_length=0.0,
+            row_length_cv=float("inf"),
+            locality_score=0.0,
+        )
+        rs = ResultSet([(RunSpec("st", kind="trace", scale=SCALE), stats)])
+        text = rs.to_json()
+        assert "NaN" not in text and "Infinity" not in text
+        record = json.loads(text)[0]  # strict parse succeeds
+        assert record["reuse_factor"] is None
 
     def test_trace_records(self, tmp_path):
         with Session(cache_dir=tmp_path) as session:
