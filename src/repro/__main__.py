@@ -7,6 +7,7 @@ Usage::
     python -m repro sweep --workloads ds,gcn --mechanisms inorder,nvr
     python -m repro sweep --spec plan.json --backend shards --jobs 4
     python -m repro ablate nvr-depth --workloads ds,gcn --jobs 4
+    python -m repro profile --workloads gcn,mk --engines reference,vectorized
     python -m repro workloads
     python -m repro overhead
     python -m repro figures --scale 0.6 --jobs 4 -o EXPERIMENTS.md
@@ -57,6 +58,7 @@ from pathlib import Path
 from .analysis import format_table, table1_overhead, table2_workloads
 from .analysis.experiments import ABLATION_WORKLOADS, ABLATIONS
 from .analysis.paperfigs import figures_plan, generate_report
+from .analysis.profile import PROFILE_ENGINES, profile_grid, profile_json
 from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms
 from .errors import ReproError
 from .runner import (
@@ -180,6 +182,7 @@ def _sweep_grid(args: argparse.Namespace) -> Grid:
         nsb=(False, True) if args.nsb == "both" else (args.nsb == "on",),
         scale=_numbers(args.scales, float, "scale"),
         seed=_numbers(args.seeds, int, "seed"),
+        engine=_csv(args.engines, PROFILE_ENGINES, "engine"),
         with_base=args.with_base,
     )
 
@@ -387,10 +390,56 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
     status = queue.status(args.lease_timeout)
     print(f"work dir  : {queue.root}")
     print(f"queued    : {status.queued}")
-    print(f"claimed   : {status.claimed} ({status.expired} lease-expired)")
+    print(
+        f"claimed   : {status.claimed} "
+        f"({status.expired} lease-expired, recoverable)"
+    )
     print(f"results   : {status.results}")
     print(f"failed    : {status.failed}")
     print(f"stopping  : {'yes' if status.stopping else 'no'}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    records = profile_grid(
+        _csv(args.workloads, WORKLOAD_ORDER, "workload"),
+        _csv(
+            args.mechanisms,
+            tuple(MECHANISM_ORDER) + ("preload",),
+            "mechanism",
+        ),
+        engines=_csv(args.engines, PROFILE_ENGINES, "engine"),
+        nsb=args.nsb,
+        dtype=args.dtype,
+        scale=args.scale,
+        seed=args.seed,
+        repeat=args.repeat,
+    )
+    rows = [
+        [
+            r.workload,
+            r.mechanism,
+            r.engine,
+            round(r.build_s, 3),
+            round(r.simulate_s, 3),
+            r.total_cycles,
+            round(r.kcycles_per_s, 1),
+        ]
+        for r in records
+    ]
+    print(
+        format_table(
+            ["workload", "mech", "engine", "build_s", "sim_s", "cycles", "kcyc/s"],
+            rows,
+            title=(
+                f"profile (scale={args.scale}, min of {args.repeat} "
+                f"repeat{'s' if args.repeat != 1 else ''})"
+            ),
+        )
+    )
+    if args.json is not None:
+        Path(args.json).write_text(profile_json(records) + "\n", encoding="utf-8")
+        print(f"wrote {args.json} ({len(records)} records)")
     return 0
 
 
@@ -498,6 +547,12 @@ def _add_sweep_axis_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scales", default="0.5", help="comma-separated trace scales")
     parser.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
+    parser.add_argument(
+        "--engines",
+        default="reference",
+        help="comma-separated simulation kernels (reference,vectorized); "
+        "a speed knob — results are bit-identical",
+    )
     parser.add_argument(
         "--with-base",
         action="store_true",
@@ -778,6 +833,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     oh_p = sub.add_parser("overhead", help="Table I hardware overhead")
     oh_p.set_defaults(fn=_cmd_overhead)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="time the build/simulate phases per point (uncached, in-process)",
+    )
+    prof_p.add_argument(
+        "--workloads", default="gcn,mk", help="comma-separated workloads, or 'all'"
+    )
+    prof_p.add_argument(
+        "--mechanisms", default="nvr", help="comma-separated mechanisms, or 'all'"
+    )
+    prof_p.add_argument(
+        "--engines",
+        default=",".join(PROFILE_ENGINES),
+        help="comma-separated simulation kernels to compare "
+        f"(default {','.join(PROFILE_ENGINES)})",
+    )
+    prof_p.add_argument("--nsb", action="store_true")
+    prof_p.add_argument("--dtype", default="fp16", choices=list(DTYPE_BYTES))
+    prof_p.add_argument("--scale", type=float, default=0.1)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="time each phase N times and report the minimum (default 3)",
+    )
+    prof_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also dump the profile records as JSON",
+    )
+    prof_p.set_defaults(fn=_cmd_profile)
 
     fig_p = sub.add_parser(
         "figures", parents=[session_parent], help="regenerate EXPERIMENTS.md"

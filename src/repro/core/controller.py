@@ -208,7 +208,7 @@ class RunaheadController:
             p0, p1 = win.p0, min(win.p1, nnz)
             if p0 >= p1:
                 continue
-            indices = self.program.col_stream[p0:p1]
+            indices = self.program.col_stream[p0:p1].tolist()
             grant = self.sparse_unit.grant_runahead(
                 now,
                 max(1, math.ceil(len(indices) * self.config.resolve_cycles_per_elem)),
@@ -217,13 +217,16 @@ class RunaheadController:
                 self.runahead_delayed += 1
             for stream_id in self.sparse_unit.gather_stream_ids():
                 stream = self.program.gather_streams[stream_id]
+                resolve = self.sparse_unit.resolve
+                record = self.scd.record_resolution
+                segment_bytes = stream.segment_bytes
                 addrs = []
                 segs = []
                 for idx in indices:
-                    addr = self.sparse_unit.resolve(stream_id, int(idx))
-                    self.scd.record_resolution(stream_id, int(idx), addr)
+                    addr = resolve(stream_id, idx)
+                    record(stream_id, idx, addr)
                     addrs.append(addr)
-                    segs.append(stream.segment_bytes(int(idx)))
+                    segs.append(segment_bytes(idx))
                 for batch_i, batch in enumerate(self.vmig.bundle(addrs, segs)):
                     for la in batch:
                         issued = self.port.prefetch(grant + batch_i, int(la), True)

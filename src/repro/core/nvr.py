@@ -1,5 +1,7 @@
-"""NVRPrefetcher — the composed NVR mechanism.
+"""NVRPrefetcher — the composed NVR mechanism (Fig. 3 as a whole, Sec. IV).
 
+Wires the purple blocks — snooper, SD, LBD, SCD, VMIG, controller, and
+optionally the NSB — into the one prefetcher the paper evaluates.
 Implements the same :class:`~repro.prefetch.base.Prefetcher` interface as
 every baseline (Q&A2: NVR sits between CPU and NPU, decoupled from both),
 but is the only mechanism granted the NPU-side capabilities: ROB dispatch

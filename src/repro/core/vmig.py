@@ -70,14 +70,20 @@ class VMIG:
             raise ConfigError("seg_bytes must be >= 1")
         self.elements_in += len(addrs)
         lb = self.line_bytes
-        pieces = []
-        for addr, seg in zip(addrs, segs):
-            first = (int(addr) // lb) * lb
-            last = ((int(addr) + int(seg) - 1) // lb) * lb
-            pieces.append(np.arange(first, last + 1, lb, dtype=np.int64))
-        lines = np.concatenate(pieces)
-        _, first_touch = np.unique(lines, return_index=True)
-        lines = lines[np.sort(first_touch)]
+        firsts = (addrs // lb) * lb
+        lasts = ((addrs + segs - 1) // lb) * lb
+        counts = (lasts - firsts) // lb + 1
+        total = int(counts.sum())
+        # Flattened line stream (element order, then offset within segment),
+        # deduplicated preserving first touch — dict.fromkeys keeps
+        # insertion order, matching np.unique + first-index sort.
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        flat = np.repeat(firsts, counts) + ramp * lb
+        lines = np.fromiter(
+            dict.fromkeys(flat.tolist()), dtype=np.int64
+        )
         self.lines_deduped += len(lines)
         batches = [
             lines[i : i + self.vector_width]

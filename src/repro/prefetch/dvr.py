@@ -49,6 +49,12 @@ class DecoupledVectorRunahead(Prefetcher):
         self._awaiting: dict[int, int] = {}
         self.invocations = 0
 
+    def attach(self, program, port) -> None:
+        super().attach(program, port)
+        # Hot-path bindings: on_demand_access fires once per demand line.
+        self._line_bytes = port.line_bytes
+        self._prefetch = port.prefetch
+
     # -- position tracking (CPU-visible data returns) ---------------------------
     def on_data_return(self, now: int, tile_id: int) -> None:
         self._position = max(self._position, tile_id)
@@ -81,15 +87,15 @@ class DecoupledVectorRunahead(Prefetcher):
             tile = program.tiles[t]
             ready = now
             for load in (tile.w_idx_load, tile.w_val_load):
-                for la in load.line_addrs(self.port.line_bytes):
-                    r = self.port.prefetch(now + burst, int(la), irregular=False)
+                for la in load.line_addr_list(self._line_bytes):
+                    r = self._prefetch(now + burst, la, irregular=False)
                     if r is not None:
                         ready = max(ready, r)
             self._awaiting[t] = ready
 
     # -- second chain hop: index data arrived, compute gather addresses ----------
     def _resolve_ready(self, now: int) -> None:
-        line_bytes = self.port.line_bytes
+        line_bytes = self._line_bytes
         for tile_id, ready in list(self._awaiting.items()):
             if ready > now:
                 continue
@@ -109,7 +115,7 @@ class DecoupledVectorRunahead(Prefetcher):
                         (int(addr) + gather.seg_bytes - 1) // line_bytes
                     ) * line_bytes
                     for la in range(first, last + line_bytes, line_bytes):
-                        self.port.prefetch(
+                        self._prefetch(
                             now + burst // self.vector_width, la, irregular=True
                         )
                         burst += 1

@@ -65,6 +65,12 @@ class IndirectMemoryPrefetcher(Prefetcher):
         self._pending_w: dict[int, int] = {}
         self._indirect_done: set[int] = set()
 
+    def attach(self, program, port) -> None:
+        super().attach(program, port)
+        # Hot-path bindings: handlers fire once per demand line / tile.
+        self._line_bytes = port.line_bytes
+        self._prefetch = port.prefetch
+
     # -- pattern learning ------------------------------------------------------
     def _learn(self, stream_id: int, idx: int, addr: int) -> None:
         entry = self._ipt.setdefault(stream_id, _PatternEntry())
@@ -115,8 +121,8 @@ class IndirectMemoryPrefetcher(Prefetcher):
             tile = program.tiles[target]
             ready = now
             for load in (tile.w_idx_load, tile.w_val_load):
-                for la in load.line_addrs(self.port.line_bytes):
-                    r = self.port.prefetch(now, int(la), irregular=False)
+                for la in load.line_addr_list(self._line_bytes):
+                    r = self._prefetch(now, la, irregular=False)
                     if r is not None:
                         ready = max(ready, r)
             self._pending_w[target] = ready
@@ -133,7 +139,7 @@ class IndirectMemoryPrefetcher(Prefetcher):
                 continue
             self._indirect_done.add(tile_id)
             tile = self.program.tiles[tile_id]
-            line_bytes = self.port.line_bytes
+            line_bytes = self._line_bytes
             for gather in tile.gathers:
                 entry = self._ipt.get(gather.stream_id)
                 if entry is None or not entry.locked:
@@ -146,7 +152,7 @@ class IndirectMemoryPrefetcher(Prefetcher):
                     first = (addr // line_bytes) * line_bytes
                     last = ((addr + gather.seg_bytes - 1) // line_bytes) * line_bytes
                     for la in range(first, last + line_bytes, line_bytes):
-                        self.port.prefetch(
+                        self._prefetch(
                             now + burst // self.vector_width, la, irregular=True
                         )
                         burst += 1

@@ -64,9 +64,15 @@ class StreamPrefetcher(Prefetcher):
         self.ramp_degree = ramp_degree
         self._table: dict[int, _StreamEntry] = {}
 
+    def attach(self, program, port) -> None:
+        super().attach(program, port)
+        # Hot-path bindings: on_demand_access fires once per demand line.
+        self._line_bytes = port.line_bytes
+        self._prefetch = port.prefetch
+
     def on_demand_access(self, now, stream_id, line_addr, idx_value, result):
         entry = self._table.setdefault(stream_id, _StreamEntry())
-        line_bytes = self.port.line_bytes
+        line_bytes = self._line_bytes
         irregular = stream_id in IRREGULAR_STREAMS
         if entry.last_line is not None:
             delta = (line_addr - entry.last_line) // line_bytes
@@ -81,14 +87,15 @@ class StreamPrefetcher(Prefetcher):
         if result.off_chip and entry.confidence < self.confirm:
             # Next-line ramp: assume a new ascending stream at every miss.
             for k in range(1, self.ramp_degree + 1):
-                self.port.prefetch(now, line_addr + k * line_bytes, irregular)
+                self._prefetch(now, line_addr + k * line_bytes, irregular)
         if entry.confidence >= self.confirm and entry.stride != 0:
             step = entry.stride * line_bytes
+            prefetch = self._prefetch
             for k in range(1, self.degree + 1):
                 target = line_addr + k * step
                 if target <= entry.frontier and entry.stride > 0:
                     continue  # already requested on this stream
                 if target < 0:
                     break
-                self.port.prefetch(now + k // 4, target, irregular)
+                prefetch(now + k // 4, target, irregular)
             entry.frontier = max(entry.frontier, line_addr + self.degree * step)

@@ -54,7 +54,7 @@ from .plan import (
 )
 from .pool import PlanReport, SweepRunner, execute_spec
 from .progress import NullProgress, Progress
-from .queue import QueueBackend, QueueStatus, WorkQueue, unit_id
+from .queue import QueueBackend, QueueStatus, WorkQueue, batch_unit_id, unit_id
 from .worker import (
     MergeReport,
     load_results,
@@ -87,6 +87,7 @@ __all__ = [
     "SweepRunner",
     "SystemSpec",
     "WorkQueue",
+    "batch_unit_id",
     "execute_spec",
     "expand",
     "load_results",

@@ -236,6 +236,7 @@ def make_backend(
     name: str,
     jobs: int = 1,
     work_dir: str | os.PathLike | None = None,
+    queue_batch: int = 1,
 ) -> Backend:
     """Build the ``--backend`` CLI choice: 'local', 'shards' or 'queue'.
 
@@ -243,7 +244,9 @@ def make_backend(
     pool width locally, the shard count (one worker process per shard)
     for 'shards'. The 'queue' backend ignores it — its parallelism is
     however many ``repro queue worker`` processes attach to the shared
-    ``work_dir`` (which is therefore required).
+    ``work_dir`` (which is therefore required). ``queue_batch`` groups
+    that many points per claimable queue unit (ignored by the other
+    backends).
     """
     if name == "local":
         return LocalPoolBackend(jobs=jobs)
@@ -257,5 +260,5 @@ def make_backend(
                 "the queue backend needs --work-dir (the directory the "
                 "'repro queue worker' processes watch)"
             )
-        return QueueBackend(work_dir)
+        return QueueBackend(work_dir, batch=queue_batch)
     raise ConfigError(f"unknown backend '{name}' (known: {', '.join(BACKEND_NAMES)})")

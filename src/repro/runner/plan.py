@@ -123,9 +123,11 @@ class RunSpec:
 
     The platform side lives in ``system``; pass either a ready
     :class:`~repro.spec.SystemSpec` or the convenience arguments
-    (``mechanism``, ``nsb``, ``memory``, ``nvr``, ``executor``) — never
-    both. ``memory``/``nvr`` accept the shorthand
-    :class:`MemorySpec`/:class:`NVRSpec` or full config objects.
+    (``mechanism``, ``nsb``, ``memory``, ``nvr``, ``executor``,
+    ``engine``) — never both. ``memory``/``nvr`` accept the shorthand
+    :class:`MemorySpec`/:class:`NVRSpec` or full config objects;
+    ``engine`` picks the simulation kernel (``"vectorized"`` or the
+    default reference kernels — a speed knob, never a results knob).
     """
 
     workload: str
@@ -138,6 +140,7 @@ class RunSpec:
     memory: MemorySpec | MemoryConfig | None = None
     nvr: NVRSpec | NVRConfig | None = None
     executor: ExecutorConfig | None = None
+    engine: str | None = None  # simulation kernel; None = reference
     workload_args: tuple[tuple[str, Scalar], ...] = ()
     kind: str = "sim"
     system: SystemSpec | None = None
@@ -191,6 +194,13 @@ class RunSpec:
                     f"system.nsb={self.system.nsb} (set nsb on the "
                     "SystemSpec instead)"
                 )
+            engine = None if self.engine == "reference" else self.engine
+            if engine is not None and engine != self.system.engine:
+                raise ConfigError(
+                    f"engine='{self.engine}' conflicts with "
+                    f"system.engine={self.system.engine!r} (set engine on "
+                    "the SystemSpec instead)"
+                )
         else:
             memory = (
                 self.memory.build()
@@ -207,10 +217,12 @@ class RunSpec:
                     memory=memory,
                     nvr=nvr,
                     executor=self.executor,
+                    engine=self.engine,
                 ),
             )
         object.__setattr__(self, "mechanism", self.system.mechanism)
         object.__setattr__(self, "nsb", self.system.nsb)
+        object.__setattr__(self, "engine", self.system.engine)
         object.__setattr__(self, "memory", None)
         object.__setattr__(self, "nvr", None)
         object.__setattr__(self, "executor", None)
@@ -290,14 +302,18 @@ def expand(
     memory: MemorySpec | MemoryConfig | None = None,
     nvr: NVRSpec | NVRConfig | None = None,
     executor: ExecutorConfig | None = None,
+    engines=None,
     workload_args: tuple[tuple[str, Scalar], ...] = (),
     kind: str = "sim",
 ) -> list[RunSpec]:
     """Cartesian-product plan expansion, in deterministic order.
 
     Every axis accepts a scalar or a sequence; the expansion order is
-    workload-major (workload, mechanism, dtype, nsb, scale, seed), matching
-    the paper figures' bar order.
+    workload-major (workload, mechanism, dtype, nsb, scale, seed, engine),
+    matching the paper figures' bar order. ``engines`` is the
+    simulation-kernel axis (``None``/``"reference"``/``"vectorized"``) —
+    sweeping it reruns identical platforms through different kernels,
+    which is exactly what the engine-equivalence tests do.
     """
     return [
         RunSpec(
@@ -311,16 +327,18 @@ def expand(
             memory=memory,
             nvr=nvr,
             executor=executor,
+            engine=e,
             workload_args=workload_args,
             kind=kind,
         )
-        for w, m, d, n, sc, sd in itertools.product(
+        for w, m, d, n, sc, sd, e in itertools.product(
             _tuple(workloads),
             _tuple(mechanisms),
             _tuple(dtypes),
             _tuple(nsb),
             _tuple(scales),
             _tuple(seeds),
+            _tuple(engines),
         )
     ]
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from ..sim.soc import RunResult
@@ -47,6 +48,31 @@ from .plan import RunSpec
 from .progress import NullProgress
 
 
+@lru_cache(maxsize=8)
+def _workload_for(
+    workload: str,
+    scale: float,
+    elem_bytes_: int,
+    seed: int,
+    workload_args: tuple,
+):
+    """Process-local memo over the pure workload builders.
+
+    Plans routinely pair the same workload with many systems (a figures
+    plan runs every mechanism over each workload), and builders are pure
+    functions of these arguments, so the lowered program is shared.
+    Programs are immutable once built — every consumer (engines,
+    prefetchers, trace stats) only reads them.
+    """
+    return build_workload(
+        workload,
+        scale=scale,
+        elem_bytes=elem_bytes_,
+        seed=seed,
+        **dict(workload_args),
+    )
+
+
 def execute_spec(spec: RunSpec) -> dict:
     """Run one spec and return its JSON payload (the worker entry point).
 
@@ -55,12 +81,12 @@ def execute_spec(spec: RunSpec) -> dict:
     declarative :class:`~repro.spec.SystemSpec` — so results are a pure
     function of the spec and bit-identical for every ``jobs`` setting.
     """
-    program = build_workload(
+    program = _workload_for(
         spec.workload,
-        scale=spec.scale,
-        elem_bytes=elem_bytes(spec.dtype),
-        seed=spec.seed,
-        **dict(spec.workload_args),
+        spec.scale,
+        elem_bytes(spec.dtype),
+        spec.seed,
+        spec.workload_args,
     )
     if spec.kind == "trace":
         return trace_to_payload(trace_stats(program))

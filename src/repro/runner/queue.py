@@ -12,15 +12,17 @@ Layout of a work directory (every transition is an atomic write or
 rename, so any number of workers and submitters can share it)::
 
     work_dir/
-        queue/unit-<id>.json     claimable units (one wire-format spec)
+        queue/unit-<id>.json     claimable units (one wire-format spec,
+                                 or a "specs" list for batched units)
         claimed/unit-<id>.json   claimed units (renamed out of queue/)
         leases/unit-<id>.json    worker identity; mtime is the heartbeat
-        results/unit-<id>.json   one-record worker result files
+        results/unit-<id>.json   worker result files (one record/spec)
         failed/unit-<id>.json    spec-failure reports (worker error text)
         stop                     sentinel: workers drain and exit
 
-The unit id is a content address (sha256 of the spec key), so enqueues
-are idempotent and two submitters wanting the same point share one unit.
+The unit id is a content address (sha256 of the spec key; a batched
+unit hashes all of its keys), so enqueues are idempotent and two
+submitters wanting the same point share one unit.
 
 The protocol:
 
@@ -102,12 +104,34 @@ def unit_id(spec: RunSpec) -> str:
     return hashlib.sha256(spec.key().encode()).hexdigest()[:32]
 
 
+def batch_unit_id(specs) -> str:
+    """Content address of a unit holding one *or more* specs.
+
+    A single-spec batch addresses identically to :func:`unit_id`, so
+    un-batched submitters and ``batch=1`` backends share units.
+    """
+    if len(specs) == 1:
+        return unit_id(specs[0])
+    joined = "\n".join(spec.key() for spec in specs)
+    return hashlib.sha256(joined.encode()).hexdigest()[:32]
+
+
 @dataclass(frozen=True)
 class ClaimedUnit:
     """A unit a worker has exclusive ownership of (claim + lease)."""
 
     id: str
-    spec: RunSpec
+    specs: tuple[RunSpec, ...]
+
+    @property
+    def spec(self) -> RunSpec:
+        """The sole spec of a single-spec unit (the common case)."""
+        if len(self.specs) != 1:
+            raise ValueError(
+                f"unit {self.id[:12]} holds {len(self.specs)} specs — "
+                "iterate .specs for batched units"
+            )
+        return self.specs[0]
 
 
 @dataclass
@@ -185,13 +209,36 @@ class WorkQueue:
         alone — the id is a content address, so a second submitter
         wanting the same point simply waits on the first one's unit.
         """
-        uid = unit_id(spec)
+        return self.enqueue_batch((spec,))
+
+    def enqueue_batch(self, specs) -> str:
+        """Make a group of specs claimable as *one* unit; returns its id.
+
+        Batching amortises the per-unit filesystem protocol (claim
+        rename, lease writes, result file) over several points — the
+        right trade when points are much cheaper than the protocol. A
+        single-spec batch writes the classic ``"spec"`` document, so
+        ``batch=1`` is byte-identical to the un-batched wire format;
+        larger batches write a ``"specs"`` list. The id is a content
+        address of the whole group, so identical batches from
+        concurrent submitters share one unit (differently-grouped
+        overlapping batches re-execute at worst — results are a pure
+        function of the spec).
+        """
+        specs = tuple(specs)
+        if not specs:
+            raise ConfigError("cannot enqueue an empty batch")
+        uid = batch_unit_id(specs)
         if not (
             self.queued_path(uid).exists()
             or self.claimed_path(uid).exists()
             or self.result_path(uid).exists()
         ):
-            document = {"format": PLAN_FORMAT, "unit": uid, "spec": spec.to_dict()}
+            document: dict = {"format": PLAN_FORMAT, "unit": uid}
+            if len(specs) == 1:
+                document["spec"] = specs[0].to_dict()
+            else:
+                document["specs"] = [spec.to_dict() for spec in specs]
             atomic_write_json(self.queued_path(uid), document)
         return uid
 
@@ -269,7 +316,7 @@ class WorkQueue:
             except OSError:
                 pass
             try:
-                spec = self._load_unit(target, uid)
+                specs = self._load_unit(target, uid)
             except ConfigError as exc:
                 if not target.exists():
                     # recover_expired() re-enqueued the claim before we
@@ -283,7 +330,7 @@ class WorkQueue:
                 self.lease_path(uid),
                 {"worker": worker_id, "unit": uid, "claimed_at": time.time()},
             )
-            return ClaimedUnit(id=uid, spec=spec)
+            return ClaimedUnit(id=uid, specs=specs)
         return None
 
     def heartbeat(self, unit: ClaimedUnit) -> None:
@@ -327,7 +374,7 @@ class WorkQueue:
             },
         )
 
-    def _load_unit(self, path: Path, uid: str) -> RunSpec:
+    def _load_unit(self, path: Path, uid: str) -> tuple[RunSpec, ...]:
         try:
             text = path.read_text(encoding="utf-8")
         except OSError as exc:
@@ -339,16 +386,22 @@ class WorkQueue:
                 f"{path}: unsupported unit format {version!r} "
                 f"(this reader understands format {PLAN_FORMAT})"
             )
+        if "specs" in document:
+            raw = document["specs"]
+            if not isinstance(raw, list) or not raw:
+                raise ConfigError(f"{path}: 'specs' must be a non-empty list")
+        else:
+            raw = [document.get("spec")]
         try:
-            spec = RunSpec.from_dict(document["spec"])
+            specs = tuple(RunSpec.from_dict(d) for d in raw)
         except (ConfigError, KeyError, TypeError) as exc:
             raise ConfigError(f"{path}: unit spec: {exc}") from None
-        if unit_id(spec) != uid:
+        if batch_unit_id(specs) != uid:
             raise ConfigError(
                 f"{path}: unit id does not match its spec — corrupt or "
                 "misplaced unit file"
             )
-        return spec
+        return specs
 
     # -- introspection -------------------------------------------------------
 
@@ -383,6 +436,14 @@ class WorkQueue:
         )
 
 
+def _group_label(group) -> str:
+    """Human-readable name for one unit's (key, spec) group."""
+    first = group[0][1].label()
+    if len(group) == 1:
+        return first
+    return f"{first} (+{len(group) - 1} more)"
+
+
 class QueueBackend:
     """Orchestrator side of the queue: enqueue, watch, recover, stream.
 
@@ -403,6 +464,11 @@ class QueueBackend:
         timeout: overall seconds to wait per plan before raising
             :class:`~repro.errors.SimulationError` (``None`` waits
             forever — a queue with no workers blocks by design).
+        batch: points per queue unit (default 1). Batching amortises
+            the claim/lease/result filesystem protocol over ``batch``
+            points — worthwhile when points are cheap relative to the
+            protocol — at the cost of coarser work distribution and
+            recovery (a crashed worker re-runs its whole batch).
     """
 
     def __init__(
@@ -411,6 +477,7 @@ class QueueBackend:
         lease_timeout: float | None = None,
         poll: float = DEFAULT_POLL,
         timeout: float | None = None,
+        batch: int = 1,
     ) -> None:
         if work_dir is None:
             raise ConfigError("the queue backend needs a work directory")
@@ -424,6 +491,9 @@ class QueueBackend:
             raise ConfigError(f"lease timeout must be > 0, got {self.lease_timeout:g}")
         self.poll = float(poll)
         self.timeout = timeout
+        self.batch = int(batch)
+        if self.batch < 1:
+            raise ConfigError(f"queue batch must be >= 1, got {batch}")
         # Indirection so tests can interrupt the orchestrator's poll
         # loop without touching the module-global time.sleep that the
         # workers share.
@@ -439,10 +509,14 @@ class QueueBackend:
         from .worker import load_results  # circular at import time only
 
         queue = self.queue.ensure()
-        waiting: dict[str, tuple[str, RunSpec]] = {}
-        for key, spec in pending:
-            uid = queue.enqueue(spec)
-            waiting[uid] = (key, spec)
+        pending = list(pending)
+        # Each unit holds up to `batch` points; waiting maps the unit
+        # id to its (key, spec) group in unit order.
+        waiting: dict[str, list[tuple[str, RunSpec]]] = {}
+        for start in range(0, len(pending), self.batch):
+            group = pending[start : start + self.batch]
+            uid = queue.enqueue_batch(tuple(spec for _, spec in group))
+            waiting[uid] = group
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
         # Lease recovery and the vanished-unit scan stat every
         # outstanding unit, which is pure overhead at poll frequency —
@@ -457,15 +531,14 @@ class QueueBackend:
                 progressed = False
                 landed = queue.unit_ids(queue.results_dir)
                 for uid in [u for u in waiting if u in landed]:
-                    key, spec = waiting[uid]
-                    payload = self._consume(uid, key, spec, load_results, discards)
-                    if payload is None:
+                    triples = self._consume(uid, waiting[uid], load_results, discards)
+                    if triples is None:
                         continue
                     del waiting[uid]
                     progressed = True
-                    yield key, spec, payload
+                    yield from triples
                 for uid in queue.unit_ids(queue.failed_dir) & waiting.keys():
-                    self._raise_failure(uid, waiting[uid][1])
+                    self._raise_failure(uid, waiting[uid])
                 if time.monotonic() >= next_maintenance:
                     queue.recover_expired(self.lease_timeout, uids=list(waiting))
                     self._requeue_vanished(waiting)
@@ -495,9 +568,11 @@ class QueueBackend:
     #: worker fleet.
     MAX_SALT_DISCARDS = 3
 
-    def _consume(self, uid, key: str, spec: RunSpec, load_results, discards):
+    def _consume(self, uid, group, load_results, discards):
         """Read, validate and clean up one unit's result file, if landed.
 
+        Returns the unit's ``(key, spec, payload)`` triples in unit
+        order, or ``None`` when the file is not (or no longer) there.
         A result stamped with a different code-fingerprint salt — a work
         directory reused across simulator versions — is discarded and
         its unit re-enqueued: serving it would launder a stale payload
@@ -516,28 +591,29 @@ class QueueBackend:
                 # consumed it between our scan and the read.
                 return None
             raise
-        if len(records) != 1 or records[0]["key"] != key:
+        by_key = {record["key"]: record for record in records}
+        if len(by_key) != len(group) or any(key not in by_key for key, _ in group):
             raise SimulationError(
-                f"{path} does not hold exactly the result for "
-                f"{spec.label()} — corrupt or misplaced result file"
+                f"{path} does not hold exactly the result(s) for "
+                f"{_group_label(group)} — corrupt or misplaced result file"
             )
-        if records[0].get("salt") != default_salt():
+        if any(record.get("salt") != default_salt() for record in records):
             discards[uid] = discards.get(uid, 0) + 1
             if discards[uid] >= self.MAX_SALT_DISCARDS:
                 raise SimulationError(
-                    f"discarded {discards[uid]} results for {spec.label()} "
-                    "computed with a different simulator version — a "
-                    "'repro queue worker' running other code is attached "
-                    f"to {self.queue.root}"
+                    f"discarded {discards[uid]} results for "
+                    f"{_group_label(group)} computed with a different "
+                    "simulator version — a 'repro queue worker' running "
+                    f"other code is attached to {self.queue.root}"
                 )
             self.queue.forget(uid)
-            self.queue.enqueue(spec)
+            self.queue.enqueue_batch(tuple(spec for _, spec in group))
             return None
-        payload = records[0]["payload"]
+        triples = [(key, spec, by_key[key]["payload"]) for key, spec in group]
         self.queue.forget(uid)
-        return payload
+        return triples
 
-    def _raise_failure(self, uid: str, spec: RunSpec) -> None:
+    def _raise_failure(self, uid: str, group) -> None:
         """Surface a worker's spec-failure report as the sweep's error.
 
         The report is consumed (so a retry re-attempts the unit) and the
@@ -558,7 +634,7 @@ class QueueBackend:
             return
         self.queue.forget(uid)
         raise SimulationError(
-            f"{spec.label()} failed on worker "
+            f"{_group_label(group)} failed on worker "
             f"{report.get('worker', 'unknown')}: "
             f"{report.get('error', 'unreadable failure report')}"
         )
@@ -571,7 +647,7 @@ class QueueBackend:
         still waiting simply enqueues again. Benign races re-execute a
         point at worst — results are bit-identical by construction.
         """
-        for uid, (_, spec) in waiting.items():
+        for uid, group in waiting.items():
             if (
                 self.queue.result_path(uid).exists()
                 or self.queue.failed_path(uid).exists()
@@ -579,7 +655,7 @@ class QueueBackend:
                 or self.queue.claimed_path(uid).exists()
             ):
                 continue
-            self.queue.enqueue(spec)
+            self.queue.enqueue_batch(tuple(spec for _, spec in group))
 
     def close(self) -> None:
         """Nothing to release: workers are independent processes."""

@@ -111,17 +111,22 @@ def _process_unit(
     thread = threading.Thread(target=beat, daemon=True)
     thread.start()
     try:
-        payload = execute_spec(unit.spec)
-        record = {
-            "key": unit.spec.key(),
-            "spec": unit.spec.to_dict(),
-            "payload": payload,
-            # Stamped so a reused work dir can never serve a result
-            # computed by a different simulator version (the
-            # orchestrator discards salt mismatches and re-runs).
-            "salt": default_salt(),
-        }
-        write_results(queue.result_path(unit.id), [record])
+        records = []
+        for spec in unit.specs:
+            payload = execute_spec(spec)
+            records.append(
+                {
+                    "key": spec.key(),
+                    "spec": spec.to_dict(),
+                    "payload": payload,
+                    # Stamped so a reused work dir can never serve a
+                    # result computed by a different simulator version
+                    # (the orchestrator discards salt mismatches and
+                    # re-runs).
+                    "salt": default_salt(),
+                }
+            )
+        write_results(queue.result_path(unit.id), records)
     except Exception as exc:
         stop.set()
         thread.join()
@@ -130,6 +135,8 @@ def _process_unit(
             if isinstance(exc, ReproError)
             else f"{type(exc).__name__}: {exc}"
         )
+        if len(unit.specs) > 1:
+            error = f"{spec.label()}: {error}"
         queue.report_failure(unit.id, worker_id, error)
         queue.complete(unit)
         return error
@@ -156,9 +163,9 @@ def run_queue_worker(
     """Pull and execute queue units until stopped; returns units processed.
 
     The claim/run/report loop behind ``repro queue worker``: claim a
-    unit by atomic rename, execute it (heartbeating the lease), write
-    its one-record result file — or its failure report, when the spec
-    itself raises — and repeat. The loop ends when
+    unit by atomic rename, execute its spec(s) (heartbeating the lease),
+    write its result file (one record per spec) — or its failure
+    report, when a spec itself raises — and repeat. The loop ends when
 
     * a ``stop`` sentinel appears in the work directory,
     * ``max_units`` units have been executed, or
@@ -189,7 +196,10 @@ def run_queue_worker(
                 break
             time.sleep(poll)
             continue
-        emit(f"worker {worker_id}: claimed {unit.id[:12]} ({unit.spec.label()})")
+        label = unit.specs[0].label()
+        if len(unit.specs) > 1:
+            label += f" +{len(unit.specs) - 1} more"
+        emit(f"worker {worker_id}: claimed {unit.id[:12]} ({label})")
         error = _process_unit(queue, unit, worker_id, heartbeat)
         done += 1
         if error is not None:

@@ -112,6 +112,7 @@ _SPEC_AXES: tuple[str, ...] = (
     "memory",
     "nvr",
     "executor",
+    "engine",
 )
 
 #: Derived axes: grid name -> (RunSpec argument, shorthand field).
@@ -233,6 +234,8 @@ class Session:
         work_dir: shard/result file directory for the shards backend;
             the shared unit directory (required) for the queue backend —
             see also the :meth:`remote` shorthand.
+        queue_batch: points per claimable unit for the queue backend
+            (default 1; ignored by the other backends).
         progress: ``True`` for live progress lines, ``False``/``None``
             for silence, or a progress object.
         runner: wrap an existing :class:`~repro.runner.SweepRunner`
@@ -252,6 +255,7 @@ class Session:
         cache_dir: str | os.PathLike | None = None,
         backend: Backend | str | None = None,
         work_dir: str | os.PathLike | None = None,
+        queue_batch: int = 1,
         progress=None,
         runner: SweepRunner | None = None,
     ) -> None:
@@ -262,6 +266,7 @@ class Session:
                 or cache_dir is not None
                 or backend is not None
                 or work_dir is not None
+                or queue_batch != 1
                 or progress is not None
             ):
                 raise ConfigError(
@@ -278,6 +283,7 @@ class Session:
         self._cache_dir = cache_dir
         self._backend = backend
         self._work_dir = work_dir
+        self._queue_batch = max(1, int(queue_batch))
         self._progress = progress
 
     # -- plumbing ------------------------------------------------------------
@@ -292,7 +298,12 @@ class Session:
     def _build_backend(self) -> Backend | None:
         if self._backend is None or isinstance(self._backend, str):
             name = self._backend or "local"
-            return make_backend(name, jobs=self._jobs, work_dir=self._work_dir)
+            return make_backend(
+                name,
+                jobs=self._jobs,
+                work_dir=self._work_dir,
+                queue_batch=self._queue_batch,
+            )
         return self._backend
 
     @property
@@ -355,6 +366,7 @@ class Session:
         lease_timeout: float | None = None,
         poll: float | None = None,
         timeout: float | None = None,
+        batch: int | None = None,
         cache: ResultCache | bool | None = None,
         cache_dir: str | os.PathLike | None = None,
         progress=None,
@@ -374,9 +386,12 @@ class Session:
 
         ``timeout`` bounds how long one plan waits overall (``None``
         waits forever — a queue with no workers blocks by design);
-        ``poll`` is the result-scan interval. Grid sweeps and every
-        figure runner accept the returned session unchanged — the queue
-        is just another backend behind the same front door.
+        ``poll`` is the result-scan interval; ``batch`` groups that
+        many points per claimable unit, amortising the queue's
+        per-unit filesystem protocol when points are cheap. Grid
+        sweeps and every figure runner accept the returned session
+        unchanged — the queue is just another backend behind the same
+        front door.
         """
         backend_kwargs = {}
         if lease_timeout is not None:
@@ -385,6 +400,8 @@ class Session:
             backend_kwargs["poll"] = poll
         if timeout is not None:
             backend_kwargs["timeout"] = timeout
+        if batch is not None:
+            backend_kwargs["batch"] = batch
         return cls(
             cache=cache,
             cache_dir=cache_dir,
@@ -407,13 +424,15 @@ class Session:
         nvr=None,
         nvr_config=None,
         executor=None,
+        engine: str | None = None,
         kind: str = "sim",
         **workload_args,
     ) -> RunSpec:
         """Build the :class:`~repro.runner.RunSpec` for one point.
 
         ``nvr_config`` is accepted as an alias of ``nvr`` (the
-        :func:`repro.api.run_workload` spelling).
+        :func:`repro.api.run_workload` spelling). ``engine`` selects the
+        simulation kernel (a speed knob — results are bit-identical).
         """
         if nvr is not None and nvr_config is not None:
             raise ConfigError("pass nvr= or nvr_config=, not both")
@@ -428,6 +447,7 @@ class Session:
             memory=memory,
             nvr=nvr if nvr is not None else nvr_config,
             executor=executor,
+            engine=engine,
             workload_args=tuple(workload_args.items()),
             kind=kind,
         )
@@ -560,6 +580,15 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
         "shared work directory the workers watch (required)",
     )
     parser.add_argument(
+        "--queue-batch",
+        type=int,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="points per claimable unit for --backend queue (default 1; "
+        "batching amortises the per-unit claim/lease/result protocol "
+        "when points are cheap)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         default=argparse.SUPPRESS,
@@ -581,6 +610,7 @@ def session_from_args(args: argparse.Namespace, quiet: bool = False) -> Session:
         cache_dir=getattr(args, "cache_dir", None),
         backend=getattr(args, "backend", None),
         work_dir=getattr(args, "work_dir", None),
+        queue_batch=getattr(args, "queue_batch", 1),
         progress=not quiet,
     )
 

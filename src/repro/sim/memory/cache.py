@@ -58,7 +58,7 @@ class CacheConfig:
         return self.size_bytes // self.line_bytes // self.assoc
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """Resident (or in-flight) line state."""
 
@@ -84,31 +84,70 @@ class Cache:
     levels and decides what a miss costs. ``lookup``/``allocate`` are the
     whole interface, plus ``probe`` for read-only inspection (used by
     prefetchers that drop requests already resident).
+
+    LRU is kept in dict insertion order: a recency touch re-inserts the
+    line at the back of its set dict, so the front entry is always the
+    least-recently-used victim. ``last_use`` stays authoritative (every
+    reorder assigns a fresh, strictly increasing counter), the dict order
+    is just its O(1) index — allocate-over-existing deliberately touches
+    neither, matching the original min-by-``last_use`` policy.
     """
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(config.n_sets)]
+        n_sets = config.n_sets
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(n_sets)]
         self.mshr = MSHRFile(config.mshr_entries)
         self._use_counter = 0
         self.evictions = 0
         self.prefetch_evicted_unused = 0
+        # Address math precomputed: line_bytes and n_sets are powers of
+        # two (validated by CacheConfig), so set/tag extraction is two
+        # shifts and a mask instead of div/mod through two properties.
+        self._assoc = config.assoc
+        self._line_mask = ~(config.line_bytes - 1)
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = n_sets - 1
+        self._tag_shift = self._line_shift + n_sets.bit_length() - 1
 
     # -- address helpers ---------------------------------------------------
     def line_addr(self, byte_addr: int) -> int:
         """Align a byte address down to its line address."""
-        return byte_addr & ~(self.config.line_bytes - 1)
+        return byte_addr & self._line_mask
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self.config.line_bytes) % self.config.n_sets
+        return (line_addr >> self._line_shift) & self._set_mask
 
     def _tag(self, line_addr: int) -> int:
-        return line_addr // self.config.line_bytes // self.config.n_sets
+        return line_addr >> self._tag_shift
 
     # -- core operations ---------------------------------------------------
     def probe(self, line_addr: int) -> CacheLine | None:
         """Read-only residency check (no LRU update, no stats)."""
-        return self._sets[self._set_index(line_addr)].get(self._tag(line_addr))
+        return self._sets[(line_addr >> self._line_shift) & self._set_mask].get(
+            line_addr >> self._tag_shift
+        )
+
+    def touch(self, line_addr: int) -> CacheLine | None:
+        """Look up a line, updating recency; returns it or None on a miss.
+
+        The hierarchy's demand path uses this directly (one call per
+        demand line): the hit/in-flight distinction is just
+        ``line.ready_at <= now``, so returning the bare line avoids a
+        tuple and a kind-string comparison per access. :meth:`lookup`
+        wraps it with the classified three-way answer.
+        """
+        cache_set = self._sets[(line_addr >> self._line_shift) & self._set_mask]
+        tag = line_addr >> self._tag_shift
+        line = cache_set.get(tag)
+        if line is None:
+            return None
+        self._use_counter += 1
+        line.last_use = self._use_counter
+        # Move-to-back keeps dict order == recency order.
+        del cache_set[tag]
+        cache_set[tag] = line
+        return line
 
     def lookup(self, now: int, line_addr: int) -> tuple[str, CacheLine | None]:
         """Look up a line, updating recency.
@@ -117,11 +156,9 @@ class Cache:
         ``(LookupKind.INFLIGHT, line)`` for a line still being filled, or
         ``(LookupKind.MISS, None)``.
         """
-        line = self.probe(line_addr)
+        line = self.touch(line_addr)
         if line is None:
             return LookupKind.MISS, None
-        self._use_counter += 1
-        line.last_use = self._use_counter
         if line.ready_at > now:
             return LookupKind.INFLIGHT, line
         return LookupKind.HIT, line
@@ -138,27 +175,26 @@ class Cache:
         The MSHR entry for the fill must be allocated by the caller — the
         cache only tracks residency and recency.
         """
-        cache_set = self._sets[self._set_index(line_addr)]
-        tag = self._tag(line_addr)
+        cache_set = self._sets[(line_addr >> self._line_shift) & self._set_mask]
+        tag = line_addr >> self._tag_shift
         existing = cache_set.get(tag)
         if existing is not None:
             # Refill over a resident line (e.g. prefetch into a stale copy):
             # keep the earlier ready time if the line was already usable.
-            existing.ready_at = min(existing.ready_at, ready_at)
+            # No recency touch — a refill is not a use.
+            if ready_at < existing.ready_at:
+                existing.ready_at = ready_at
             return existing
-        if len(cache_set) >= self.config.assoc:
-            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+        if len(cache_set) >= self._assoc:
+            # Front of the dict = least recently used (see class docstring).
+            victim_tag = next(iter(cache_set))
             victim = cache_set.pop(victim_tag)
             self.evictions += 1
             if victim.filled_by_prefetch and not victim.demand_touched:
                 self.prefetch_evicted_unused += 1
         self._use_counter += 1
         line = CacheLine(
-            tag=tag,
-            ready_at=ready_at,
-            filled_by_prefetch=by_prefetch,
-            demand_touched=not by_prefetch,
-            last_use=self._use_counter,
+            tag, ready_at, by_prefetch, not by_prefetch, self._use_counter
         )
         cache_set[tag] = line
         return line

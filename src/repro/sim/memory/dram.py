@@ -51,10 +51,15 @@ class DRAM:
         self.busy_cycles = 0
         self.transfers = 0
         self.bytes_transferred = 0
+        # Hot-path bindings: one access per DRAM transfer, hundreds of
+        # thousands per sweep.
+        self._latency = config.latency
+        self._bpc = config.bytes_per_cycle
+        self._pf_penalty = config.prefetch_penalty
 
     def service_cycles(self, n_bytes: int) -> int:
         """Bus occupancy for one transfer of ``n_bytes``."""
-        return max(1, -(-n_bytes // self.config.bytes_per_cycle))
+        return max(1, -(-n_bytes // self._bpc))
 
     def access(self, now: int, n_bytes: int, is_prefetch: bool = False) -> int:
         """Issue one transfer; returns the completion cycle.
@@ -63,14 +68,17 @@ class DRAM:
         for it. Latency overlaps across requests (the channel pipeline),
         which is what rewards MSHR-driven parallelism.
         """
-        issue = now + (self.config.prefetch_penalty if is_prefetch else 0)
-        service = self.service_cycles(n_bytes)
-        start = max(issue, self._bus_free_at)
+        issue = now + self._pf_penalty if is_prefetch else now
+        service = -(-n_bytes // self._bpc)
+        if service < 1:
+            service = 1
+        busy = self._bus_free_at
+        start = issue if issue > busy else busy
         self._bus_free_at = start + service
         self.busy_cycles += service
         self.transfers += 1
         self.bytes_transferred += n_bytes
-        return start + self.config.latency + service
+        return start + self._latency + service
 
     def utilisation(self, elapsed_cycles: int) -> float:
         """Bus busy fraction over ``elapsed_cycles``."""

@@ -137,6 +137,10 @@ class MemorySystem:
         stats: shared run-statistics record, mutated in place.
     """
 
+    #: Distinguishes the real hierarchy from :class:`~repro.sim.soc.
+    #: PerfectMemory` without an import cycle (engine fast paths key on it).
+    perfect = False
+
     def __init__(self, config: MemoryConfig, stats: RunStats) -> None:
         self.config = config
         self.stats = stats
@@ -149,6 +153,29 @@ class MemorySystem:
         self._cpu_lcg = 0x2545F491
         self.cpu_accesses = 0
         self.cpu_misses = 0
+        # Hot-path bindings: the demand path runs once per line touched
+        # (millions of calls per sweep), so the per-access attribute
+        # chains (config/stat sub-objects, latencies) are resolved once.
+        self._line_bytes = config.line_bytes
+        self._l2_lat = config.l2.hit_latency
+        self._nsb_lat = config.nsb.hit_latency if config.nsb is not None else None
+        self._cpu_cfg = config.cpu_traffic
+        self._stats_nsb = stats.nsb
+        self._stats_l2 = stats.l2
+        self._stats_pf = stats.prefetch
+        self._traffic = stats.traffic
+        self._l2_touch = self.l2.touch
+        self._l2_probe = self.l2.probe
+        self._l2_alloc = self.l2.allocate
+        self._l2_mshr_free = self.l2.mshr.earliest_free_slot
+        self._l2_mshr_alloc = self.l2.mshr.allocate
+        self._dram_access = self.dram.access
+        if self.nsb is not None:
+            self._nsb_touch = self.nsb.touch
+            self._nsb_probe = self.nsb.probe
+            self._nsb_alloc = self.nsb.allocate
+        else:
+            self._nsb_touch = self._nsb_probe = self._nsb_alloc = None
 
     # -- background CPU traffic ----------------------------------------------
     _MAX_INJECT_PER_CALL = 64
@@ -187,7 +214,7 @@ class MemorySystem:
     # -- helpers -----------------------------------------------------------
     @property
     def line_bytes(self) -> int:
-        return self.config.line_bytes
+        return self._line_bytes
 
     def line_addr(self, byte_addr: int) -> int:
         """Align a byte address to a line address."""
@@ -227,82 +254,98 @@ class MemorySystem:
     def demand_access(self, now: int, access: Access, irregular: bool) -> AccessResult:
         """Send one demand line request through NSB (optional) then L2/DRAM."""
         assert access.access_type is AccessType.DEMAND
-        self._inject_cpu_traffic(now)
-        line = access.line_addr
-        use_nsb = self.nsb is not None and irregular
+        return self.demand_line(now, access.line_addr, irregular)
+
+    def demand_line(self, now: int, line: int, irregular: bool) -> AccessResult:
+        """The demand path proper, addressed by line (executor fast path).
+
+        Identical semantics to :meth:`demand_access` without the
+        :class:`~repro.sim.request.Access` wrapper — the executors issue
+        millions of line-granular demands per sweep, so they skip the
+        per-line request object.
+        """
+        if self._cpu_cfg is not None:
+            self._inject_cpu_traffic(now)
+        line_bytes = self._line_bytes
+        pending = self._pf_pending
+        use_nsb = irregular and self._nsb_touch is not None
 
         if use_nsb:
-            self.stats.nsb.demand_accesses += 1
-            kind, nsb_line = self.nsb.lookup(now, line)
-            if kind == LookupKind.HIT:
-                self.stats.nsb.demand_hits += 1
-                self.stats.traffic.nsb_to_npu_bytes += self.line_bytes
-                was_pf = self._credit_prefetch(line, in_flight=False)
+            nsb_stats = self._stats_nsb
+            nsb_stats.demand_accesses += 1
+            nsb_line = self._nsb_touch(line)
+            if nsb_line is not None:
+                if nsb_line.ready_at <= now:
+                    nsb_stats.demand_hits += 1
+                    self._traffic.nsb_to_npu_bytes += line_bytes
+                    if line in pending:
+                        pending.discard(line)
+                        self._stats_pf.useful += 1
+                        was_pf = True
+                    else:
+                        was_pf = False
+                    nsb_line.demand_touched = True
+                    return AccessResult(now + self._nsb_lat, HitLevel.NSB, was_pf)
+                nsb_stats.demand_inflight_hits += 1
+                if line in pending:
+                    pending.discard(line)
+                    self._stats_pf.late += 1
+                    was_pf = True
+                else:
+                    was_pf = False
                 nsb_line.demand_touched = True
-                return AccessResult(
-                    complete_at=now + self.nsb.config.hit_latency,
-                    hit_level=HitLevel.NSB,
-                    was_prefetched=was_pf,
-                )
-            if kind == LookupKind.INFLIGHT:
-                self.stats.nsb.demand_inflight_hits += 1
-                was_pf = self._credit_prefetch(line, in_flight=True)
-                nsb_line.demand_touched = True
-                complete = max(nsb_line.ready_at, now + self.nsb.config.hit_latency)
-                return AccessResult(
-                    complete_at=complete,
-                    hit_level=HitLevel.INFLIGHT,
-                    was_prefetched=was_pf,
-                )
-            self.stats.nsb.demand_misses += 1
+                complete = max(nsb_line.ready_at, now + self._nsb_lat)
+                return AccessResult(complete, HitLevel.INFLIGHT, was_pf)
+            nsb_stats.demand_misses += 1
 
-        self.stats.l2.demand_accesses += 1
-        kind, l2_line = self.l2.lookup(now, line)
-        if kind == LookupKind.HIT:
-            self.stats.l2.demand_hits += 1
-            self.stats.traffic.l2_to_npu_bytes += self.line_bytes
-            complete = now + self.l2.config.hit_latency
-            was_pf = self._credit_prefetch(line, in_flight=False)
+        l2_stats = self._stats_l2
+        l2_stats.demand_accesses += 1
+        l2_line = self._l2_touch(line)
+        if l2_line is not None:
+            if l2_line.ready_at <= now:
+                l2_stats.demand_hits += 1
+                self._traffic.l2_to_npu_bytes += line_bytes
+                complete = now + self._l2_lat
+                if line in pending:
+                    pending.discard(line)
+                    self._stats_pf.useful += 1
+                    was_pf = True
+                else:
+                    was_pf = False
+                l2_line.demand_touched = True
+                if use_nsb:
+                    self._nsb_alloc(now, line, complete, by_prefetch=False)
+                return AccessResult(complete, HitLevel.L2, was_pf)
+            l2_stats.demand_inflight_hits += 1
+            if line in pending:
+                pending.discard(line)
+                self._stats_pf.late += 1
+                was_pf = True
+            else:
+                was_pf = False
             l2_line.demand_touched = True
+            complete = max(l2_line.ready_at, now + self._l2_lat)
+            self._traffic.l2_to_npu_bytes += line_bytes
             if use_nsb:
-                self.nsb.allocate(now, line, complete, by_prefetch=False)
-            return AccessResult(
-                complete_at=complete,
-                hit_level=HitLevel.L2,
-                was_prefetched=was_pf,
-            )
-        if kind == LookupKind.INFLIGHT:
-            self.stats.l2.demand_inflight_hits += 1
-            was_pf = self._credit_prefetch(line, in_flight=True)
-            l2_line.demand_touched = True
-            complete = max(l2_line.ready_at, now + self.l2.config.hit_latency)
-            self.stats.traffic.l2_to_npu_bytes += self.line_bytes
-            if use_nsb:
-                self.nsb.allocate(now, line, complete, by_prefetch=False)
-            return AccessResult(
-                complete_at=complete,
-                hit_level=HitLevel.INFLIGHT,
-                was_prefetched=was_pf,
-            )
+                self._nsb_alloc(now, line, complete, by_prefetch=False)
+            return AccessResult(complete, HitLevel.INFLIGHT, was_pf)
 
         # True L2 miss: fetch from DRAM through an MSHR slot.
-        self.stats.l2.demand_misses += 1
-        self._pf_pending.discard(line)
-        start = max(now, self.l2.mshr.earliest_free_slot(now))
-        dram_done = self.dram.access(start, self.line_bytes, is_prefetch=False)
-        ready = dram_done + self.l2.config.hit_latency
-        self.l2.mshr.allocate(start, line, ready)
-        self.l2.allocate(now, line, ready, by_prefetch=False)
-        self.stats.traffic.off_chip_demand_bytes += self.line_bytes
-        self.stats.traffic.l2_to_npu_bytes += self.line_bytes
+        l2_stats.demand_misses += 1
+        pending.discard(line)
+        start = self._l2_mshr_free(now)
+        if now > start:
+            start = now
+        dram_done = self._dram_access(start, line_bytes, is_prefetch=False)
+        ready = dram_done + self._l2_lat
+        self._l2_mshr_alloc(start, line, ready)
+        self._l2_alloc(now, line, ready, by_prefetch=False)
+        traffic = self._traffic
+        traffic.off_chip_demand_bytes += line_bytes
+        traffic.l2_to_npu_bytes += line_bytes
         if use_nsb:
-            self.nsb.allocate(now, line, ready, by_prefetch=False)
-        return AccessResult(
-            complete_at=ready,
-            hit_level=HitLevel.DRAM,
-            was_prefetched=False,
-            off_chip=True,
-        )
+            self._nsb_alloc(now, line, ready, by_prefetch=False)
+        return AccessResult(ready, HitLevel.DRAM, False, True)
 
     # -- prefetch path -------------------------------------------------------
     def prefetch_line(self, now: int, line_addr: int, irregular: bool) -> int | None:
@@ -320,31 +363,39 @@ class MemorySystem:
         Returns the fill-ready cycle when any fill was started (the request
         counts toward issued-prefetch statistics), else None.
         """
-        target_nsb = self.nsb is not None and irregular
-        if target_nsb and self.nsb.probe(line_addr) is not None:
+        nsb_probe = self._nsb_probe
+        target_nsb = irregular and nsb_probe is not None
+        if target_nsb and nsb_probe(line_addr) is not None:
             return None
 
-        l2_line = self.l2.probe(line_addr)
+        l2_line = self._l2_probe(line_addr)
         if l2_line is not None:
             if not target_nsb:
                 return None
             # Pull from L2 into the NSB: on-chip transfer, no DRAM.
-            ready = max(l2_line.ready_at, now + self.l2.config.hit_latency)
-            self.nsb.allocate(now, line_addr, ready, by_prefetch=True)
-            self.stats.prefetch.issued += 1
+            ready = l2_line.ready_at
+            t = now + self._l2_lat
+            if t > ready:
+                ready = t
+            self._nsb_alloc(now, line_addr, ready, by_prefetch=True)
+            self._stats_pf.issued += 1
             self._pf_pending.add(line_addr)
             return ready
 
-        start = max(now, self.l2.mshr.earliest_free_slot(now))
-        dram_done = self.dram.access(start, self.line_bytes, is_prefetch=True)
-        ready = dram_done + self.l2.config.hit_latency
-        self.l2.mshr.allocate(start, line_addr, ready)
-        self.l2.allocate(now, line_addr, ready, by_prefetch=True)
+        line_bytes = self._line_bytes
+        start = self._l2_mshr_free(now)
+        if now > start:
+            start = now
+        dram_done = self._dram_access(start, line_bytes, is_prefetch=True)
+        ready = dram_done + self._l2_lat
+        self._l2_mshr_alloc(start, line_addr, ready)
+        self._l2_alloc(now, line_addr, ready, by_prefetch=True)
         if target_nsb:
-            self.nsb.allocate(now, line_addr, ready, by_prefetch=True)
-        self.stats.prefetch.issued += 1
-        self.stats.prefetch.issued_lines_off_chip += 1
-        self.stats.traffic.off_chip_prefetch_bytes += self.line_bytes
+            self._nsb_alloc(now, line_addr, ready, by_prefetch=True)
+        pf_stats = self._stats_pf
+        pf_stats.issued += 1
+        pf_stats.issued_lines_off_chip += 1
+        self._traffic.off_chip_prefetch_bytes += line_bytes
         self._pf_pending.add(line_addr)
         return ready
 

@@ -40,10 +40,14 @@ class MSHRFile:
         self.structural_stalls = 0
 
     def _retire_completed(self, now: int) -> None:
-        while self._ready_heap and self._ready_heap[0][0] <= now:
-            ready, line = heapq.heappop(self._ready_heap)
-            if self._inflight.get(line) == ready:
-                del self._inflight[line]
+        heap = self._ready_heap
+        if not heap or heap[0][0] > now:
+            return  # hot path: nothing retirable, skip the pop/lookup loop
+        inflight = self._inflight
+        while heap and heap[0][0] <= now:
+            ready, line = heapq.heappop(heap)
+            if inflight.get(line) == ready:
+                del inflight[line]
 
     def occupancy(self, now: int) -> int:
         """Number of fills still outstanding at ``now``."""

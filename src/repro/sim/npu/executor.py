@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from ...errors import ConfigError
 from ...registry import Registry
 from ..cpu import ControlCPU
-from ..request import Access, AccessType, HitLevel
+from ..request import HitLevel
 from ..stats import RunStats
 from ...prefetch.base import Prefetcher
 from .isa import VectorGather, VectorLoad
@@ -104,21 +104,73 @@ class _EngineBase:
         self.config = config
         self.cpu = ControlCPU(program)
         self._line_bytes = mem.line_bytes
+        # Hot-path bindings — the issue helpers run once per demand line
+        # (millions of calls per sweep), so everything reachable through
+        # an attribute chain is resolved once here.
+        self._issue_width = config.issue_width
+        self._vec_width = program.config.vector_width
+        self._demand_line = mem.demand_line
+        self._reg_hit = mem.hit_latency(irregular=False)
+        self._irr_hit = mem.hit_latency(irregular=True)
+        # Prefetchers that keep the base-class no-op demand hook need no
+        # per-line callback at all; eliding the call is exact.
+        self._pf_hook = (
+            prefetcher.on_demand_access
+            if type(prefetcher).on_demand_access
+            is not Prefetcher.on_demand_access
+            else None
+        )
+        # An all-hit memory with no demand snoop has a closed-form issue
+        # schedule: every line completes at its issue cycle plus the hit
+        # latency, so only the last line matters (see the issue helpers).
+        self._fast_perfect = (
+            getattr(mem, "perfect", False) and self._pf_hook is None
+        )
+        # Dispatch events and sparse-unit bookkeeping are only observable
+        # through prefetchers that snoop them (NVR attaches to the NPU and
+        # overrides the dispatch hooks); for every other prefetcher the
+        # events land in base-class no-ops and the sparse unit's occupancy
+        # is never read, so both are elided.
+        p_cls = type(prefetcher)
+        self._needs_dispatch = (
+            p_cls.on_branch is not Prefetcher.on_branch
+            or p_cls.on_tile_dispatch is not Prefetcher.on_tile_dispatch
+            or hasattr(prefetcher, "attach_npu")
+        )
+        self._data_hook = (
+            prefetcher.on_data_return
+            if p_cls.on_data_return is not Prefetcher.on_data_return
+            else None
+        )
 
     # -- issue helpers -------------------------------------------------------
     def _issue_load(self, now: int, load: VectorLoad) -> int:
         """Issue a streaming vector load; returns its completion cycle."""
-        lines = load.line_addrs(self._line_bytes)
+        lines = load.line_addr_list(self._line_bytes)
+        n = len(lines)
+        if n == 0:
+            return now
+        width = self._issue_width
+        if self._fast_perfect:
+            # Line i issues at now + i // width and hits; the last line
+            # issued completes last.
+            return now + (n - 1) // width + self._reg_hit
+        demand_line = self._demand_line
+        hook = self._pf_hook
+        sid = load.stream_id
         done = now
-        for i, la in enumerate(lines):
-            at = now + i // self.config.issue_width
-            res = self.mem.demand_access(
-                at,
-                Access(int(la), AccessType.DEMAND, load.stream_id),
-                irregular=False,
-            )
-            self.prefetcher.on_demand_access(at, load.stream_id, int(la), None, res)
-            done = max(done, res.complete_at)
+        at = now
+        slot = 0
+        for la in lines:
+            res = demand_line(at, la, False)
+            if hook is not None:
+                hook(at, sid, la, None, res)
+            if res.complete_at > done:
+                done = res.complete_at
+            slot += 1
+            if slot == width:
+                slot = 0
+                at += 1
         return done
 
     def _issue_gather(self, now: int, gather: VectorGather) -> int:
@@ -128,47 +180,74 @@ class _EngineBase:
         batch "misses" when any element line goes off-chip — the
         all-or-nothing stall the paper attributes to data parallelism.
         """
-        per_elem_lines = gather.element_lines(self._line_bytes)
-        width = self.program.config.vector_width
+        width = self._vec_width
+        batch_stats = self.stats.batch
+        firsts_l, counts_l, idx_l, total_lines = gather.line_span_lists(
+            self._line_bytes
+        )
+        n_elems = len(firsts_l)
+        if self._fast_perfect:
+            # All-hit memory never reaches DRAM, so no element or batch
+            # ever misses; only the counters and last completion remain.
+            batch_stats.elements += n_elems
+            batch_stats.batches += (n_elems + width - 1) // width
+            if total_lines == 0:
+                return now
+            return now + (total_lines - 1) // self._issue_width + self._irr_hit
+        lb = self._line_bytes
+        issue_width = self._issue_width
+        demand_line = self._demand_line
+        hook = self._pf_hook
+        sid = gather.stream_id
+        dram = HitLevel.DRAM
         done = now
-        issued = 0
-        for b0 in range(0, len(per_elem_lines), width):
-            batch = per_elem_lines[b0 : b0 + width]
+        at = now
+        slot = 0
+        elem_misses = 0
+        batch_misses = 0
+        for b0 in range(0, n_elems, width):
             batch_missed = False
-            for e_off, elem_lines in enumerate(batch):
-                idx_val = int(gather.index_values[b0 + e_off])
+            for e in range(b0, min(b0 + width, n_elems)):
                 elem_missed = False
-                for line_i, la in enumerate(elem_lines):
-                    at = now + issued // self.config.issue_width
-                    issued += 1
-                    res = self.mem.demand_access(
-                        at,
-                        Access(int(la), AccessType.DEMAND, gather.stream_id),
-                        irregular=True,
-                    )
-                    # Index/address pairs are only architecturally visible
-                    # for the first line of a segment (the computed address).
-                    self.prefetcher.on_demand_access(
-                        at,
-                        gather.stream_id,
-                        int(la),
-                        idx_val if line_i == 0 else None,
-                        res,
-                    )
-                    if res.hit_level == HitLevel.DRAM:
+                la = firsts_l[e]
+                for line_i in range(counts_l[e]):
+                    res = demand_line(at, la, True)
+                    if hook is not None:
+                        # Index/address pairs are only architecturally
+                        # visible for the first line of a segment (the
+                        # computed address).
+                        hook(
+                            at,
+                            sid,
+                            la,
+                            idx_l[e] if line_i == 0 else None,
+                            res,
+                        )
+                    if res.hit_level is dram:
                         elem_missed = True
-                    done = max(done, res.complete_at)
-                self.stats.batch.elements += 1
+                    if res.complete_at > done:
+                        done = res.complete_at
+                    la += lb
+                    slot += 1
+                    if slot == issue_width:
+                        slot = 0
+                        at += 1
                 if elem_missed:
-                    self.stats.batch.element_misses += 1
+                    elem_misses += 1
                     batch_missed = True
-            self.stats.batch.batches += 1
             if batch_missed:
-                self.stats.batch.batch_misses += 1
+                batch_misses += 1
+        # Counter totals are order-independent, so they fold in once.
+        batch_stats.elements += n_elems
+        batch_stats.batches += (n_elems + width - 1) // width
+        batch_stats.element_misses += elem_misses
+        batch_stats.batch_misses += batch_misses
         return done
 
     def _dispatch(self, now: int, tile: Tile) -> None:
         """Raise the snooper-visible dispatch events for one tile."""
+        if not self._needs_dispatch:
+            return
         self.sparse_unit.set_position(tile.row, tile.j_start, tile.j_end)
         for event in self.cpu.events_for_tile(tile):
             self.prefetcher.on_branch(now, event)
@@ -180,9 +259,11 @@ class _EngineBase:
             self._issue_load(start, tile.w_val_load),
             self._issue_load(start, tile.w_idx_load),
         )
-        self.prefetcher.on_data_return(w_done, tile.tile_id)
+        if self._data_hook is not None:
+            self._data_hook(w_done, tile.tile_id)
         g_start = w_done + ADDRESS_GEN_CYCLES
-        self.sparse_unit.occupy(w_done, ADDRESS_GEN_CYCLES)
+        if self._needs_dispatch:
+            self.sparse_unit.occupy(w_done, ADDRESS_GEN_CYCLES)
         g_done = g_start
         for gather in tile.gathers:
             g_done = self._issue_gather(g_start, gather)
@@ -192,7 +273,8 @@ class _EngineBase:
         return g_done
 
     def _tile_compute_phase(self, start: int, tile: Tile) -> int:
-        self.sparse_unit.occupy(start, tile.compute.sparse_unit_cycles)
+        if self._needs_dispatch:
+            self.sparse_unit.occupy(start, tile.compute.sparse_unit_cycles)
         self.stats.compute_cycles += tile.compute.cycles
         return start + tile.compute.cycles
 
@@ -270,15 +352,13 @@ class ExplicitPreloadEngine(_EngineBase):
                     self._issue_load(now, tile.w_val_load),
                     self._issue_load(now, tile.w_idx_load),
                 )
-            self.prefetcher.on_data_return(w_done, row_tiles[-1].tile_id)
+            if self._data_hook is not None:
+                self._data_hook(w_done, row_tiles[-1].tile_id)
             # (2) Coarse DMA covering every touched granule.
             blocks: set[int] = set()
             for tile in row_tiles:
                 for gather in tile.gathers:
-                    for pos, addr in enumerate(gather.byte_addrs):
-                        first = int(addr) // granule
-                        last = (int(addr) + gather.segment_bytes(pos) - 1) // granule
-                        blocks.update(range(first, last + 1))
+                    blocks.update(gather.granule_blocks(granule))
             dma_bytes = len(blocks) * granule
             dma_bytes = min(dma_bytes, scratchpad.config.size_bytes)
             dma_done = self.mem.bulk_transfer(w_done, dma_bytes)
@@ -307,7 +387,32 @@ def build_engine(
     sparse_unit: SparseUnit,
     stats: RunStats,
     config: ExecutorConfig,
+    engine: str | None = None,
 ):
-    """Factory: resolve ``mode`` through the :data:`ENGINES` registry."""
-    engine_cls = ENGINES.get(mode)
-    return engine_cls(program, mem, prefetcher, sparse_unit, stats, config)
+    """Factory: resolve ``mode`` through the :data:`ENGINES` registry.
+
+    ``engine`` optionally selects an alternative simulation-kernel
+    implementation of the same ``mode`` (a registry entry carrying
+    ``needs_mode = True``, e.g. ``"vectorized"``). None runs the entry
+    registered under ``mode`` itself — the reference kernels.
+    """
+    if engine is not None:
+        entry = ENGINES.get(engine)
+        if not getattr(entry, "needs_mode", False):
+            raise ConfigError(
+                f"engine {engine!r} is an executor mode, not a kernel "
+                "implementation - pass it as the mode instead"
+            )
+        return entry(mode, program, mem, prefetcher, sparse_unit, stats, config)
+    entry = ENGINES.get(mode)
+    if getattr(entry, "needs_mode", False):
+        raise ConfigError(
+            f"{mode!r} is a kernel implementation, not an executor mode - "
+            "pass it as engine= instead"
+        )
+    return entry(program, mem, prefetcher, sparse_unit, stats, config)
+
+
+# Self-registers the "reference"/"vectorized" kernel dispatchers; must run
+# after the mode classes above exist.
+from . import vectorized as _vectorized  # noqa: E402,F401

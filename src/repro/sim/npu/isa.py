@@ -43,13 +43,47 @@ class VectorLoad:
     elem_bytes: int
 
     def line_addrs(self, line_bytes: int) -> np.ndarray:
-        """Unique cache lines this load touches, in first-touch order."""
+        """Unique cache lines this load touches, in first-touch order.
+
+        Cached per line size: instructions are immutable and walked
+        several times per program (real + base run, prefetch snoops,
+        both simulation kernels), so the address math runs once.
+        """
+        cache = self.__dict__.get("_la_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_la_cache", cache)
+        lines = cache.get(line_bytes)
+        if lines is None:
+            lines = self._compute_line_addrs(line_bytes)
+            cache[line_bytes] = lines
+        return lines
+
+    def _compute_line_addrs(self, line_bytes: int) -> np.ndarray:
         if len(self.byte_addrs) == 0:
             return np.zeros(0, dtype=np.int64)
         # Each element spans [addr, addr+elem_bytes); widen to line coverage.
         starts = np.asarray(self.byte_addrs, dtype=np.int64)
-        ends = starts + self.elem_bytes - 1
+        eb = self.elem_bytes
+        if bool((starts[1:] == starts[:-1] + eb).all()):
+            # Contiguous ascending stream (the common W layout): the
+            # touched lines are exactly the closed range of lines covering
+            # [starts[0], starts[-1]+eb), already in first-touch order.
+            first = (int(starts[0]) // line_bytes) * line_bytes
+            last = ((int(starts[-1]) + eb - 1) // line_bytes) * line_bytes
+            return np.arange(first, last + 1, line_bytes, dtype=np.int64)
+        ends = starts + eb - 1
         return _as_line_array(np.concatenate([starts, ends]), line_bytes)
+
+    def line_addr_list(self, line_bytes: int) -> list[int]:
+        """Cached Python-int form of :meth:`line_addrs` (engine hot path)."""
+        cache = self.__dict__.get("_la_cache")
+        key = ("list", line_bytes)
+        if cache is None or key not in cache:
+            lines = self.line_addrs(line_bytes).tolist()
+            self.__dict__["_la_cache"][key] = lines
+            return lines
+        return cache[key]
 
 
 @dataclass(frozen=True)
@@ -82,15 +116,98 @@ class VectorGather:
             return int(self.seg_bytes_per_elem[position])
         return self.seg_bytes
 
+    def line_spans(self, line_bytes: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised line coverage: per-element (first line, line count).
+
+        Element ``i`` touches the contiguous lines ``firsts[i] + k *
+        line_bytes`` for ``k in range(counts[i])`` — the same addresses
+        :meth:`element_lines` materialises, without building one array
+        per element (the executors walk millions of segments per sweep).
+        Cached per line size (instructions are immutable).
+        """
+        cache = self.__dict__.get("_ls_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_ls_cache", cache)
+        spans = cache.get(line_bytes)
+        if spans is None:
+            spans = self._compute_line_spans(line_bytes)
+            cache[line_bytes] = spans
+        return spans
+
+    def _compute_line_spans(
+        self, line_bytes: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        addrs = np.asarray(self.byte_addrs, dtype=np.int64)
+        if self.seg_bytes_per_elem is not None:
+            segs = np.maximum(
+                np.asarray(self.seg_bytes_per_elem, dtype=np.int64), 1
+            )
+        else:
+            segs = np.full(len(addrs), max(1, self.seg_bytes), dtype=np.int64)
+        firsts = (addrs // line_bytes) * line_bytes
+        lasts = ((addrs + segs - 1) // line_bytes) * line_bytes
+        counts = (lasts - firsts) // line_bytes + 1
+        return firsts, counts
+
+    def line_span_lists(
+        self, line_bytes: int
+    ) -> tuple[list[int], list[int], list[int], int]:
+        """Cached Python form of :meth:`line_spans` for the engine hot path.
+
+        Returns ``(firsts, counts, index_values, total_lines)`` as plain
+        lists/int so the issue loop touches no numpy scalars.
+        """
+        cache = self.__dict__.get("_ls_cache")
+        key = ("list", line_bytes)
+        if cache is not None and key in cache:
+            return cache[key]
+        firsts, counts = self.line_spans(line_bytes)
+        lists = (
+            firsts.tolist(),
+            counts.tolist(),
+            np.asarray(self.index_values).tolist(),
+            int(counts.sum()),
+        )
+        self.__dict__["_ls_cache"][key] = lists
+        return lists
+
+    def granule_blocks(self, granule: int) -> set[int]:
+        """Distinct ``granule``-sized block indices the segments touch.
+
+        The explicit-preload engine DMAs every touched block whole — the
+        over-fetch the paper charges that mechanism with. Cached per
+        granule (instructions are immutable). Note: unlike line coverage,
+        segment bytes are *not* clamped to 1 here, matching the DMA
+        planner's arithmetic exactly.
+        """
+        cache = self.__dict__.get("_gb_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_gb_cache", cache)
+        blocks = cache.get(granule)
+        if blocks is None:
+            addrs = np.asarray(self.byte_addrs, dtype=np.int64)
+            if self.seg_bytes_per_elem is not None:
+                segs = np.asarray(self.seg_bytes_per_elem, dtype=np.int64)
+            else:
+                segs = np.full(len(addrs), self.seg_bytes, dtype=np.int64)
+            firsts = addrs // granule
+            lasts = (addrs + segs - 1) // granule
+            spanning = lasts > firsts
+            blocks = set(firsts[lasts == firsts].tolist())
+            for f, l in zip(firsts[spanning].tolist(), lasts[spanning].tolist()):
+                blocks.update(range(f, l + 1))
+            cache[granule] = blocks
+        return blocks
+
     def element_lines(self, line_bytes: int) -> list[np.ndarray]:
         """Per-element line address arrays (segments may span lines)."""
-        out: list[np.ndarray] = []
-        for pos, addr in enumerate(np.asarray(self.byte_addrs, dtype=np.int64)):
-            seg = max(1, self.segment_bytes(pos))
-            first = (addr // line_bytes) * line_bytes
-            last = ((addr + seg - 1) // line_bytes) * line_bytes
-            out.append(np.arange(first, last + 1, line_bytes, dtype=np.int64))
-        return out
+        firsts, counts = self.line_spans(line_bytes)
+        return [
+            np.arange(first, first + count * line_bytes, line_bytes, dtype=np.int64)
+            for first, count in zip(firsts.tolist(), counts.tolist())
+        ]
 
     def line_addrs(self, line_bytes: int) -> np.ndarray:
         """Unique lines across all segments, first-touch order."""

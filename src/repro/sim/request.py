@@ -35,7 +35,7 @@ class HitLevel(enum.Enum):
     DRAM = "dram"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """A single line-granular memory request.
 
@@ -53,9 +53,14 @@ class Access:
     stream_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of sending one :class:`Access` through the hierarchy.
+
+    Treat instances as immutable: one is created per demand line access
+    (millions per sweep), and the plain ``__init__`` of a non-frozen
+    dataclass is measurably cheaper than frozen's per-field
+    ``object.__setattr__``. Nothing may mutate or hash a result.
 
     Attributes:
         complete_at: cycle at which the requested line is usable.

@@ -35,35 +35,40 @@ class PerfectMemory:
     access hits at its level's hit latency and prefetches are no-ops.
     """
 
+    #: Engine fast paths key on this (see ``MemorySystem.perfect``).
+    perfect = True
+
     def __init__(self, config: MemoryConfig, stats: RunStats) -> None:
         self.config = config
         self.stats = stats
+        self._line_bytes = config.line_bytes
+        self._l2_lat = config.l2.hit_latency
+        self._nsb_lat = config.nsb.hit_latency if config.nsb is not None else None
 
     @property
     def line_bytes(self) -> int:
-        return self.config.line_bytes
+        return self._line_bytes
 
     def line_addr(self, byte_addr: int) -> int:
-        return byte_addr & ~(self.config.line_bytes - 1)
+        return byte_addr & ~(self._line_bytes - 1)
 
     def hit_latency(self, irregular: bool) -> int:
-        if self.config.nsb is not None and irregular:
-            return self.config.nsb.hit_latency
-        return self.config.l2.hit_latency
+        if self._nsb_lat is not None and irregular:
+            return self._nsb_lat
+        return self._l2_lat
 
     def is_resident(self, line_addr: int) -> bool:
         return True
 
     def demand_access(self, now: int, access: Access, irregular: bool) -> AccessResult:
-        level = (
-            HitLevel.NSB
-            if self.config.nsb is not None and irregular
-            else HitLevel.L2
-        )
-        return AccessResult(
-            complete_at=now + self.hit_latency(irregular),
-            hit_level=level,
-        )
+        return self.demand_line(now, access.line_addr, irregular)
+
+    def demand_line(self, now: int, line: int, irregular: bool) -> AccessResult:
+        if self._nsb_lat is not None and irregular:
+            return AccessResult(
+                complete_at=now + self._nsb_lat, hit_level=HitLevel.NSB
+            )
+        return AccessResult(complete_at=now + self._l2_lat, hit_level=HitLevel.L2)
 
     def prefetch_line(self, now: int, line_addr: int, irregular: bool) -> None:
         return None
@@ -113,6 +118,10 @@ class System:
             state must never leak across runs).
         mode: 'inorder' or 'ooo'.
         executor: issue widths and OoO window.
+        engine: simulation-kernel implementation (``"reference"`` /
+            ``"vectorized"``); None picks the engine registered under
+            ``mode`` directly. Purely a speed knob — every engine must
+            produce bit-identical statistics for a given mode.
     """
 
     program: SparseProgram
@@ -120,6 +129,7 @@ class System:
     prefetcher_factory: Callable[[], Prefetcher] = NullPrefetcher
     mode: str = "inorder"
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    engine: str | None = None
 
     @classmethod
     def from_spec(cls, program: SparseProgram, spec) -> "System":
@@ -158,6 +168,7 @@ class System:
             sparse_unit,
             stats,
             self.executor,
+            engine=self.engine,
         )
         total = engine.run()
         stats.runahead_invocations = sparse_unit.runahead_grants

@@ -31,8 +31,29 @@ from ..core.controller import NVRConfig
 from ..errors import ConfigError
 from ..registry import MECHANISMS, MechanismDef
 from ..sim.memory.hierarchy import MemoryConfig
-from ..sim.npu.executor import ExecutorConfig
+from ..sim.npu.executor import ENGINES, ExecutorConfig
 from . import serde
+
+
+def _canonical_engine(engine: str | None) -> str | None:
+    """Validate and canonicalise a simulation-kernel choice.
+
+    ``None`` and ``"reference"`` describe the same computation (the
+    registry's reference dispatcher instantiates the same per-mode
+    classes the default path uses), so they fold to one spelling and
+    equal platforms stay equal specs — same equality, hash, cache key.
+    """
+    if engine is None or engine == "reference":
+        return None
+    entry = ENGINES.get(engine)  # raises ConfigError on unknown names
+    if not getattr(entry, "needs_mode", False):
+        raise ConfigError(
+            f"'{engine}' is an execution mode, not a simulation kernel — "
+            "SystemSpec.engine selects a kernel implementation "
+            "('reference' or 'vectorized'); the mode comes from the "
+            "mechanism"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -47,6 +68,11 @@ class SystemSpec:
             defaults (256 KiB L2, no NSB).
         nvr: NVR tuning override; only for ``uses_nvr_config`` mechanisms.
         executor: issue-width / OoO-window / preload-granule override.
+        engine: simulation-kernel implementation (``"vectorized"``, or
+            ``None``/``"reference"`` for the per-event reference kernels).
+            Purely a speed knob — every engine must produce bit-identical
+            statistics, so ``"reference"`` canonicalises to ``None`` and
+            the choice never changes a result, only how fast it arrives.
     """
 
     mechanism: str = "nvr"
@@ -54,6 +80,7 @@ class SystemSpec:
     memory: MemoryConfig | None = None
     nvr: NVRConfig | None = None
     executor: ExecutorConfig | None = None
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nsb", bool(self.nsb))
@@ -96,6 +123,7 @@ class SystemSpec:
             object.__setattr__(self, "nvr", None)
         if self.executor == ExecutorConfig():
             object.__setattr__(self, "executor", None)
+        object.__setattr__(self, "engine", _canonical_engine(self.engine))
         # Frozen content — compute the canonical key once.
         object.__setattr__(self, "_key", serde.canonical_json(self.to_dict()))
 
@@ -119,6 +147,7 @@ class SystemSpec:
             prefetcher_factory=mdef.factory(self.nvr),
             mode=mdef.mode,
             executor=(self.executor if self.executor is not None else ExecutorConfig()),
+            engine=self.engine,
         )
 
     # -- identity ------------------------------------------------------------
@@ -129,9 +158,11 @@ class SystemSpec:
         The ``nsb`` toggle does not appear: construction folds it into
         the memory config, so the flag is derived state. (Hand-written
         dicts may still say ``"nsb": true`` with no memory override —
-        :meth:`from_dict` accepts it.)
+        :meth:`from_dict` accepts it.) ``engine`` appears only when a
+        non-reference kernel is selected, so every pre-engine content
+        key — and the result cache it addresses — is unchanged.
         """
-        return {
+        d = {
             "mechanism": self.mechanism,
             "memory": (
                 serde.memory_config_to_dict(self.memory)
@@ -149,17 +180,23 @@ class SystemSpec:
                 else None
             ),
         }
+        if self.engine is not None:
+            d["engine"] = self.engine
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "SystemSpec":
         if not isinstance(d, dict):
             raise ConfigError(f"system spec must be a dict, got {d!r}")
-        unknown = sorted(set(d) - {"mechanism", "nsb", "memory", "nvr", "executor"})
+        unknown = sorted(
+            set(d) - {"mechanism", "nsb", "memory", "nvr", "executor", "engine"}
+        )
         if unknown:
             raise ConfigError(f"unknown SystemSpec field(s): {', '.join(unknown)}")
         return cls(
             mechanism=d.get("mechanism", "nvr"),
             nsb=d.get("nsb", False),
+            engine=d.get("engine"),
             memory=(
                 serde.memory_config_from_dict(d["memory"])
                 if d.get("memory") is not None
@@ -207,4 +244,6 @@ class SystemSpec:
             text += f" nvr(d{self.nvr.depth_tiles},w{self.nvr.vector_width})"
         if self.executor is not None:
             text += f" iw{self.executor.issue_width}"
+        if self.engine is not None:
+            text += f" [{self.engine}]"
         return text

@@ -1,0 +1,117 @@
+"""The vectorized simulation kernels are bit-identical to reference.
+
+The ``engine`` axis is *purely* a speed knob: every mechanism, on every
+workload, must produce byte-for-byte identical result payloads on the
+``vectorized`` kernels and the per-event ``reference`` kernels. This is
+the contract that lets the engines share figures, caches and goldens —
+a vectorized run is just a faster route to the same record.
+
+Three layers of the contract are pinned here:
+
+* **spec identity** — ``engine="reference"`` folds to the default spec
+  (same key, same cache entry), while ``engine="vectorized"`` gets a
+  *distinct* key, so the payload comparisons below genuinely execute
+  both implementations rather than sharing one cache hit;
+* **payload equality** — :func:`~repro.runner.pool.execute_spec` output
+  (the wire/cache format) is compared as whole dicts, ``with_base``
+  passes included, across every mechanism x workload x nsb point;
+* **front-door equality** — a Grid sweep over the engine axis returns
+  pairwise-identical results through the Session/cache pipeline.
+
+The golden hashes in ``golden_spec_keys.json`` pin the engine axis's
+serialisation (see ``test_spec.py``); this file pins its semantics.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.registry import MECHANISM_ORDER
+from repro.runner import RunSpec, execute_spec
+from repro.session import Grid, Session
+from repro.spec import SystemSpec
+
+#: Small but non-trivial: one graph workload (irregular gathers, the
+#: NVR/NSB fast paths) and one sparse-kernel workload (streaming).
+WORKLOADS = ("gcn", "mk")
+
+#: Every registered mechanism plus the preload oracle engine.
+ALL_MECHANISMS = tuple(MECHANISM_ORDER) + ("preload",)
+
+SCALE = 0.05
+
+
+class TestEngineSpecIdentity:
+    def test_reference_folds_to_default(self):
+        assert SystemSpec(engine="reference") == SystemSpec()
+        assert SystemSpec(engine=None) == SystemSpec()
+        a = RunSpec("ds", engine="reference")
+        b = RunSpec("ds")
+        assert a == b and a.key() == b.key()
+
+    def test_vectorized_is_a_distinct_cache_key(self):
+        assert RunSpec("ds", engine="vectorized").key() != RunSpec("ds").key()
+        assert SystemSpec(engine="vectorized") != SystemSpec()
+
+    def test_mode_names_rejected_as_engines(self):
+        with pytest.raises(ConfigError, match="execution mode"):
+            SystemSpec(engine="inorder")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemSpec(engine="warp-drive")
+
+
+class TestPayloadEquivalence:
+    """execute_spec payloads: the bytes that reach caches and workers."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+    def test_vectorized_payload_bit_identical(self, workload, mechanism):
+        reference = RunSpec(
+            workload, mechanism=mechanism, scale=SCALE, with_base=True
+        )
+        vectorized = RunSpec(
+            workload,
+            mechanism=mechanism,
+            scale=SCALE,
+            with_base=True,
+            engine="vectorized",
+        )
+        assert execute_spec(reference) == execute_spec(vectorized)
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("mechanism", ("nvr", "imp", "dvr"))
+    def test_nsb_points_bit_identical(self, workload, mechanism):
+        # The NSB demand/prefetch paths are separate hot loops in the
+        # hierarchy; cover them explicitly for the NSB-using mechanisms.
+        reference = RunSpec(workload, mechanism=mechanism, nsb=True, scale=SCALE)
+        vectorized = RunSpec(
+            workload,
+            mechanism=mechanism,
+            nsb=True,
+            scale=SCALE,
+            engine="vectorized",
+        )
+        assert execute_spec(reference) == execute_spec(vectorized)
+
+
+class TestFrontDoorEquivalence:
+    def test_grid_engine_axis_pairs_identical(self, tmp_path):
+        grid = Grid(
+            workload=list(WORKLOADS),
+            mechanism=["inorder", "nvr"],
+            scale=SCALE,
+            engine=["reference", "vectorized"],
+        )
+        with Session(cache_dir=tmp_path, progress=False) as session:
+            rs = session.sweep(grid)
+        by_point: dict[tuple, list] = {}
+        for spec, result in rs:
+            key = (spec.workload, spec.mechanism)
+            by_point.setdefault(key, []).append(dataclasses.asdict(result))
+        assert len(by_point) == len(WORKLOADS) * 2
+        for key, results in by_point.items():
+            assert len(results) == 2, key
+            assert results[0] == results[1], key

@@ -31,6 +31,7 @@ from repro.runner import (
     RunSpec,
     SweepRunner,
     WorkQueue,
+    batch_unit_id,
     expand,
     load_results,
     make_backend,
@@ -162,7 +163,27 @@ class TestWorkQueue:
         assert status.claimed == 1
         assert status.expired == 1
         assert status.results == 0
+        assert status.failed == 0
         assert not status.stopping
+
+    def test_status_separates_expired_from_failed(self, tmp_path):
+        # A lease-expired unit is *recoverable* (it will be re-enqueued
+        # and re-run); a failed unit is a terminal spec error awaiting
+        # its orchestrator. The status scan must never conflate them.
+        queue = WorkQueue(tmp_path).ensure()
+        expired_spec, healthy_spec = small_specs()
+        queue.enqueue(expired_spec)
+        queue.enqueue(healthy_spec)
+        expired = queue.claim_next("dead-worker")
+        healthy = queue.claim_next("live-worker")
+        past = time.time() - 60
+        os.utime(queue.lease_path(expired.id), (past, past))
+        queue.heartbeat(healthy)
+        queue.report_failure("f" * 32, "w", "boom")
+        status = queue.status(lease_timeout=1.0)
+        assert status.claimed == 2
+        assert status.expired == 1  # only the lapsed lease
+        assert status.failed == 1  # the report, not the expiry
 
 
 class TestQueueWorker:
@@ -403,16 +424,15 @@ class TestQueueBackend:
             "salt": "a-previous-code-version",
         }
         discards = {}
+        group = [(spec.key(), spec)]
         for _ in range(QueueBackend.MAX_SALT_DISCARDS - 1):
             write_results(queue.result_path(uid), [stale])
-            consumed = backend._consume(
-                uid, spec.key(), spec, load_results, discards
-            )
+            consumed = backend._consume(uid, group, load_results, discards)
             assert consumed is None  # discarded and re-enqueued
             assert queue.queued_path(uid).exists()
         write_results(queue.result_path(uid), [stale])
         with pytest.raises(SimulationError, match="different simulator version"):
-            backend._consume(uid, spec.key(), spec, load_results, discards)
+            backend._consume(uid, group, load_results, discards)
 
     def test_stale_failure_report_is_dropped(self, tmp_path):
         # A failed/ report left by a previous simulator version must not
@@ -524,6 +544,95 @@ class TestSigkilledWorker:
         assert pa.read_bytes() == pb.read_bytes()
 
 
+class TestQueueBatching:
+    def test_single_spec_batch_is_wire_compatible(self, tmp_path):
+        # batch=1 must share unit ids and documents with un-batched
+        # submitters: same content address, classic "spec" key.
+        queue = WorkQueue(tmp_path).ensure()
+        spec = RunSpec("st", scale=SCALE)
+        assert batch_unit_id((spec,)) == unit_id(spec)
+        uid = queue.enqueue_batch((spec,))
+        document = json.loads(queue.queued_path(uid).read_text())
+        assert "spec" in document and "specs" not in document
+
+    def test_batched_unit_round_trip(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        specs = small_specs()
+        uid = queue.enqueue_batch(tuple(specs))
+        document = json.loads(queue.queued_path(uid).read_text())
+        assert len(document["specs"]) == len(specs)
+        unit = queue.claim_next("w")
+        assert unit.id == uid
+        assert [s.key() for s in unit.specs] == [s.key() for s in specs]
+        with pytest.raises(ValueError, match="iterate .specs"):
+            unit.spec
+
+    def test_empty_batch_rejected(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        with pytest.raises(ConfigError, match="empty batch"):
+            queue.enqueue_batch(())
+
+    def test_worker_writes_one_record_per_spec(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        specs = small_specs()
+        uid = queue.enqueue_batch(tuple(specs))
+        done = run_queue_worker(tmp_path, max_units=1, poll=0.02)
+        assert done == 1
+        records = load_results(queue.result_path(uid))
+        assert [r["key"] for r in records] == [s.key() for s in specs]
+        assert not list(queue.claimed_dir.iterdir())
+        assert not list(queue.lease_dir.iterdir())
+
+    def test_batched_backend_matches_local_bit_for_bit(self, tmp_path):
+        specs = expand("st", ["inorder", "stream", "nvr"], scales=SCALE)
+        local = SweepRunner(cache=ResultCache(tmp_path / "a"))
+        backend = QueueBackend(tmp_path / "work", poll=0.02, timeout=30, batch=2)
+        queued = SweepRunner(cache=ResultCache(tmp_path / "b"), backend=backend)
+        start_worker(tmp_path / "work")
+        a = [dataclasses.asdict(r) for r in local.run_plan(specs)]
+        b = [dataclasses.asdict(r) for r in queued.run_plan(specs)]
+        assert a == b
+        files_a = sorted(p.name for p in ResultCache(tmp_path / "a").entries())
+        files_b = sorted(p.name for p in ResultCache(tmp_path / "b").entries())
+        assert files_a == files_b and files_a
+        for name in files_a:
+            pa = next((tmp_path / "a").glob(f"??/{name}"))
+            pb = next((tmp_path / "b").glob(f"??/{name}"))
+            assert pa.read_bytes() == pb.read_bytes()
+        # Nothing left behind: the batch units were consumed whole.
+        queue = WorkQueue(tmp_path / "work")
+        assert not list(queue.queue_dir.iterdir())
+        assert not list(queue.results_dir.iterdir())
+
+    def test_batched_failure_names_the_failing_spec(self, tmp_path, monkeypatch):
+        import repro.runner.pool as pool
+
+        real = pool.execute_spec
+
+        def failing(spec):
+            if spec.mechanism == "nvr":
+                raise SimulationError("injected failure")
+            return real(spec)
+
+        monkeypatch.setattr(pool, "execute_spec", failing)
+        queue = WorkQueue(tmp_path).ensure()
+        specs = expand("st", ["inorder", "nvr"], scales=SCALE)
+        uid = queue.enqueue_batch(tuple(specs))
+        run_queue_worker(tmp_path, max_units=1, poll=0.02)
+        report = json.loads(queue.failed_path(uid).read_text())
+        assert "injected failure" in report["error"]
+        assert "nvr" in report["error"]  # the failing spec is named
+
+    def test_batch_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigError, match="batch must be >= 1"):
+            QueueBackend(tmp_path / "work", batch=0)
+
+    def test_session_remote_batch_plumbs_through(self, tmp_path):
+        session = Session.remote(tmp_path / "work", batch=3, cache=False)
+        assert session._build_backend().batch == 3
+        session.close()
+
+
 class TestQueueCLI:
     def test_status_command(self, tmp_path, capsys):
         queue = WorkQueue(tmp_path / "work").ensure()
@@ -532,6 +641,8 @@ class TestQueueCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "queued    : 1" in out
+        assert "(0 lease-expired, recoverable)" in out
+        assert "failed    : 0" in out
         assert "stopping  : no" in out
 
     def test_worker_command_max_units(self, tmp_path, capsys):

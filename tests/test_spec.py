@@ -67,6 +67,11 @@ def golden_specs() -> dict[str, RunSpec]:
         "executor-tuned": RunSpec(
             "scn", executor=ExecutorConfig(issue_width=4, ooo_window=16)
         ),
+        # The engine axis: "vectorized" must serialise (a distinct cache
+        # key — the equivalence suite relies on both engines actually
+        # running), while "reference" folds to the default and leaves
+        # every pre-engine key untouched.
+        "engine-vectorized": RunSpec("ds", engine="vectorized"),
         "kitchen-sink": RunSpec(
             "h2o",
             mechanism="nvr",
@@ -117,6 +122,12 @@ def golden_grids() -> dict[str, Grid]:
             drift=1.0,
         ),
         "grid:trace": Grid(workload=list(WORKLOAD_ORDER), kind="trace", scale=0.1),
+        "grid:engines": Grid(
+            workload="ds",
+            mechanism=["inorder", "nvr"],
+            scale=0.2,
+            engine=["reference", "vectorized"],
+        ),
     }
 
 
@@ -186,7 +197,14 @@ class TestSystemSpec:
         assert clone == spec
         assert clone.stable_hash() == spec.stable_hash()
 
-    @pytest.mark.parametrize("mode", sorted(ENGINES))
+    @pytest.mark.parametrize(
+        "mode",
+        sorted(
+            name
+            for name in ENGINES
+            if not getattr(ENGINES.get(name), "needs_mode", False)
+        ),
+    )
     def test_every_engine_reachable_and_spec_able(self, mode):
         mechanism = next(name for name, d in MECHANISMS.items() if d.mode == mode)
         spec = SystemSpec(mechanism=mechanism)
@@ -345,7 +363,14 @@ class TestRegistry:
 
     def test_mechanism_order_is_registered(self):
         assert set(MECHANISM_ORDER) <= set(MECHANISMS)
-        assert set(ENGINES) == {"inorder", "ooo", "preload"}
+        # Modes plus the kernel-implementation dispatchers (needs_mode).
+        assert set(ENGINES) == {
+            "inorder",
+            "ooo",
+            "preload",
+            "reference",
+            "vectorized",
+        }
 
 
 class TestGoldenKeys:
