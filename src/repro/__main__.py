@@ -437,6 +437,40 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             ),
         )
     )
+    # Per-level memory breakdown: where demand lines were served (NSB /
+    # L2 / DRAM fill) and prefetch effectiveness. Identical points must
+    # agree on every one of these counters regardless of engine — a
+    # visible equivalence spot-check next to the timing comparison.
+    mem_rows = [
+        [
+            r.workload,
+            r.mechanism,
+            r.engine,
+            r.nsb_hits,
+            r.l2_hits,
+            r.dram_fills,
+            r.pf_useful,
+            r.pf_late,
+        ]
+        for r in records
+    ]
+    print()
+    print(
+        format_table(
+            [
+                "workload",
+                "mech",
+                "engine",
+                "nsb_hits",
+                "l2_hits",
+                "dram_fills",
+                "pf_useful",
+                "pf_late",
+            ],
+            mem_rows,
+            title="memory breakdown (engine-invariant counters)",
+        )
+    )
     if args.json is not None:
         Path(args.json).write_text(profile_json(records) + "\n", encoding="utf-8")
         print(f"wrote {args.json} ({len(records)} records)")
@@ -550,8 +584,9 @@ def _add_sweep_axis_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engines",
         default="reference",
-        help="comma-separated simulation kernels (reference,vectorized); "
-        "a speed knob — results are bit-identical",
+        help="comma-separated simulation kernels "
+        "(reference,vectorized,batched); a speed knob — results are "
+        "bit-identical",
     )
     parser.add_argument(
         "--with-base",

@@ -35,12 +35,18 @@ from ..workloads import build_workload
 from ..workloads.registry import elem_bytes
 
 #: Engine spellings accepted by ``--engines`` (None means "reference").
-PROFILE_ENGINES = ("reference", "vectorized")
+PROFILE_ENGINES = ("reference", "vectorized", "batched")
 
 
 @dataclass(frozen=True)
 class ProfileRecord:
-    """Wall-time and cycle accounting for one profiled point."""
+    """Wall-time and cycle accounting for one profiled point.
+
+    The per-level memory breakdown (where demand lines were served and
+    how the prefetcher did) is carried alongside the timing so an engine
+    comparison doubles as an equivalence spot-check: identical points
+    must agree on every memory counter, whatever their wall time.
+    """
 
     workload: str
     mechanism: str
@@ -53,6 +59,14 @@ class ProfileRecord:
     simulate_s: float
     total_cycles: int
     demand_accesses: int
+    # Per-level demand outcome: lines served by the NSB, by the L2, and
+    # lines that had to be filled from DRAM (L2 demand misses).
+    nsb_hits: int = 0
+    l2_hits: int = 0
+    dram_fills: int = 0
+    # Prefetch effectiveness at those levels.
+    pf_useful: int = 0
+    pf_late: int = 0
 
     @property
     def kcycles_per_s(self) -> float:
@@ -114,6 +128,7 @@ def profile_point(
         repeat,
     )
     simulate_s, result = _min_wall(lambda: spec.build(program).run(), repeat)
+    stats = result.stats
     return ProfileRecord(
         workload=workload,
         mechanism=mechanism,
@@ -126,8 +141,13 @@ def profile_point(
         simulate_s=simulate_s,
         total_cycles=result.total_cycles,
         demand_accesses=(
-            result.stats.l2.demand_accesses + result.stats.nsb.demand_accesses
+            stats.l2.demand_accesses + stats.nsb.demand_accesses
         ),
+        nsb_hits=stats.nsb.demand_hits,
+        l2_hits=stats.l2.demand_hits,
+        dram_fills=stats.l2.demand_misses,
+        pf_useful=stats.prefetch.useful,
+        pf_late=stats.prefetch.late,
     )
 
 

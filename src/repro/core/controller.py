@@ -178,13 +178,16 @@ class RunaheadController:
         ):
             start = base + p0 * esize
             end = base + p1 * esize
+            ats: list[int] = []
+            lines: list[int] = []
             for batch_i, batch in enumerate(
                 self.vmig.bundle([start], max(1, end - start))
             ):
-                for la in batch:
-                    r = self.port.prefetch(now + batch_i, int(la), irregular=False)
-                    if r is not None:
-                        ready = max(ready, r)
+                ats.extend([now + batch_i] * len(batch))
+                lines.extend(batch)
+            issued = self.port.prefetch_many(ats, lines, irregular=False)
+            if issued:
+                ready = max(ready, max(issued))
         self._pending.append(_PendingWindow(p0=p0, p1=p1, ready=ready))
         self._w_frontier = p1
 
@@ -227,11 +230,14 @@ class RunaheadController:
                     record(stream_id, idx, addr)
                     addrs.append(addr)
                     segs.append(segment_bytes(idx))
+                ats: list[int] = []
+                lines: list[int] = []
                 for batch_i, batch in enumerate(self.vmig.bundle(addrs, segs)):
-                    for la in batch:
-                        issued = self.port.prefetch(grant + batch_i, int(la), True)
-                        if issued is not None:
-                            self.exact_prefetches += 1
+                    ats.extend([grant + batch_i] * len(batch))
+                    lines.extend(batch)
+                self.exact_prefetches += len(
+                    self.port.prefetch_many(ats, lines, irregular=True)
+                )
         self._pending = still_pending
 
     # -- stage 3: approximate (pre-data) prediction --------------------------------
@@ -249,7 +255,13 @@ class RunaheadController:
                 addr = self.scd.formula_address(stream_id, idx)
                 if addr is not None:
                     addrs.append(addr)
-            for batch_i, batch in enumerate(self.vmig.bundle(addrs, stream.row_bytes)):
-                for la in batch:
-                    if self.port.prefetch(now + batch_i, int(la), True) is not None:
-                        self.approx_prefetches += 1
+            ats: list[int] = []
+            lines: list[int] = []
+            for batch_i, batch in enumerate(
+                self.vmig.bundle(addrs, stream.row_bytes)
+            ):
+                ats.extend([now + batch_i] * len(batch))
+                lines.extend(batch)
+            self.approx_prefetches += len(
+                self.port.prefetch_many(ats, lines, irregular=True)
+            )

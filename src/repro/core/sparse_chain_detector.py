@@ -105,6 +105,19 @@ class SparseChainDetector:
         idx0, addr0 = prev
         if idx == idx0:
             return
+        # Fast path: a pair determines the shift uniquely (2^shift =
+        # delta_addr / delta_idx), so when the current hypothesis fits
+        # both points the candidate scan below could only rediscover it.
+        s = entry.shift
+        if (
+            s
+            and entry.ss_start >= 0
+            and addr - (idx << s) == entry.ss_start
+            and addr0 - (idx0 << s) == entry.ss_start
+        ):
+            entry.fit_conf = min(entry.fit_conf + 1, 15)
+            entry.valid = entry.fit_conf >= self.lock_confidence
+            return
         for shift in _SHIFT_CANDIDATES:
             base0 = addr0 - (idx0 << shift)
             base1 = addr - (idx << shift)

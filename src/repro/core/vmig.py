@@ -42,7 +42,7 @@ class VMIG:
         self,
         byte_addrs: list[int] | np.ndarray,
         seg_bytes: int | list[int] | np.ndarray,
-    ) -> list[np.ndarray]:
+    ) -> list[list[int]]:
         """Pack element segments into vector-width line batches.
 
         Args:
@@ -52,38 +52,47 @@ class VMIG:
                 data-dependent segment lengths.
 
         Returns:
-            Batches of unique line addresses, each at most
+            Batches of unique line addresses (plain ints, ready for the
+            prefetch port's batch interface), each at most
             ``vector_width`` long, in first-touch order. Batch ``i`` is
             intended to issue at cycle offset ``i`` (fully pipelined,
             Fig. 4).
         """
-        addrs = np.asarray(byte_addrs, dtype=np.int64)
-        if len(addrs) == 0:
+        n = len(byte_addrs)
+        if n == 0:
             return []
         if np.isscalar(seg_bytes) or isinstance(seg_bytes, int):
-            segs = np.full(len(addrs), int(seg_bytes), dtype=np.int64)
+            seg = int(seg_bytes)
+            if seg < 1:
+                raise ConfigError("seg_bytes must be >= 1")
+            segs = None
         else:
-            segs = np.asarray(seg_bytes, dtype=np.int64)
-            if len(segs) != len(addrs):
+            if len(seg_bytes) != n:
                 raise ConfigError("per-element seg_bytes length mismatch")
-        if np.any(segs < 1):
-            raise ConfigError("seg_bytes must be >= 1")
-        self.elements_in += len(addrs)
+            segs = [int(s) for s in seg_bytes]
+            if min(segs) < 1:
+                raise ConfigError("seg_bytes must be >= 1")
+        self.elements_in += n
         lb = self.line_bytes
-        firsts = (addrs // lb) * lb
-        lasts = ((addrs + segs - 1) // lb) * lb
-        counts = (lasts - firsts) // lb + 1
-        total = int(counts.sum())
-        # Flattened line stream (element order, then offset within segment),
-        # deduplicated preserving first touch — dict.fromkeys keeps
-        # insertion order, matching np.unique + first-index sort.
-        ramp = np.arange(total, dtype=np.int64) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        flat = np.repeat(firsts, counts) + ramp * lb
-        lines = np.fromiter(
-            dict.fromkeys(flat.tolist()), dtype=np.int64
-        )
+        # Flattened line stream (element order, then offset within
+        # segment), deduplicated preserving first touch. Plain loops: a
+        # bundle covers one runahead window (tens of elements), far
+        # below numpy's array-dispatch break-even.
+        lines: list[int] = []
+        seen: set[int] = set()
+        add = seen.add
+        append = lines.append
+        for i in range(n):
+            a = int(byte_addrs[i])
+            if segs is not None:
+                seg = segs[i]
+            la = a // lb * lb
+            last = (a + seg - 1) // lb * lb
+            while la <= last:
+                if la not in seen:
+                    add(la)
+                    append(la)
+                la += lb
         self.lines_deduped += len(lines)
         batches = [
             lines[i : i + self.vector_width]

@@ -79,6 +79,57 @@ class PrefetchPort:
         self._burst_used += 1
         return ready
 
+    def prefetch_many(self, ats, lines, irregular: bool) -> list[int]:
+        """Issue a burst of line prefetches; returns the issued fill times.
+
+        Bit-exact with calling :meth:`prefetch` once per line in order —
+        same budget accounting, same squash/drop decisions — but routed
+        through the memory system's batched
+        :meth:`~repro.sim.memory.hierarchy.MemorySystem.prefetch_lines`
+        kernel when it has one, so a whole VMIG bundle or runahead burst
+        costs one call instead of one per line. ``ats`` is the issue
+        cycle: a single int for a same-cycle burst, or one per line
+        (non-decreasing, as the issue loops generate them).
+
+        Squashed and dropped requests produce no entry, so callers use
+        ``len()`` for the issued count and ``max()`` for the last fill.
+        """
+        if not lines:
+            return []
+        if isinstance(ats, int):
+            runs = ((ats, lines),)
+        else:
+            # Split into same-cycle segments; budget state is per cycle.
+            runs = []
+            start = 0
+            n = len(ats)
+            for i in range(1, n):
+                if ats[i] != ats[start]:
+                    runs.append((ats[start], lines[start:i]))
+                    start = i
+            runs.append((ats[start], lines[start:]))
+        batch = getattr(self._mem, "prefetch_lines", None)
+        out: list[int] = []
+        for at, seg in runs:
+            if at != self._burst_now:
+                self._burst_now = at
+                self._burst_used = 0
+            remaining = self.burst_budget - self._burst_used
+            if remaining <= 0:
+                self.dropped_over_budget += len(seg)
+                continue
+            if batch is not None:
+                readys, consumed = batch(at, seg, irregular, remaining)
+                self._burst_used += len(readys)
+                self.dropped_over_budget += len(seg) - consumed
+                out.extend(readys)
+            else:
+                for la in seg:
+                    r = self.prefetch(at, la, irregular)
+                    if r is not None:
+                        out.append(r)
+        return out
+
 
 class Prefetcher:
     """Base class: every handler is a no-op; subclasses override what their

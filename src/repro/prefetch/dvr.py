@@ -53,7 +53,7 @@ class DecoupledVectorRunahead(Prefetcher):
         super().attach(program, port)
         # Hot-path bindings: on_demand_access fires once per demand line.
         self._line_bytes = port.line_bytes
-        self._prefetch = port.prefetch
+        self._prefetch_many = port.prefetch_many
 
     # -- position tracking (CPU-visible data returns) ---------------------------
     def on_data_return(self, now: int, tile_id: int) -> None:
@@ -86,22 +86,28 @@ class DecoupledVectorRunahead(Prefetcher):
             self._chased.add(t)
             tile = program.tiles[t]
             ready = now
-            for load in (tile.w_idx_load, tile.w_val_load):
-                for la in load.line_addr_list(self._line_bytes):
-                    r = self._prefetch(now + burst, la, irregular=False)
-                    if r is not None:
-                        ready = max(ready, r)
+            lines = tile.w_idx_load.line_addr_list(
+                self._line_bytes
+            ) + tile.w_val_load.line_addr_list(self._line_bytes)
+            issued = self._prefetch_many(now + burst, lines, irregular=False)
+            if issued:
+                ready = max(ready, max(issued))
             self._awaiting[t] = ready
 
     # -- second chain hop: index data arrived, compute gather addresses ----------
     def _resolve_ready(self, now: int) -> None:
+        if not self._awaiting:
+            return  # hot path: fires per demand line, usually nothing queued
         line_bytes = self._line_bytes
         for tile_id, ready in list(self._awaiting.items()):
             if ready > now:
                 continue
             del self._awaiting[tile_id]
             tile = self.program.tiles[tile_id]
+            ats = []
+            lines = []
             burst = 0
+            width = self.vector_width
             for gather in tile.gathers:
                 if not gather.affine:
                     # The hash/rulebook sparse_func is NPU hardware; a
@@ -115,7 +121,8 @@ class DecoupledVectorRunahead(Prefetcher):
                         (int(addr) + gather.seg_bytes - 1) // line_bytes
                     ) * line_bytes
                     for la in range(first, last + line_bytes, line_bytes):
-                        self._prefetch(
-                            now + burst // self.vector_width, la, irregular=True
-                        )
+                        ats.append(now + burst // width)
+                        lines.append(la)
                         burst += 1
+            if lines:
+                self._prefetch_many(ats, lines, irregular=True)

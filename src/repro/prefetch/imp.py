@@ -69,7 +69,7 @@ class IndirectMemoryPrefetcher(Prefetcher):
         super().attach(program, port)
         # Hot-path bindings: handlers fire once per demand line / tile.
         self._line_bytes = port.line_bytes
-        self._prefetch = port.prefetch
+        self._prefetch_many = port.prefetch_many
 
     # -- pattern learning ------------------------------------------------------
     def _learn(self, stream_id: int, idx: int, addr: int) -> None:
@@ -120,17 +120,20 @@ class IndirectMemoryPrefetcher(Prefetcher):
                 continue
             tile = program.tiles[target]
             ready = now
-            for load in (tile.w_idx_load, tile.w_val_load):
-                for la in load.line_addr_list(self._line_bytes):
-                    r = self._prefetch(now, la, irregular=False)
-                    if r is not None:
-                        ready = max(ready, r)
+            lines = tile.w_idx_load.line_addr_list(
+                self._line_bytes
+            ) + tile.w_val_load.line_addr_list(self._line_bytes)
+            issued = self._prefetch_many(now, lines, irregular=False)
+            if issued:
+                ready = max(ready, max(issued))
             self._pending_w[target] = ready
         self._drain_ready(now)
 
     # -- indirect issue ----------------------------------------------------------
     def _drain_ready(self, now: int) -> None:
         """Issue indirect prefetches for tiles whose index data arrived."""
+        if not self._pending_w:
+            return  # hot path: fires per demand line, usually nothing queued
         for tile_id, ready in list(self._pending_w.items()):
             if ready > now:
                 continue
@@ -144,7 +147,10 @@ class IndirectMemoryPrefetcher(Prefetcher):
                 entry = self._ipt.get(gather.stream_id)
                 if entry is None or not entry.locked:
                     continue
+                ats = []
+                lines = []
                 burst = 0
+                width = self.vector_width
                 for idx in tile.indices:
                     addr = self._predict(gather.stream_id, int(idx))
                     if addr is None:
@@ -152,7 +158,8 @@ class IndirectMemoryPrefetcher(Prefetcher):
                     first = (addr // line_bytes) * line_bytes
                     last = ((addr + gather.seg_bytes - 1) // line_bytes) * line_bytes
                     for la in range(first, last + line_bytes, line_bytes):
-                        self._prefetch(
-                            now + burst // self.vector_width, la, irregular=True
-                        )
+                        ats.append(now + burst // width)
+                        lines.append(la)
                         burst += 1
+                if lines:
+                    self._prefetch_many(ats, lines, irregular=True)

@@ -68,7 +68,7 @@ class StreamPrefetcher(Prefetcher):
         super().attach(program, port)
         # Hot-path bindings: on_demand_access fires once per demand line.
         self._line_bytes = port.line_bytes
-        self._prefetch = port.prefetch
+        self._prefetch_many = port.prefetch_many
 
     def on_demand_access(self, now, stream_id, line_addr, idx_value, result):
         entry = self._table.setdefault(stream_id, _StreamEntry())
@@ -86,16 +86,23 @@ class StreamPrefetcher(Prefetcher):
         entry.last_line = line_addr
         if result.off_chip and entry.confidence < self.confirm:
             # Next-line ramp: assume a new ascending stream at every miss.
-            for k in range(1, self.ramp_degree + 1):
-                self._prefetch(now, line_addr + k * line_bytes, irregular)
+            self._prefetch_many(
+                now,
+                [line_addr + k * line_bytes for k in range(1, self.ramp_degree + 1)],
+                irregular,
+            )
         if entry.confidence >= self.confirm and entry.stride != 0:
             step = entry.stride * line_bytes
-            prefetch = self._prefetch
+            ats = []
+            targets = []
             for k in range(1, self.degree + 1):
                 target = line_addr + k * step
                 if target <= entry.frontier and entry.stride > 0:
                     continue  # already requested on this stream
                 if target < 0:
                     break
-                prefetch(now + k // 4, target, irregular)
+                ats.append(now + k // 4)
+                targets.append(target)
+            if targets:
+                self._prefetch_many(ats, targets, irregular)
             entry.frontier = max(entry.frontier, line_addr + self.degree * step)

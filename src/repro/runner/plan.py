@@ -261,6 +261,29 @@ class RunSpec:
             d["nvr"] = NVRSpec(**d["nvr"])
         return cls(**d)
 
+    def with_engine(self, engine: str | None) -> "RunSpec":
+        """A copy of this point on another simulation kernel.
+
+        The engine axis is a pure speed knob, so the copy describes the
+        same experiment — only the kernel dispatch (and therefore the
+        cache key) changes. Trace points and no-op changes return
+        ``self``.
+        """
+        if self.kind != "sim":
+            return self
+        if engine == "reference":
+            engine = None
+        if engine == self.engine:
+            return self
+        d = self.to_dict()
+        system = dict(d["system"])
+        if engine is None:
+            system.pop("engine", None)
+        else:
+            system["engine"] = engine
+        d["system"] = system
+        return RunSpec.from_dict(d)
+
     def key(self) -> str:
         """Canonical serialisation — the cache's content address."""
         return self._key

@@ -48,7 +48,7 @@ from .plan import RunSpec
 from .progress import NullProgress
 
 
-@lru_cache(maxsize=8)
+@lru_cache(maxsize=64)
 def _workload_for(
     workload: str,
     scale: float,

@@ -199,6 +199,33 @@ class Cache:
         cache_set[tag] = line
         return line
 
+    # -- batch-kernel access -----------------------------------------------
+    def hot_state(
+        self,
+    ) -> tuple[list[dict[int, CacheLine]], int, int, int, int]:
+        """The lookup state the batched hierarchy kernels inline against.
+
+        Returns ``(sets, line_shift, set_mask, tag_shift, assoc)``: the
+        per-set tag dicts plus the precomputed address math, so a batch
+        loop can run ``sets[(line >> line_shift) & set_mask].get(line >>
+        tag_shift)`` without a method call per line. The contract for
+        writers is the one :meth:`touch` and :meth:`allocate` implement —
+        recency touches and fills must bump ``_use_counter`` (through the
+        attribute, never a cached local, so interleaved :meth:`allocate`
+        calls stay ordered), touched lines are reinserted at the back of
+        their set dict, and a fill into a full set evicts the dict's
+        front entry, counting ``evictions`` / ``prefetch_evicted_unused``.
+        The sets list itself is never reassigned, so the tuple stays
+        valid for the cache's lifetime.
+        """
+        return (
+            self._sets,
+            self._line_shift,
+            self._set_mask,
+            self._tag_shift,
+            self._assoc,
+        )
+
     # -- introspection -----------------------------------------------------
     def resident_lines(self) -> int:
         """Number of lines currently allocated (ready or in flight)."""

@@ -17,11 +17,12 @@ bypass it (they live in the scratchpad pipeline and the L2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 from ...errors import ConfigError
 from ..request import Access, AccessResult, AccessType, HitLevel
 from ..stats import RunStats
-from .cache import Cache, CacheConfig, LookupKind
+from .cache import Cache, CacheConfig, CacheLine, LookupKind
 from .dram import DRAM, DRAMConfig
 
 
@@ -176,6 +177,18 @@ class MemorySystem:
             self._nsb_alloc = self.nsb.allocate
         else:
             self._nsb_touch = self._nsb_probe = self._nsb_alloc = None
+        # Batch-kernel context: everything per-call-stable the batched
+        # demand/prefetch kernels unpack, resolved once. The hot-state
+        # tuples hold containers that are mutated in place and never
+        # reassigned (see Cache.hot_state / MSHRFile.hot_state), and all
+        # line fills transfer exactly one line, so the DRAM bus service
+        # time is a constant.
+        self._l2_hot = self.l2.hot_state()
+        self._nsb_hot = self.nsb.hot_state() if self.nsb is not None else None
+        self._l2_mshr_hot = self.l2.mshr.hot_state()
+        self._dram_lat = config.dram.latency
+        self._pf_penalty = config.dram.prefetch_penalty
+        self._line_service = self.dram.service_cycles(config.line_bytes)
 
     # -- background CPU traffic ----------------------------------------------
     _MAX_INJECT_PER_CALL = 64
@@ -347,6 +360,250 @@ class MemorySystem:
             self._nsb_alloc(now, line, ready, by_prefetch=False)
         return AccessResult(ready, HitLevel.DRAM, False, True)
 
+    # -- batched demand path -------------------------------------------------
+    def demand_lines(
+        self,
+        now: int,
+        issue_width: int,
+        lines: list[int],
+        irregular: bool,
+        sid: int = 0,
+        hook=None,
+        idxs: list | None = None,
+    ) -> tuple[int, bytearray]:
+        """Issue a whole request vector through the demand path at once.
+
+        Bit-exact with calling ``demand_line(now + k // issue_width,
+        lines[k], irregular)`` for each line in order (plus the per-line
+        prefetcher ``hook`` when one is attached): the same live-state
+        walk over the same caches, so every same-batch interaction —
+        same-set evictions, MSHR coalesces, mid-batch prefetches issued
+        by a hook — is resolved by construction rather than by a
+        conflict analysis. What the batch form removes is the per-line
+        interpreter overhead: one call per *instruction* instead of per
+        line, set/tag math inlined against :meth:`Cache.hot_state`,
+        statistics accumulated in locals and folded once, and
+        :class:`AccessResult` objects built only when a prefetcher
+        actually observes them.
+
+        Returns ``(last_complete_cycle, dram_flags)``; ``dram_flags[k]``
+        is 1 when line ``k`` went off-chip (the executors fold these
+        into the vector-batch miss statistics).
+        """
+        n = len(lines)
+        flags = bytearray(n)
+        if n == 0:
+            return now, flags
+        inject = self._inject_cpu_traffic if self._cpu_cfg is not None else None
+        line_bytes = self._line_bytes
+        pending = self._pf_pending
+        use_nsb = irregular and self._nsb_hot is not None
+        l2 = self.l2
+        l2_sets, l2_shift, l2_smask, l2_tshift, l2_assoc = self._l2_hot
+        l2_lat = self._l2_lat
+        mshr = l2.mshr
+        mshr_heap, mshr_infl, mshr_cap = self._l2_mshr_hot
+        dram = self.dram
+        dram_lat = self._dram_lat
+        service = self._line_service
+        new_line = CacheLine
+        if use_nsb:
+            nsb = self.nsb
+            nsb_sets, nsb_shift, nsb_smask, nsb_tshift, nsb_assoc = self._nsb_hot
+            nsb_lat = self._nsb_lat
+        lvl_nsb = HitLevel.NSB
+        lvl_l2 = HitLevel.L2
+        lvl_inflight = HitLevel.INFLIGHT
+        lvl_dram = HitLevel.DRAM
+        result = AccessResult
+        # Local counter accumulators, folded into the stats records once.
+        nsb_acc = nsb_hit = nsb_infl = nsb_miss = 0
+        l2_acc = l2_hit = l2_infl = l2_miss = 0
+        pf_useful = pf_late = 0
+        nsb_npu_bytes = l2_npu_bytes = 0
+        l2_evt = l2_pfevt = nsb_evt = nsb_pfevt = 0
+        done = now
+        at = now
+        slot = 0
+        for k in range(n):
+            line = lines[k]
+            if inject is not None:
+                inject(at)
+            if use_nsb:
+                nsb_acc += 1
+                nset = nsb_sets[(line >> nsb_shift) & nsb_smask]
+                ntag = line >> nsb_tshift
+                cline = nset.get(ntag)
+                if cline is not None:
+                    nsb._use_counter += 1
+                    cline.last_use = nsb._use_counter
+                    del nset[ntag]
+                    nset[ntag] = cline
+                    cline.demand_touched = True
+                    if line in pending:
+                        pending.discard(line)
+                        was_pf = True
+                    else:
+                        was_pf = False
+                    if cline.ready_at <= at:
+                        nsb_hit += 1
+                        nsb_npu_bytes += line_bytes
+                        if was_pf:
+                            pf_useful += 1
+                        complete = at + nsb_lat
+                        level = lvl_nsb
+                    else:
+                        nsb_infl += 1
+                        if was_pf:
+                            pf_late += 1
+                        complete = cline.ready_at
+                        t = at + nsb_lat
+                        if t > complete:
+                            complete = t
+                        level = lvl_inflight
+                    if complete > done:
+                        done = complete
+                    if hook is not None:
+                        hook(
+                            at,
+                            sid,
+                            line,
+                            idxs[k] if idxs is not None else None,
+                            result(complete, level, was_pf),
+                        )
+                    slot += 1
+                    if slot == issue_width:
+                        slot = 0
+                        at += 1
+                    continue
+                nsb_miss += 1
+            l2_acc += 1
+            lset = l2_sets[(line >> l2_shift) & l2_smask]
+            ltag = line >> l2_tshift
+            cline = lset.get(ltag)
+            if cline is not None:
+                l2._use_counter += 1
+                cline.last_use = l2._use_counter
+                del lset[ltag]
+                lset[ltag] = cline
+                cline.demand_touched = True
+                l2_npu_bytes += line_bytes
+                if line in pending:
+                    pending.discard(line)
+                    was_pf = True
+                else:
+                    was_pf = False
+                if cline.ready_at <= at:
+                    l2_hit += 1
+                    if was_pf:
+                        pf_useful += 1
+                    complete = at + l2_lat
+                    level = lvl_l2
+                else:
+                    l2_infl += 1
+                    if was_pf:
+                        pf_late += 1
+                    complete = cline.ready_at
+                    t = at + l2_lat
+                    if t > complete:
+                        complete = t
+                    level = lvl_inflight
+                off_chip = False
+            else:
+                # True L2 miss: fetch from DRAM through an MSHR slot.
+                # Inlined MSHRFile.earliest_free_slot / allocate (lazy
+                # retire at the probe time, again at the start time) and
+                # DRAM.access (serialising bus, constant line service).
+                l2_miss += 1
+                flags[k] = 1
+                pending.discard(line)
+                was_pf = False
+                while mshr_heap and mshr_heap[0][0] <= at:
+                    rt, ln = heappop(mshr_heap)
+                    if mshr_infl.get(ln) == rt:
+                        del mshr_infl[ln]
+                if len(mshr_infl) < mshr_cap:
+                    start = at
+                else:
+                    mshr.structural_stalls += 1
+                    start = mshr_heap[0][0]
+                    while mshr_heap and mshr_heap[0][0] <= start:
+                        rt, ln = heappop(mshr_heap)
+                        if mshr_infl.get(ln) == rt:
+                            del mshr_infl[ln]
+                busy = dram._bus_free_at
+                st = start if start > busy else busy
+                dram._bus_free_at = st + service
+                complete = st + dram_lat + service + l2_lat
+                mshr_infl[line] = complete
+                heappush(mshr_heap, (complete, line))
+                if len(mshr_infl) > mshr.peak_occupancy:
+                    mshr.peak_occupancy = len(mshr_infl)
+                # Fill into L2 (the touch above proved the line absent).
+                if len(lset) >= l2_assoc:
+                    victim = lset.pop(next(iter(lset)))
+                    l2_evt += 1
+                    if victim.filled_by_prefetch and not victim.demand_touched:
+                        l2_pfevt += 1
+                l2._use_counter += 1
+                lset[ltag] = new_line(ltag, complete, False, True, l2._use_counter)
+                l2_npu_bytes += line_bytes
+                level = lvl_dram
+                off_chip = True
+            if use_nsb:
+                # Promote into the NSB (it missed there, so a plain fill).
+                if len(nset) >= nsb_assoc:
+                    victim = nset.pop(next(iter(nset)))
+                    nsb_evt += 1
+                    if victim.filled_by_prefetch and not victim.demand_touched:
+                        nsb_pfevt += 1
+                nsb._use_counter += 1
+                nset[ntag] = new_line(ntag, complete, False, True, nsb._use_counter)
+            if complete > done:
+                done = complete
+            if hook is not None:
+                hook(
+                    at,
+                    sid,
+                    line,
+                    idxs[k] if idxs is not None else None,
+                    result(complete, level, was_pf, off_chip),
+                )
+            slot += 1
+            if slot == issue_width:
+                slot = 0
+                at += 1
+        if use_nsb:
+            ns = self._stats_nsb
+            ns.demand_accesses += nsb_acc
+            ns.demand_hits += nsb_hit
+            ns.demand_inflight_hits += nsb_infl
+            ns.demand_misses += nsb_miss
+            if nsb_evt:
+                nsb.evictions += nsb_evt
+                nsb.prefetch_evicted_unused += nsb_pfevt
+        ls = self._stats_l2
+        ls.demand_accesses += l2_acc
+        ls.demand_hits += l2_hit
+        ls.demand_inflight_hits += l2_infl
+        ls.demand_misses += l2_miss
+        if pf_useful or pf_late:
+            pf = self._stats_pf
+            pf.useful += pf_useful
+            pf.late += pf_late
+        if l2_miss:
+            dram.busy_cycles += l2_miss * service
+            dram.transfers += l2_miss
+            dram.bytes_transferred += l2_miss * line_bytes
+            if l2_evt:
+                l2.evictions += l2_evt
+                l2.prefetch_evicted_unused += l2_pfevt
+        traffic = self._traffic
+        traffic.nsb_to_npu_bytes += nsb_npu_bytes
+        traffic.l2_to_npu_bytes += l2_npu_bytes
+        traffic.off_chip_demand_bytes += l2_miss * line_bytes
+        return done, flags
+
     # -- prefetch path -------------------------------------------------------
     def prefetch_line(self, now: int, line_addr: int, irregular: bool) -> int | None:
         """Bring one line toward the NPU speculatively.
@@ -398,6 +655,127 @@ class MemorySystem:
         self._traffic.off_chip_prefetch_bytes += line_bytes
         self._pf_pending.add(line_addr)
         return ready
+
+    # -- batched prefetch path -----------------------------------------------
+    def prefetch_lines(
+        self, now: int, lines, irregular: bool, max_issue: int
+    ) -> tuple[list[int], int]:
+        """Issue up to ``max_issue`` prefetches from ``lines``, in order.
+
+        Bit-exact with sequential :meth:`prefetch_line` calls under the
+        port's burst budget: already-resident lines are squashed without
+        consuming budget, and once ``max_issue`` fills have started the
+        remaining lines are not probed at all (the port counts them as
+        dropped — exactly what per-line budget checks would have done).
+
+        Returns ``(ready cycles of the issued lines, lines processed)``.
+        """
+        readys: list[int] = []
+        n = len(lines)
+        if n == 0:
+            return readys, 0
+        line_bytes = self._line_bytes
+        pending = self._pf_pending
+        target_nsb = irregular and self._nsb_hot is not None
+        l2 = self.l2
+        l2_sets, l2_shift, l2_smask, l2_tshift, l2_assoc = self._l2_hot
+        if target_nsb:
+            nsb = self.nsb
+            nsb_sets, nsb_shift, nsb_smask, nsb_tshift, nsb_assoc = self._nsb_hot
+        l2_lat = self._l2_lat
+        mshr = l2.mshr
+        mshr_heap, mshr_infl, mshr_cap = self._l2_mshr_hot
+        dram = self.dram
+        issue = now + self._pf_penalty
+        dram_lat = self._dram_lat
+        service = self._line_service
+        new_line = CacheLine
+        issued = off_chip = 0
+        l2_evt = l2_pfevt = nsb_evt = nsb_pfevt = 0
+        consumed = n
+        for k in range(n):
+            if issued >= max_issue:
+                consumed = k
+                break
+            line = lines[k]
+            if target_nsb:
+                nset = nsb_sets[(line >> nsb_shift) & nsb_smask]
+                ntag = line >> nsb_tshift
+                if nset.get(ntag) is not None:
+                    continue
+            lset = l2_sets[(line >> l2_shift) & l2_smask]
+            ltag = line >> l2_tshift
+            l2_line = lset.get(ltag)
+            if l2_line is not None:
+                if not target_nsb:
+                    continue
+                # Pull from L2 into the NSB: on-chip transfer, no DRAM.
+                ready = l2_line.ready_at
+                t = now + l2_lat
+                if t > ready:
+                    ready = t
+            else:
+                # Off-chip fill: inlined MSHR slot search, DRAM bus
+                # (prefetches issue after the arbitration penalty) and
+                # L2 fill — see demand_lines for the inlining contract.
+                while mshr_heap and mshr_heap[0][0] <= now:
+                    rt, ln = heappop(mshr_heap)
+                    if mshr_infl.get(ln) == rt:
+                        del mshr_infl[ln]
+                if len(mshr_infl) < mshr_cap:
+                    start = issue
+                else:
+                    mshr.structural_stalls += 1
+                    start = mshr_heap[0][0]
+                    while mshr_heap and mshr_heap[0][0] <= start:
+                        rt, ln = heappop(mshr_heap)
+                        if mshr_infl.get(ln) == rt:
+                            del mshr_infl[ln]
+                    start += self._pf_penalty
+                busy = dram._bus_free_at
+                st = start if start > busy else busy
+                dram._bus_free_at = st + service
+                ready = st + dram_lat + service + l2_lat
+                mshr_infl[line] = ready
+                heappush(mshr_heap, (ready, line))
+                if len(mshr_infl) > mshr.peak_occupancy:
+                    mshr.peak_occupancy = len(mshr_infl)
+                if len(lset) >= l2_assoc:
+                    victim = lset.pop(next(iter(lset)))
+                    l2_evt += 1
+                    if victim.filled_by_prefetch and not victim.demand_touched:
+                        l2_pfevt += 1
+                l2._use_counter += 1
+                lset[ltag] = new_line(ltag, ready, True, False, l2._use_counter)
+                off_chip += 1
+            if target_nsb:
+                # The NSB probe above proved the line absent: plain fill.
+                if len(nset) >= nsb_assoc:
+                    victim = nset.pop(next(iter(nset)))
+                    nsb_evt += 1
+                    if victim.filled_by_prefetch and not victim.demand_touched:
+                        nsb_pfevt += 1
+                nsb._use_counter += 1
+                nset[ntag] = new_line(ntag, ready, True, False, nsb._use_counter)
+            issued += 1
+            pending.add(line)
+            readys.append(ready)
+        if issued:
+            pf_stats = self._stats_pf
+            pf_stats.issued += issued
+            pf_stats.issued_lines_off_chip += off_chip
+            self._traffic.off_chip_prefetch_bytes += off_chip * line_bytes
+            if off_chip:
+                dram.busy_cycles += off_chip * service
+                dram.transfers += off_chip
+                dram.bytes_transferred += off_chip * line_bytes
+            if l2_evt:
+                l2.evictions += l2_evt
+                l2.prefetch_evicted_unused += l2_pfevt
+            if nsb_evt:
+                nsb.evictions += nsb_evt
+                nsb.prefetch_evicted_unused += nsb_pfevt
+        return readys, consumed
 
     # -- bulk DMA path (explicit preload) ----------------------------------------
     def bulk_transfer(self, now: int, n_bytes: int) -> int:

@@ -79,6 +79,18 @@ class MSHRFile:
         self.structural_stalls += 1
         return self._ready_heap[0][0]
 
+    def hot_state(self) -> tuple[list[tuple[int, int]], dict[int, int], int]:
+        """``(ready_heap, inflight, capacity)`` for inlined batch kernels.
+
+        The heap and dict are mutated in place and never reassigned, so
+        the tuple stays valid for the file's lifetime. Writers must
+        replicate the lazy-retire discipline of :meth:`earliest_free_slot`
+        / :meth:`allocate` exactly (retire at the probe time, then again
+        at the allocation start time) and keep ``structural_stalls`` and
+        ``peak_occupancy`` maintained through the attributes.
+        """
+        return self._ready_heap, self._inflight, self.capacity
+
     def allocate(self, now: int, line_addr: int, ready_at: int) -> None:
         """Record a new outstanding fill for ``line_addr``.
 

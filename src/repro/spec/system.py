@@ -50,8 +50,8 @@ def _canonical_engine(engine: str | None) -> str | None:
         raise ConfigError(
             f"'{engine}' is an execution mode, not a simulation kernel — "
             "SystemSpec.engine selects a kernel implementation "
-            "('reference' or 'vectorized'); the mode comes from the "
-            "mechanism"
+            "('reference', 'vectorized' or 'batched'); the mode comes "
+            "from the mechanism"
         )
     return engine
 
@@ -68,8 +68,9 @@ class SystemSpec:
             defaults (256 KiB L2, no NSB).
         nvr: NVR tuning override; only for ``uses_nvr_config`` mechanisms.
         executor: issue-width / OoO-window / preload-granule override.
-        engine: simulation-kernel implementation (``"vectorized"``, or
-            ``None``/``"reference"`` for the per-event reference kernels).
+        engine: simulation-kernel implementation (``"vectorized"``,
+            ``"batched"``, or ``None``/``"reference"`` for the per-event
+            reference kernels).
             Purely a speed knob — every engine must produce bit-identical
             statistics, so ``"reference"`` canonicalises to ``None`` and
             the choice never changes a result, only how fast it arrives.

@@ -1,20 +1,24 @@
-"""The vectorized simulation kernels are bit-identical to reference.
+"""The vectorized and batched simulation kernels are bit-identical to
+reference.
 
 The ``engine`` axis is *purely* a speed knob: every mechanism, on every
 workload, must produce byte-for-byte identical result payloads on the
-``vectorized`` kernels and the per-event ``reference`` kernels. This is
-the contract that lets the engines share figures, caches and goldens —
-a vectorized run is just a faster route to the same record.
+``vectorized`` kernels, the ``batched`` request-vector kernels and the
+per-event ``reference`` kernels. This is the contract that lets the
+engines share figures, caches and goldens — a vectorized or batched run
+is just a faster route to the same record.
 
 Three layers of the contract are pinned here:
 
 * **spec identity** — ``engine="reference"`` folds to the default spec
-  (same key, same cache entry), while ``engine="vectorized"`` gets a
-  *distinct* key, so the payload comparisons below genuinely execute
-  both implementations rather than sharing one cache hit;
+  (same key, same cache entry), while ``engine="vectorized"`` and
+  ``engine="batched"`` each get a *distinct* key, so the payload
+  comparisons below genuinely execute every implementation rather than
+  sharing one cache hit;
 * **payload equality** — :func:`~repro.runner.pool.execute_spec` output
   (the wire/cache format) is compared as whole dicts, ``with_base``
-  passes included, across every mechanism x workload x nsb point;
+  passes included, across every engine x mechanism x workload x nsb
+  point;
 * **front-door equality** — a Grid sweep over the engine axis returns
   pairwise-identical results through the Session/cache pipeline.
 
@@ -39,6 +43,11 @@ WORKLOADS = ("gcn", "mk")
 #: Every registered mechanism plus the preload oracle engine.
 ALL_MECHANISMS = tuple(MECHANISM_ORDER) + ("preload",)
 
+#: The non-reference kernel implementations under the equivalence
+#: contract. Adding an engine here (and to the spec-identity test) is
+#: the entire cost of extending the guarantee to it.
+FAST_ENGINES = ("vectorized", "batched")
+
 SCALE = 0.05
 
 
@@ -50,9 +59,16 @@ class TestEngineSpecIdentity:
         b = RunSpec("ds")
         assert a == b and a.key() == b.key()
 
-    def test_vectorized_is_a_distinct_cache_key(self):
-        assert RunSpec("ds", engine="vectorized").key() != RunSpec("ds").key()
-        assert SystemSpec(engine="vectorized") != SystemSpec()
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_fast_engines_are_distinct_cache_keys(self, engine):
+        assert RunSpec("ds", engine=engine).key() != RunSpec("ds").key()
+        assert SystemSpec(engine=engine) != SystemSpec()
+
+    def test_fast_engines_distinct_from_each_other(self):
+        assert (
+            RunSpec("ds", engine="vectorized").key()
+            != RunSpec("ds", engine="batched").key()
+        )
 
     def test_mode_names_rejected_as_engines(self):
         with pytest.raises(ConfigError, match="execution mode"):
@@ -66,44 +82,46 @@ class TestEngineSpecIdentity:
 class TestPayloadEquivalence:
     """execute_spec payloads: the bytes that reach caches and workers."""
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("workload", WORKLOADS)
     @pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
-    def test_vectorized_payload_bit_identical(self, workload, mechanism):
+    def test_engine_payload_bit_identical(self, workload, mechanism, engine):
         reference = RunSpec(
             workload, mechanism=mechanism, scale=SCALE, with_base=True
         )
-        vectorized = RunSpec(
+        fast = RunSpec(
             workload,
             mechanism=mechanism,
             scale=SCALE,
             with_base=True,
-            engine="vectorized",
+            engine=engine,
         )
-        assert execute_spec(reference) == execute_spec(vectorized)
+        assert execute_spec(reference) == execute_spec(fast)
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("workload", WORKLOADS)
     @pytest.mark.parametrize("mechanism", ("nvr", "imp", "dvr"))
-    def test_nsb_points_bit_identical(self, workload, mechanism):
+    def test_nsb_points_bit_identical(self, workload, mechanism, engine):
         # The NSB demand/prefetch paths are separate hot loops in the
         # hierarchy; cover them explicitly for the NSB-using mechanisms.
         reference = RunSpec(workload, mechanism=mechanism, nsb=True, scale=SCALE)
-        vectorized = RunSpec(
+        fast = RunSpec(
             workload,
             mechanism=mechanism,
             nsb=True,
             scale=SCALE,
-            engine="vectorized",
+            engine=engine,
         )
-        assert execute_spec(reference) == execute_spec(vectorized)
+        assert execute_spec(reference) == execute_spec(fast)
 
 
 class TestFrontDoorEquivalence:
-    def test_grid_engine_axis_pairs_identical(self, tmp_path):
+    def test_grid_engine_axis_groups_identical(self, tmp_path):
         grid = Grid(
             workload=list(WORKLOADS),
             mechanism=["inorder", "nvr"],
             scale=SCALE,
-            engine=["reference", "vectorized"],
+            engine=["reference", *FAST_ENGINES],
         )
         with Session(cache_dir=tmp_path, progress=False) as session:
             rs = session.sweep(grid)
@@ -113,5 +131,5 @@ class TestFrontDoorEquivalence:
             by_point.setdefault(key, []).append(dataclasses.asdict(result))
         assert len(by_point) == len(WORKLOADS) * 2
         for key, results in by_point.items():
-            assert len(results) == 2, key
-            assert results[0] == results[1], key
+            assert len(results) == 1 + len(FAST_ENGINES), key
+            assert all(r == results[0] for r in results[1:]), key

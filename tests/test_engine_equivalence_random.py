@@ -1,0 +1,86 @@
+"""Randomized cross-engine equivalence: hypothesis explores the spec space.
+
+``test_engine_equivalence.py`` pins a hand-picked grid; this file lets
+hypothesis draw random points from a much larger spec space — every
+workload, every mechanism, random scales/seeds, NSB on and off, and NVR
+tuning overrides for the NVR mechanism — and asserts the three engines
+(``reference``, ``vectorized``, ``batched``) produce byte-for-byte
+identical :func:`~repro.runner.pool.execute_spec` payloads on each one.
+
+Settings discipline: ``derandomize=True`` keeps CI deterministic (the
+corpus still varies across hypothesis versions, which is the point —
+fresh points over time without flaky runs), ``deadline=None`` because a
+point is a whole simulation, and small scales keep the draw affordable.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import NVRConfig
+from repro.registry import MECHANISM_ORDER
+from repro.runner import RunSpec, execute_spec
+from repro.workloads.registry import WORKLOAD_ORDER
+
+ENGINES = ("vectorized", "batched")
+
+spec_strategy = st.fixed_dictionaries(
+    {
+        "workload": st.sampled_from(WORKLOAD_ORDER),
+        "mechanism": st.sampled_from(tuple(MECHANISM_ORDER) + ("preload",)),
+        "nsb": st.booleans(),
+        "scale": st.sampled_from((0.02, 0.03, 0.05)),
+        "seed": st.integers(min_value=0, max_value=5),
+        "with_base": st.booleans(),
+    }
+)
+
+nvr_strategy = st.fixed_dictionaries(
+    {
+        "workload": st.sampled_from(WORKLOAD_ORDER),
+        "nsb": st.booleans(),
+        "scale": st.sampled_from((0.02, 0.04)),
+        "seed": st.integers(min_value=0, max_value=3),
+        "vector_width": st.sampled_from((4, 8, 16)),
+        "depth_tiles": st.sampled_from((2, 8)),
+        "approximate": st.booleans(),
+    }
+)
+
+
+class TestRandomizedEquivalence:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(point=spec_strategy)
+    def test_random_specs_identical_across_engines(self, point):
+        reference = execute_spec(RunSpec(**point))
+        for engine in ENGINES:
+            assert execute_spec(RunSpec(**point, engine=engine)) == reference
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(point=nvr_strategy)
+    def test_random_nvr_tunings_identical_across_engines(self, point):
+        nvr = NVRConfig(
+            vector_width=point["vector_width"],
+            depth_tiles=point["depth_tiles"],
+            approximate=point["approximate"],
+        )
+        base = dict(
+            workload=point["workload"],
+            mechanism="nvr",
+            nsb=point["nsb"],
+            scale=point["scale"],
+            seed=point["seed"],
+            nvr=nvr,
+        )
+        reference = execute_spec(RunSpec(**base))
+        for engine in ENGINES:
+            assert execute_spec(RunSpec(**base, engine=engine)) == reference

@@ -72,6 +72,7 @@ def golden_specs() -> dict[str, RunSpec]:
         # running), while "reference" folds to the default and leaves
         # every pre-engine key untouched.
         "engine-vectorized": RunSpec("ds", engine="vectorized"),
+        "engine-batched": RunSpec("ds", engine="batched"),
         "kitchen-sink": RunSpec(
             "h2o",
             mechanism="nvr",
@@ -127,6 +128,14 @@ def golden_grids() -> dict[str, Grid]:
             mechanism=["inorder", "nvr"],
             scale=0.2,
             engine=["reference", "vectorized"],
+        ),
+        # Additive: the batched kernels get their own pinned grid so the
+        # pre-batched hashes above never move.
+        "grid:engines-batched": Grid(
+            workload="ds",
+            mechanism=["inorder", "nvr"],
+            scale=0.2,
+            engine=["reference", "vectorized", "batched"],
         ),
     }
 
@@ -370,6 +379,7 @@ class TestRegistry:
             "preload",
             "reference",
             "vectorized",
+            "batched",
         }
 
 
