@@ -18,9 +18,15 @@ Usage::
     python -m repro queue worker --work-dir work/ &
     python -m repro sweep --backend queue --work-dir work/ --workloads ds
     python -m repro queue status --work-dir work/
+    python -m repro fleet run --driver local -n 4 --scale 0.25 -o EXP.md
+    python -m repro fleet up --work-dir work/ --driver ssh --hosts hosts.txt -n 8
+    python -m repro fleet status --work-dir work/
+    python -m repro fleet down --work-dir work/
     python -m repro cache
     python -m repro cache gc --max-mb 64 --dry-run
     python -m repro cache clear
+    python -m repro cache push --remote /mnt/shared/repro-cache
+    python -m repro cache pull --remote rsync://host/module/repro-cache
 
 Every executing subcommand (``run``, ``compare``, ``sweep``, ``ablate``,
 ``figures``) shares one parent parser of session flags —
@@ -40,8 +46,17 @@ missing points become claimable unit files under ``--work-dir`` and any
 number of ``repro queue worker`` processes *pull* them, heartbeating a
 lease so crashed workers' units are re-enqueued automatically; ``queue
 status`` inspects a work directory and ``touch <work-dir>/stop`` drains
-the workers. ``cache gc`` bounds the cache's size with
-least-recently-accessed eviction.
+the workers. ``fleet`` owns the workers' *lifecycle*: ``fleet up``
+submits N ``queue worker`` processes through a pluggable driver
+(``local`` subprocesses, ``ssh`` fan-out over a hosts file, ``slurm``
+sbatch arrays), ``fleet status``/``down`` inspect and drain them from
+any process sharing the work directory, and ``fleet run`` is the
+one-command path — raise a herded (restart-on-death, optionally
+autoscaled) fleet, drain a figures or plan sweep through it, tear it
+down. ``cache gc`` bounds the cache's size with least-recently-accessed
+eviction, and ``cache push``/``pull --remote`` sync entries with a
+shared directory or rsync tier so fleets on different filesystems share
+warmth (pulls are salt/spec-verified, exactly like cache reads).
 
 ``sweep`` expands its axis flags through a declarative
 :class:`~repro.session.Grid` and dumps its ``--json`` payload from the
@@ -53,6 +68,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 from .analysis import format_table, table1_overhead, table2_workloads
@@ -60,18 +76,23 @@ from .analysis.experiments import ABLATION_WORKLOADS, ABLATIONS
 from .analysis.paperfigs import figures_plan, generate_report
 from .analysis.profile import PROFILE_ENGINES, profile_grid, profile_json
 from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .runner import (
+    FLEET_DRIVERS,
+    Fleet,
     Plan,
     ResultCache,
     WorkQueue,
     merge_results,
+    pull_cache,
+    push_cache,
     result_to_payload,
     run_queue_worker,
     run_shard,
     trace_to_payload,
     write_results,
 )
+from .runner.fleet import make_driver
 from .runner.progress import Progress
 from .runner.queue import (
     DEFAULT_HEARTBEAT,
@@ -81,6 +102,7 @@ from .runner.queue import (
 )
 from .session import (
     Grid,
+    Session,
     add_session_arguments,
     resolve_cache_dir,
     session_from_args,
@@ -387,9 +409,13 @@ def _cmd_queue_worker(args: argparse.Namespace) -> int:
 
 def _cmd_queue_status(args: argparse.Namespace) -> int:
     queue = WorkQueue(args.work_dir)
-    status = queue.status(args.lease_timeout)
+    deep = not args.shallow
+    status = queue.status(args.lease_timeout, deep=deep)
     print(f"work dir  : {queue.root}")
-    print(f"queued    : {status.queued}")
+    queued = f"{status.queued}"
+    if deep:
+        queued += f" ({status.queued_points} point(s))"
+    print(f"queued    : {queued}")
     print(
         f"claimed   : {status.claimed} "
         f"({status.expired} lease-expired, recoverable)"
@@ -397,6 +423,158 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
     print(f"results   : {status.results}")
     print(f"failed    : {status.failed}")
     print(f"stopping  : {'yes' if status.stopping else 'no'}")
+    if status.corrupt:
+        print(
+            f"# quarantined {status.corrupt} corrupt unit(s) into failed/ "
+            "(interrupted or foreign enqueue)"
+        )
+    return 0
+
+
+def _driver_options(args: argparse.Namespace) -> dict:
+    """Driver-specific CLI flags as :func:`make_driver` keyword options.
+
+    Each flag is validated against the chosen driver here, so ``--hosts``
+    with ``--driver local`` is a one-line ConfigError instead of an
+    unexpected-keyword traceback out of the driver constructor.
+    """
+    options: dict = {}
+    wants = {
+        "hosts_file": (getattr(args, "hosts", None), ("ssh",)),
+        "sbatch_template": (getattr(args, "sbatch_template", None), ("slurm",)),
+        "remote_cmd": (getattr(args, "remote_cmd", None), ("ssh", "slurm")),
+    }
+    for option, (value, drivers) in wants.items():
+        if value is None:
+            continue
+        if args.driver not in drivers:
+            flag = "--" + option.replace("_", "-").replace("-file", "")
+            raise ConfigError(
+                f"{flag} only applies to --driver "
+                f"{'/'.join(drivers)}, not '{args.driver}'"
+            )
+        options[option] = value
+    if getattr(args, "worker_arg", None):
+        options["worker_args"] = list(args.worker_arg)
+    return options
+
+
+def _cmd_fleet_up(args: argparse.Namespace) -> int:
+    driver = make_driver(args.driver, args.work_dir, **_driver_options(args))
+    fleet = Fleet(args.work_dir, driver)
+    handles = fleet.up(args.size)
+    for handle in handles:
+        print(f"started {handle.id}")
+    print(
+        f"fleet up: {len(handles)} {args.driver} worker(s) on "
+        f"{fleet.queue.root} (state: {fleet.state_path})"
+    )
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    fleet = Fleet.attach(args.work_dir)
+    status = fleet.status()
+    queue_status = fleet.queue.status(deep=True)
+    print(f"work dir  : {fleet.queue.root}")
+    print(f"driver    : {fleet.driver.name}")
+    print(f"workers   : {status.running}/{len(status.workers)} running")
+    for wid, state in sorted(status.workers.items()):
+        print(f"  {wid}: {state}")
+    print(
+        f"queued    : {queue_status.queued} "
+        f"({queue_status.queued_points} point(s))"
+    )
+    print(
+        f"claimed   : {queue_status.claimed} "
+        f"({queue_status.expired} lease-expired, recoverable)"
+    )
+    print(f"results   : {queue_status.results}")
+    print(f"failed    : {queue_status.failed}")
+    print(f"stopping  : {'yes' if queue_status.stopping else 'no'}")
+    return 0
+
+
+def _cmd_fleet_down(args: argparse.Namespace) -> int:
+    fleet = Fleet.attach(args.work_dir)
+    count = len(fleet.workers)
+    fleet.down(drain_timeout=args.drain_timeout)
+    print(f"fleet down: drained {count} worker(s) on {fleet.queue.root}")
+    return 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    if (args.min is None) != (args.max is None):
+        raise ConfigError("autoscaling needs both --min and --max")
+    scratch = None
+    work_dir = args.work_dir
+    if work_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        work_dir = scratch.name
+    driver_options = _driver_options(args)
+    if args.driver == "local":
+        # Local fleets are the CI/laptop path: poll fast enough that
+        # worker pickup latency never dominates a small plan.
+        driver_options.setdefault("worker_args", ["--poll", "0.05"])
+
+    def log(text: str) -> None:
+        print(f"# {text}", file=sys.stderr, flush=True)
+
+    try:
+        session = Session.fleet(
+            work_dir,
+            driver=args.driver,
+            size=args.size,
+            min_workers=args.min,
+            max_workers=args.max,
+            driver_options=driver_options,
+            timeout=args.timeout,
+            batch=getattr(args, "queue_batch", None),
+            cache=False if getattr(args, "no_cache", False) else None,
+            cache_dir=getattr(args, "cache_dir", None),
+            progress=True,
+            engine=getattr(args, "engine", None),
+        )
+        with session:
+            fleet = session._fleet
+            fleet.log = log
+            if args.test_kill_worker:
+                fleet.arm_chaos()
+            if args.spec is not None:
+                plan = Plan.load(args.spec)
+                rs = session.sweep(plan)
+                report = session.last_report
+                print(
+                    f"plan {args.spec}: {report.total} points, "
+                    f"{report.submitted} simulated, {report.cache_hits} cached"
+                )
+                if args.json is not None:
+                    records = _payload_records(rs.specs, rs.results)
+                    with open(args.json, "w", encoding="utf-8") as handle:
+                        json.dump(
+                            sanitize_nonfinite(records),
+                            handle,
+                            indent=1,
+                            sort_keys=True,
+                            allow_nan=False,
+                        )
+                    print(f"wrote {args.json} ({len(records)} records)")
+            else:
+                text = generate_report(
+                    scale=args.scale, seed=args.seed, session=session
+                )
+                with open(args.output, "w") as handle:
+                    handle.write(text)
+                print(f"wrote {args.output} ({len(text)} chars)")
+            if args.test_kill_worker and fleet.restarts < 1:
+                raise ConfigError(
+                    "--test-kill-worker: the chaos hook never fired (the "
+                    "plan drained before any unit was observed claimed) — "
+                    "use a larger plan or more workers"
+                )
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
     return 0
 
 
@@ -502,6 +680,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    if action in ("push", "pull"):
+        sync = push_cache if action == "push" else pull_cache
+        report = sync(cache, args.remote)
+        print(report.summary(action))
         return 0
     if action == "gc":
         report = cache.gc(int(args.max_mb * 1024 * 1024), dry_run=args.dry_run)
@@ -833,7 +1016,182 @@ def build_parser() -> argparse.ArgumentParser:
         help="age that counts a claimed unit's lease as expired "
         f"(default ${LEASE_TIMEOUT_ENV} or {DEFAULT_LEASE_TIMEOUT:g})",
     )
+    qstatus_p.add_argument(
+        "--shallow",
+        action="store_true",
+        help="only count files; skip reading queued units (the deep "
+        "default also counts points per unit and quarantines corrupt "
+        "unit files into failed/)",
+    )
     qstatus_p.set_defaults(fn=_cmd_queue_status)
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="raise, herd and drain 'repro queue worker' fleets through "
+        "pluggable drivers (local subprocesses, ssh, slurm)",
+    )
+    fleet_sub = fleet_p.add_subparsers(dest="fleet_cmd", required=True)
+
+    def _add_driver_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--driver",
+            choices=FLEET_DRIVERS.names(),
+            default="local",
+            help="how workers are acquired (default local)",
+        )
+        p.add_argument(
+            "-n",
+            "--size",
+            type=int,
+            default=2,
+            metavar="N",
+            help="workers to start (default 2)",
+        )
+        p.add_argument(
+            "--hosts",
+            default=None,
+            metavar="FILE",
+            help="--driver ssh: host list, one 'host [slots]' per line "
+            "('#' comments)",
+        )
+        p.add_argument(
+            "--sbatch-template",
+            default=None,
+            metavar="FILE",
+            help="--driver slurm: sbatch script template ($job_name, "
+            "$array_spec, $log_dir, $worker_cmd placeholders; "
+            "default: a minimal built-in array script)",
+        )
+        p.add_argument(
+            "--remote-cmd",
+            default=None,
+            metavar="CMD",
+            help="--driver ssh/slurm: the remote 'repro' invocation "
+            "(default 'repro'; use e.g. 'source venv/bin/activate && "
+            "repro' when the remote needs activation)",
+        )
+        p.add_argument(
+            "--worker-arg",
+            action="append",
+            default=None,
+            metavar="ARG",
+            help="extra 'repro queue worker' argument (repeatable, e.g. "
+            "--worker-arg=--heartbeat --worker-arg=0.5)",
+        )
+
+    fup_p = fleet_sub.add_parser(
+        "up", help="submit N workers against a work directory"
+    )
+    fup_p.add_argument(
+        "--work-dir",
+        required=True,
+        metavar="DIR",
+        help="the shared work directory the workers pull from",
+    )
+    _add_driver_arguments(fup_p)
+    fup_p.set_defaults(fn=_cmd_fleet_up)
+
+    fstatus_p = fleet_sub.add_parser(
+        "status",
+        help="poll a raised fleet's workers and its queue (from any "
+        "process sharing the work dir)",
+    )
+    fstatus_p.add_argument("--work-dir", required=True, metavar="DIR")
+    fstatus_p.set_defaults(fn=_cmd_fleet_status)
+
+    fdown_p = fleet_sub.add_parser(
+        "down", help="drain a raised fleet (stop sentinel, then stop hard)"
+    )
+    fdown_p.add_argument("--work-dir", required=True, metavar="DIR")
+    fdown_p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SEC",
+        help="seconds to wait for workers to finish their current unit "
+        "before stopping them (default 10)",
+    )
+    fdown_p.set_defaults(fn=_cmd_fleet_down)
+
+    frun_p = fleet_sub.add_parser(
+        "run",
+        parents=[cache_parent],
+        help="one-command fleet lifecycle: up, drain a figures/plan "
+        "sweep through the herded fleet, down",
+    )
+    frun_p.add_argument(
+        "--work-dir",
+        default=None,
+        metavar="DIR",
+        help="work directory for the fleet (default: a temporary one)",
+    )
+    _add_driver_arguments(frun_p)
+    frun_p.add_argument(
+        "--min",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscale floor (with --max): the herder retargets the "
+        "fleet between the bounds against queue depth",
+    )
+    frun_p.add_argument(
+        "--max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscale ceiling (with --min)",
+    )
+    frun_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="overall seconds to wait per plan (default: forever)",
+    )
+    frun_p.add_argument(
+        "--queue-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="points per claimable unit (default 1)",
+    )
+    frun_p.add_argument("--no-cache", action="store_true", help=argparse.SUPPRESS)
+    frun_p.add_argument(
+        "--engine",
+        default=None,
+        metavar="KERNEL",
+        help="default simulation kernel ('vectorized'/'batched')",
+    )
+    frun_p.add_argument(
+        "--scale", type=float, default=0.6, help="figures scale (default 0.6)"
+    )
+    frun_p.add_argument("--seed", type=int, default=0)
+    frun_p.add_argument(
+        "-o",
+        "--output",
+        default="EXPERIMENTS.md",
+        help="figures report path (default EXPERIMENTS.md)",
+    )
+    frun_p.add_argument(
+        "--spec",
+        default=None,
+        metavar="PLAN",
+        help="drain an exported plan file instead of the figures report",
+    )
+    frun_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="with --spec: dump one JSON record per point",
+    )
+    frun_p.add_argument(
+        "--test-kill-worker",
+        action="store_true",
+        help="restart test hook: SIGKILL one worker once real work is "
+        "observed in flight and require the herder to replace it "
+        "(local driver only; exercised by CI)",
+    )
+    frun_p.set_defaults(fn=_cmd_fleet_run)
 
     cache_p = sub.add_parser(
         "cache",
@@ -859,6 +1217,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be evicted without deleting anything",
     )
     cache_sub.add_parser("clear", parents=[cache_parent], help="delete every entry")
+    push_p = cache_sub.add_parser(
+        "push",
+        parents=[cache_parent],
+        help="copy local entries a remote cache tier is missing",
+    )
+    push_p.add_argument(
+        "--remote",
+        required=True,
+        metavar="DEST",
+        help="remote tier: a directory, rsync://host/module/path, or "
+        "host:path (goes through rsync)",
+    )
+    pull_p = cache_sub.add_parser(
+        "pull",
+        parents=[cache_parent],
+        help="merge a remote tier's entries into the local cache "
+        "(salt/spec-verified — foreign-version entries are rejected)",
+    )
+    pull_p.add_argument(
+        "--remote",
+        required=True,
+        metavar="SRC",
+        help="remote tier: a directory, rsync://host/module/path, or "
+        "host:path (goes through rsync)",
+    )
     cache_p.set_defaults(fn=_cmd_cache)
 
     wl_p = sub.add_parser("workloads", help="list Table II workloads")

@@ -19,6 +19,11 @@ parallel — and distributable — plan:
 * :mod:`repro.runner.worker` — shard and queue-unit execution plus
   result merging, the machinery behind ``repro worker run``,
   ``repro queue worker`` and ``repro plan merge``;
+* :mod:`repro.runner.fleet` — worker *acquisition* for the queue:
+  :class:`Fleet` herding (restart-on-death, autoscaling) over pluggable
+  :data:`FLEET_DRIVERS` (local subprocesses, SSH fan-out, SLURM arrays);
+* :mod:`repro.runner.sync` — remote cache sync (:func:`push_cache` /
+  :func:`pull_cache`), sharing sweep warmth across filesystems;
 * :mod:`repro.runner.cache` — :class:`ResultCache`, content-addressed
   JSON memoisation under ``.repro-cache/`` with an inter-process lock
   for structural mutations;
@@ -52,9 +57,22 @@ from .plan import (
     expand,
     shape_l2,
 )
+from .fleet import (
+    FLEET_DRIVERS,
+    AutoscalerPolicy,
+    Fleet,
+    FleetStatus,
+    LocalDriver,
+    SlurmDriver,
+    SSHDriver,
+    WorkerHandle,
+    make_driver,
+    parse_hosts_file,
+)
 from .pool import PlanReport, SweepRunner, execute_spec
 from .progress import NullProgress, Progress
 from .queue import QueueBackend, QueueStatus, WorkQueue, batch_unit_id, unit_id
+from .sync import SyncReport, pull_cache, push_cache
 from .worker import (
     MergeReport,
     load_results,
@@ -65,12 +83,17 @@ from .worker import (
 )
 
 __all__ = [
+    "AutoscalerPolicy",
     "BACKEND_NAMES",
     "Backend",
     "CACHE_SALT",
     "DEFAULT_CACHE_DIR",
+    "FLEET_DRIVERS",
     "FileShardBackend",
+    "Fleet",
+    "FleetStatus",
     "GCReport",
+    "LocalDriver",
     "LocalPoolBackend",
     "MemorySpec",
     "MergeReport",
@@ -84,17 +107,25 @@ __all__ = [
     "QueueStatus",
     "ResultCache",
     "RunSpec",
+    "SSHDriver",
+    "SlurmDriver",
     "SweepRunner",
+    "SyncReport",
     "SystemSpec",
     "WorkQueue",
+    "WorkerHandle",
     "batch_unit_id",
     "execute_spec",
     "expand",
     "load_results",
     "make_backend",
+    "make_driver",
     "materialise",
     "merge_results",
+    "parse_hosts_file",
     "payload_to_result",
+    "pull_cache",
+    "push_cache",
     "result_to_payload",
     "run_queue_worker",
     "run_shard",

@@ -136,7 +136,16 @@ class ClaimedUnit:
 
 @dataclass
 class QueueStatus:
-    """One scan of a work directory (``repro queue status``)."""
+    """One scan of a work directory (``repro queue status``).
+
+    ``queued_points`` and ``corrupt`` are only populated by a *deep*
+    scan (``status(deep=True)``), which reads every queued unit file:
+    a batched unit counts one toward ``queued`` but each of its specs
+    toward ``queued_points`` (the number the fleet autoscaler actually
+    cares about), and an unreadable unit — e.g. a zero-byte file left
+    by an interrupted enqueue — is quarantined into ``failed/`` and
+    counted in ``corrupt`` instead of ``queued``.
+    """
 
     queued: int = 0
     claimed: int = 0
@@ -144,6 +153,8 @@ class QueueStatus:
     results: int = 0
     failed: int = 0  # spec-failure reports awaiting their orchestrator
     stopping: bool = False
+    queued_points: int = 0  # specs across queued units (deep scan only)
+    corrupt: int = 0  # units quarantined by this scan (deep scan only)
 
 
 class WorkQueue:
@@ -408,7 +419,19 @@ class WorkQueue:
     def stop_requested(self) -> bool:
         return self.stop_path.exists()
 
-    def status(self, lease_timeout: float | None = None) -> QueueStatus:
+    def status(
+        self, lease_timeout: float | None = None, deep: bool = False
+    ) -> QueueStatus:
+        """One scan of the work directory.
+
+        The default scan only counts files. A *deep* scan additionally
+        reads every queued unit, counting its specs into
+        ``queued_points`` — and quarantines any unit that will not
+        parse (a zero-byte file from an interrupted enqueue, truncated
+        JSON, a mismatched id) through the same :meth:`report_failure`
+        path a worker uses for corrupt claims, so a broken unit is
+        diagnosed here instead of crashing whichever worker claims it.
+        """
         lease_timeout = (
             lease_timeout if lease_timeout is not None else default_lease_timeout()
         )
@@ -426,13 +449,34 @@ class WorkQueue:
                     continue
             if now - beat >= lease_timeout:
                 expired += 1
+        queued = 0
+        queued_points = 0
+        corrupt = 0
+        for path in sorted(self.queue_dir.glob("unit-*.json")):
+            if not deep:
+                queued += 1
+                continue
+            uid = self._uid_of(path)
+            try:
+                specs = self._load_unit(path, uid)
+            except ConfigError as exc:
+                if not path.exists():
+                    continue  # claimed under us mid-scan: not ours to judge
+                self.report_failure(uid, "status-scan", str(exc))
+                path.unlink(missing_ok=True)
+                corrupt += 1
+                continue
+            queued += 1
+            queued_points += len(specs)
         return QueueStatus(
-            queued=len(list(self.queue_dir.glob("unit-*.json"))),
+            queued=queued,
             claimed=len(claimed),
             expired=expired,
             results=len(list(self.results_dir.glob("unit-*.json"))),
             failed=len(list(self.failed_dir.glob("unit-*.json"))),
             stopping=self.stop_requested(),
+            queued_points=queued_points,
+            corrupt=corrupt,
         )
 
 

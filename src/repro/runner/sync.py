@@ -1,0 +1,195 @@
+"""Remote cache sync: share sweep warmth across filesystems.
+
+A fleet on one machine warms its local ``.repro-cache/``; a fleet on
+another filesystem starts cold. :func:`push_cache`/:func:`pull_cache`
+move entries between a local :class:`~repro.runner.cache.ResultCache`
+and a *remote tier* — either a plain directory (an NFS export, a mounted
+bucket) or an ``rsync`` target (``rsync://host/module/path`` or
+``host:path``), so ``repro cache push --remote ...`` after a fleet run
+and ``repro cache pull --remote ...`` before the next one makes warmth
+portable.
+
+Pushes are cheap and trusting: entries are content-addressed, so a file
+that already exists remotely is skipped and concurrent pushers converge.
+Pulls are *verified* exactly like PR-5 cache reads: an entry only merges
+if its stored salt matches the local cache's salt, its spec parses, and
+its content address matches its filename — a remote tier populated by a
+different code version (different salt) contributes nothing rather than
+poisoning the local cache with stale results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigError
+from .cache import ResultCache, atomic_write_json
+from .plan import RunSpec
+
+
+@dataclass
+class SyncReport:
+    """What one push/pull pass moved (and what it refused)."""
+
+    copied: int = 0
+    skipped: int = 0
+    rejected: int = 0
+    examined: int = 0
+
+    def summary(self, direction: str) -> str:
+        return (
+            f"{direction}: {self.copied} entr{'y' if self.copied == 1 else 'ies'} "
+            f"copied, {self.skipped} already present, {self.rejected} rejected "
+            f"({self.examined} examined)"
+        )
+
+
+def is_rsync_remote(remote: str) -> bool:
+    """``rsync://`` URLs and ``host:path`` specs go through rsync.
+
+    A bare path — absolute, relative, or a Windows-style drive letter —
+    is treated as a directory. ``host:path`` is recognised by a colon
+    before the first slash, rsync's own rule.
+    """
+    if remote.startswith("rsync://"):
+        return True
+    head = remote.split("/", 1)[0]
+    return ":" in head and not remote.startswith(":") and len(head.split(":")[0]) > 1
+
+
+def _rsync(source: str, dest: str) -> None:
+    argv = ["rsync", "-a", "--exclude", ".lock", "--exclude", "*.tmp", source, dest]
+    try:
+        proc = subprocess.run(argv, capture_output=True, text=True, check=False)
+    except FileNotFoundError:
+        raise ConfigError(
+            "rsync is not available on this machine — use a directory "
+            "remote, or install rsync"
+        ) from None
+    if proc.returncode != 0:
+        raise ConfigError(
+            f"rsync failed ({proc.returncode}): {' '.join(argv)}\n"
+            f"{proc.stderr.strip()}"
+        )
+
+
+def _entry_spec(cache: ResultCache, path: Path) -> RunSpec | None:
+    """The verified spec of one remote entry, or ``None`` if rejected.
+
+    Acceptance mirrors :meth:`ResultCache.get`: the entry must be JSON
+    of the ``{salt, spec, payload}`` shape, its salt must equal the
+    local cache's, its spec must parse, and its content address
+    (``sha256(salt + "\\n" + spec.key())``) must match the filename —
+    so a renamed, stale, or foreign-version entry is refused, never
+    merged.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            entry = json.load(handle)
+        if entry["salt"] != cache.salt:
+            return None
+        spec = RunSpec.from_dict(entry["spec"])
+        if cache.key_for(spec) != path.stem:
+            return None
+        if not isinstance(entry["payload"], dict):
+            return None
+    except Exception:
+        return None
+    return spec
+
+
+def _entry_paths(root: Path) -> list[Path]:
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("??/*.json"))
+
+
+def _push_to_dir(cache: ResultCache, remote_root: Path) -> SyncReport:
+    report = SyncReport()
+    remote_root.mkdir(parents=True, exist_ok=True)
+    for path in cache.entries():
+        report.examined += 1
+        dest = remote_root / path.parent.name / path.name
+        if dest.exists():
+            report.skipped += 1
+            continue
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        # Copy via temp + rename so a concurrent puller on the remote
+        # tier never reads a half-copied entry.
+        fd, tmp = tempfile.mkstemp(dir=dest.parent, suffix=".tmp")
+        os.close(fd)
+        try:
+            shutil.copyfile(path, tmp)
+            os.replace(tmp, dest)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        report.copied += 1
+    return report
+
+
+def _pull_from_dir(cache: ResultCache, remote_root: Path) -> SyncReport:
+    report = SyncReport()
+    if not remote_root.is_dir():
+        raise ConfigError(f"remote cache directory {remote_root} does not exist")
+    with cache.lock():
+        for path in _entry_paths(remote_root):
+            report.examined += 1
+            local = cache.root / path.parent.name / path.name
+            if local.exists():
+                report.skipped += 1
+                continue
+            spec = _entry_spec(cache, path)
+            if spec is None:
+                report.rejected += 1
+                continue
+            # Re-serialise through atomic_write_json rather than copying
+            # bytes: the local entry is then canonical (key-sorted,
+            # NaN-normalised) regardless of who wrote the remote file.
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            atomic_write_json(local, entry)
+            cache.writes += 1
+            report.copied += 1
+    return report
+
+
+def push_cache(cache: ResultCache, remote: str) -> SyncReport:
+    """Copy every local entry the remote tier is missing.
+
+    Directory remotes are copied entry-by-entry (temp + rename, skip
+    existing); rsync remotes hand the whole tree to ``rsync -a`` —
+    content addressing makes re-pushing idempotent either way.
+    """
+    if is_rsync_remote(remote):
+        if not cache.root.is_dir():
+            return SyncReport()
+        report = SyncReport(examined=len(cache.entries()))
+        _rsync(str(cache.root) + "/", remote.rstrip("/") + "/")
+        report.copied = report.examined
+        return report
+    return _push_to_dir(cache, Path(remote))
+
+
+def pull_cache(cache: ResultCache, remote: str) -> SyncReport:
+    """Merge the remote tier's entries into the local cache, verified.
+
+    Every candidate entry is salt-, spec- and address-checked (see
+    :func:`_entry_spec`) before it lands; the merge holds the cache
+    lock so a concurrent ``gc`` can never collect between scan and
+    write. Rsync remotes are staged into a temp directory first and
+    verified from there — remote bytes are never trusted directly.
+    """
+    if is_rsync_remote(remote):
+        with tempfile.TemporaryDirectory(prefix="repro-pull-") as staging:
+            _rsync(remote.rstrip("/") + "/", staging + "/")
+            return _pull_from_dir(cache, Path(staging))
+    return _pull_from_dir(cache, Path(remote))

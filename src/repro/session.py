@@ -383,6 +383,7 @@ class Session:
         cache: ResultCache | bool | None = None,
         cache_dir: str | os.PathLike | None = None,
         progress=None,
+        engine: str | None = None,
     ) -> "Session":
         """A session whose sweeps are executed by pull workers.
 
@@ -420,7 +421,80 @@ class Session:
             cache_dir=cache_dir,
             backend=QueueBackend(work_dir, **backend_kwargs),
             progress=progress,
+            engine=engine,
         )
+
+    @classmethod
+    def fleet(
+        cls,
+        work_dir: str | os.PathLike,
+        *,
+        driver: str = "local",
+        size: int = 2,
+        min_workers: int | None = None,
+        max_workers: int | None = None,
+        driver_options: dict | None = None,
+        herd_interval: float = 0.5,
+        lease_timeout: float | None = None,
+        poll: float | None = None,
+        timeout: float | None = None,
+        batch: int | None = None,
+        cache: ResultCache | bool | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        progress=None,
+        engine: str | None = None,
+    ) -> "Session":
+        """A :meth:`remote` session that raises its *own* worker fleet.
+
+        Where :meth:`remote` assumes someone else starts the
+        ``repro queue worker`` processes, this builds a
+        :class:`~repro.runner.Fleet` over the named
+        :data:`~repro.runner.FLEET_DRIVERS` entry (``"local"`` spawns
+        ``size`` subprocess workers on this machine), herds it on a
+        background thread — dead workers restart with backoff, and with
+        ``min_workers``/``max_workers`` set the fleet autoscales against
+        queue depth — and tears the whole fleet down when the session
+        closes::
+
+            with Session.fleet("sweep-work", size=4) as session:
+                rs = session.sweep(grid)   # the session's own workers pull
+
+        ``driver_options`` passes driver-specific knobs through
+        :func:`~repro.runner.make_driver` (``hosts_file=`` for ``ssh``,
+        ``sbatch_template=`` for ``slurm``, ``worker_args=`` for all).
+        The queue knobs (``lease_timeout``/``poll``/``timeout``/
+        ``batch``) mean exactly what they mean on :meth:`remote`.
+        """
+        from .runner.fleet import Fleet, make_driver
+
+        fleet = Fleet(
+            work_dir,
+            make_driver(driver, work_dir, **dict(driver_options or {})),
+            min_workers=min_workers,
+            max_workers=max_workers,
+        )
+        session = _FleetSession.remote(
+            work_dir,
+            lease_timeout=lease_timeout,
+            poll=poll,
+            timeout=timeout,
+            batch=batch,
+            cache=cache,
+            cache_dir=cache_dir,
+            progress=progress,
+            engine=engine,
+        )
+        assert isinstance(session, _FleetSession)
+        session._fleet = fleet
+        try:
+            fleet.up(size)
+            fleet.start_herding(herd_interval)
+        except BaseException:
+            # A failed raise (driver submit error) must not leak the
+            # workers that *did* start: close() tears the fleet down.
+            session.close()
+            raise
+        return session
 
     # -- execution -----------------------------------------------------------
 
@@ -517,6 +591,19 @@ class Session:
         if self._engine is None or spec.engine is not None:
             return spec
         return spec.with_engine(self._engine)
+
+
+class _FleetSession(Session):
+    """A queue session that owns (and tears down) its worker fleet."""
+
+    _fleet = None
+
+    def close(self) -> None:
+        super().close()
+        if self._fleet is not None:
+            fleet, self._fleet = self._fleet, None
+            fleet.stop_herding()
+            fleet.down()
 
 
 # ---------------------------------------------------------------------------

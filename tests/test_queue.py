@@ -185,6 +185,42 @@ class TestWorkQueue:
         assert status.expired == 1  # only the lapsed lease
         assert status.failed == 1  # the report, not the expiry
 
+    def test_deep_status_counts_points_in_batched_units(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue_batch(small_specs())
+        queue.enqueue(RunSpec("st", scale=SCALE, seed=7))
+        status = queue.status(deep=True)
+        assert status.queued == 2
+        assert status.queued_points == 3
+        assert status.corrupt == 0
+
+    def test_deep_status_quarantines_zero_byte_unit(self, tmp_path):
+        # An interrupted enqueue can leave a zero-byte unit file; a
+        # status scan must diagnose it — through the same failed/ path a
+        # worker uses for corrupt claims — not crash or count it queued.
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        (queue.queue_dir / "unit-deadbeef.json").touch()
+        status = queue.status(deep=True)
+        assert status.queued == 1
+        assert status.corrupt == 1
+        assert status.failed == 1  # the quarantine report
+        assert not queue.queued_path("deadbeef").exists()
+        report = json.loads(queue.failed_path("deadbeef").read_text())
+        assert report["worker"] == "status-scan"
+        # The next scan sees a clean queue: quarantine is once-only.
+        again = queue.status(deep=True)
+        assert again.corrupt == 0
+        assert again.failed == 1
+
+    def test_shallow_status_leaves_corrupt_units_alone(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        (queue.queue_dir / "unit-deadbeef.json").touch()
+        status = queue.status()
+        assert status.queued == 1  # counted, unread
+        assert status.corrupt == 0
+        assert queue.queued_path("deadbeef").exists()
+
 
 class TestQueueWorker:
     def test_worker_drains_queue_and_reports(self, tmp_path):
@@ -640,10 +676,31 @@ class TestQueueCLI:
         rc = cli_main(["queue", "status", "--work-dir", str(tmp_path / "work")])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "queued    : 1" in out
+        assert "queued    : 1 (1 point(s))" in out
         assert "(0 lease-expired, recoverable)" in out
         assert "failed    : 0" in out
         assert "stopping  : no" in out
+
+    def test_status_command_reports_zero_byte_quarantine(self, tmp_path, capsys):
+        queue = WorkQueue(tmp_path / "work").ensure()
+        (queue.queue_dir / "unit-deadbeef.json").touch()
+        rc = cli_main(["queue", "status", "--work-dir", str(tmp_path / "work")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "queued    : 0" in out
+        assert "failed    : 1" in out
+        assert "quarantined 1 corrupt unit(s) into failed/" in out
+
+    def test_status_command_shallow_skips_the_deep_scan(self, tmp_path, capsys):
+        queue = WorkQueue(tmp_path / "work").ensure()
+        (queue.queue_dir / "unit-deadbeef.json").touch()
+        rc = cli_main(
+            ["queue", "status", "--shallow", "--work-dir", str(tmp_path / "work")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "queued    : 1\n" in out
+        assert "quarantined" not in out
 
     def test_worker_command_max_units(self, tmp_path, capsys):
         queue = WorkQueue(tmp_path / "work").ensure()
