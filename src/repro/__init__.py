@@ -26,6 +26,7 @@ from .api import (
     make_system,
     run_workload,
 )
+from .client import SweepClient
 from .resultset import ResultSet
 from .runner import ResultCache, RunSpec, SweepRunner, expand
 from .session import Grid, Session, default_session
@@ -40,6 +41,7 @@ __all__ = [
     "ResultSet",
     "RunSpec",
     "Session",
+    "SweepClient",
     "SweepRunner",
     "SystemSpec",
     "WORKLOADS",

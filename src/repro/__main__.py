@@ -17,13 +17,15 @@ Usage::
     python -m repro plan merge r0.json r1.json ...
     python -m repro queue worker --work-dir work/ &
     python -m repro sweep --backend queue --work-dir work/ --workloads ds
-    python -m repro queue status --work-dir work/
+    python -m repro queue status --work-dir work/ [--json]
+    python -m repro serve --work work/ --port 8080
     python -m repro fleet run --driver local -n 4 --scale 0.25 -o EXP.md
     python -m repro fleet up --work-dir work/ --driver ssh --hosts hosts.txt -n 8
     python -m repro fleet status --work-dir work/
     python -m repro fleet down --work-dir work/
     python -m repro cache
     python -m repro cache gc --max-mb 64 --dry-run
+    python -m repro cache gc --max-mb 16 --tenant alice
     python -m repro cache clear
     python -m repro cache push --remote /mnt/shared/repro-cache
     python -m repro cache pull --remote rsync://host/module/repro-cache
@@ -57,6 +59,12 @@ down. ``cache gc`` bounds the cache's size with least-recently-accessed
 eviction, and ``cache push``/``pull --remote`` sync entries with a
 shared directory or rsync tier so fleets on different filesystems share
 warmth (pulls are salt/spec-verified, exactly like cache reads).
+``serve`` turns the same machinery into a long-lived daemon: sweeps
+arrive over HTTP (``POST /v1/sweeps``), dedupe point-by-point against
+the cache, and only the misses hit the queue — see
+:mod:`repro.server` and ``docs/server.md``. An ``X-Repro-Tenant``
+header selects an isolated per-tenant cache namespace, which ``cache
+gc/clear --tenant`` manage individually.
 
 ``sweep`` expands its axis flags through a declarative
 :class:`~repro.session.Grid` and dumps its ``--json`` payload from the
@@ -90,6 +98,7 @@ from .runner import (
     run_queue_worker,
     run_shard,
     trace_to_payload,
+    units_per_minute,
     write_results,
 )
 from .runner.fleet import make_driver
@@ -411,6 +420,12 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
     queue = WorkQueue(args.work_dir)
     deep = not args.shallow
     status = queue.status(args.lease_timeout, deep=deep)
+    if args.json:
+        # The machine contract: the same document 'repro serve' embeds
+        # under "queue" in GET /v1/stats.
+        document = {"work_dir": str(queue.root), **status.to_dict()}
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     print(f"work dir  : {queue.root}")
     queued = f"{status.queued}"
     if deep:
@@ -428,6 +443,40 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
             f"# quarantined {status.corrupt} corrupt unit(s) into failed/ "
             "(interrupted or foreign enqueue)"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    # Imported lazily: the server package is only needed by this one
+    # subcommand, and every other CLI path should not pay for it.
+    from .server import SweepEngine, SweepServer
+
+    engine = SweepEngine(
+        args.work_dir,
+        cache_dir=getattr(args, "cache_dir", None),
+        lease_timeout=args.lease_timeout,
+        engine=args.engine,
+    )
+
+    async def _serve() -> None:
+        server = SweepServer(engine, host=args.host, port=args.port)
+        await server.start()
+        # Flushed immediately so scripts (and CI) can scrape the bound
+        # port even when --port 0 asked the OS to pick one.
+        print(f"serving on http://{server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -492,6 +541,17 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     print(f"results   : {queue_status.results}")
     print(f"failed    : {queue_status.failed}")
     print(f"stopping  : {'yes' if queue_status.stopping else 'no'}")
+    stats = fleet.queue.worker_stats()
+    if stats:
+        print("throughput:")
+        for entry in stats:
+            rate = units_per_minute(entry)
+            print(
+                f"  {entry.get('worker')}: {entry.get('units', 0)} unit(s), "
+                f"{entry.get('points', 0)} point(s), "
+                f"{entry.get('failures', 0)} failure(s), "
+                f"{rate:.1f} units/min"
+            )
     return 0
 
 
@@ -670,10 +730,17 @@ def _print_cache_stats(cache: ResultCache) -> None:
     print(f"cache dir : {cache.root}")
     print(f"entries   : {len(entries)}")
     print(f"size      : {size / 1024:.1f} KiB")
+    if cache.tenant is None:
+        tenants = cache.tenants()
+        if tenants:
+            print(f"tenants   : {', '.join(tenants)} (scope with --tenant)")
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = ResultCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
+    cache = ResultCache(
+        resolve_cache_dir(getattr(args, "cache_dir", None)),
+        tenant=getattr(args, "tenant", None),
+    )
     action = getattr(args, "cache_cmd", None)
     if action is None:
         action = "clear" if args.clear else "stats"
@@ -1023,7 +1090,58 @@ def build_parser() -> argparse.ArgumentParser:
         "default also counts points per unit and quarantines corrupt "
         "unit files into failed/)",
     )
+    qstatus_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the scan as a JSON document (the same shape 'repro "
+        "serve' reports under \"queue\" in /v1/stats)",
+    )
     qstatus_p.set_defaults(fn=_cmd_queue_status)
+
+    serve_p = sub.add_parser(
+        "serve",
+        parents=[cache_parent],
+        help="sweep-as-a-service daemon: accept sweep submissions over "
+        "HTTP, dedupe against the cache, enqueue misses on the work "
+        "queue (drain with 'queue worker' or 'fleet up')",
+    )
+    serve_p.add_argument(
+        "--work",
+        "--work-dir",
+        dest="work_dir",
+        required=True,
+        metavar="DIR",
+        help="the shared work directory (queue units + sweep ledger)",
+    )
+    serve_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help="bind port (default 8080; 0 = OS-assigned, printed on start)",
+    )
+    serve_p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="age that counts a claimed unit's lease as expired "
+        f"(default ${LEASE_TIMEOUT_ENV} or {DEFAULT_LEASE_TIMEOUT:g})",
+    )
+    serve_p.add_argument(
+        "--engine",
+        default=None,
+        metavar="KERNEL",
+        help="default simulation kernel for submitted points "
+        "('vectorized'/'batched'); a speed knob — results are "
+        "bit-identical, but it changes cache keys",
+    )
+    serve_p.set_defaults(fn=_cmd_serve)
 
     fleet_p = sub.add_parser(
         "fleet",
@@ -1193,17 +1311,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     frun_p.set_defaults(fn=_cmd_fleet_run)
 
+    tenant_parent = argparse.ArgumentParser(add_help=False)
+    tenant_parent.add_argument(
+        "--tenant",
+        default=argparse.SUPPRESS,
+        metavar="NAME",
+        help="scope to one server tenant's cache namespace "
+        "(default: the shared default namespace)",
+    )
+
     cache_p = sub.add_parser(
         "cache",
-        parents=[cache_parent],
+        parents=[cache_parent, tenant_parent],
         help="inspect, garbage-collect or clear the result cache",
     )
     cache_p.add_argument("--clear", action="store_true", help="same as 'cache clear'")
     cache_sub = cache_p.add_subparsers(dest="cache_cmd")
     gc_p = cache_sub.add_parser(
         "gc",
-        parents=[cache_parent],
-        help="evict least-recently-accessed entries over a size bound",
+        parents=[cache_parent, tenant_parent],
+        help="evict least-recently-accessed entries over a size bound "
+        "(per-tenant with --tenant)",
     )
     gc_p.add_argument(
         "--max-mb",
@@ -1216,7 +1344,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report what would be evicted without deleting anything",
     )
-    cache_sub.add_parser("clear", parents=[cache_parent], help="delete every entry")
+    cache_sub.add_parser(
+        "clear",
+        parents=[cache_parent, tenant_parent],
+        help="delete every entry (per-tenant with --tenant)",
+    )
     push_p = cache_sub.add_parser(
         "push",
         parents=[cache_parent],

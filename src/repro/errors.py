@@ -38,6 +38,20 @@ class ProgramError(ReproError):
     """
 
 
+class ServerError(ReproError):
+    """A ``repro serve`` request failed.
+
+    Raised by :class:`repro.client.SweepClient` when the daemon answers
+    with an HTTP error (the server's JSON ``error`` message becomes the
+    exception text) or cannot be reached at all. The HTTP status code,
+    when there is one, is on :attr:`status`.
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class WorkloadError(ReproError):
     """A workload specification cannot be realised.
 

@@ -69,6 +69,9 @@ DERIVED_AXES: tuple[str, ...] = (
     "ooo_window",
 )
 
+#: Formats :meth:`ResultSet.render` (and the server's ``?format=``) accept.
+RESULT_FORMATS: tuple[str, ...] = ("json", "csv", "markdown")
+
 _MISSING = object()
 
 _DERIVED_DEFAULTS: dict[str, object] | None = None
@@ -468,3 +471,26 @@ class ResultSet:
         if path is not None:
             Path(path).write_text(text + "\n", encoding="utf-8")
         return text
+
+    def render(self, fmt: str = "json") -> str:
+        """One of :data:`RESULT_FORMATS` as text, newline-terminated.
+
+        The single dispatch point behind every "give me this ResultSet
+        as FORMAT" surface — the server's ``?format=`` query parameter
+        in particular — so a format name is validated (and spelled) in
+        exactly one place. The JSON flavour is byte-identical to what
+        :meth:`to_json` writes to a file, which is what lets CI ``cmp``
+        a served result body against a local ``--json`` dump.
+        """
+        if fmt not in RESULT_FORMATS:
+            raise ConfigError(
+                f"unknown result format '{fmt}' "
+                f"(known: {', '.join(RESULT_FORMATS)})"
+            )
+        if fmt == "csv":
+            text = self.to_csv()
+        elif fmt == "markdown":
+            text = self.to_markdown()
+        else:
+            text = self.to_json()
+        return text if text.endswith("\n") else text + "\n"

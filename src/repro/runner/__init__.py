@@ -46,7 +46,9 @@ from .cache import (
     materialise,
     payload_to_result,
     result_to_payload,
+    tenant_salt,
     trace_to_payload,
+    validate_tenant,
 )
 from .plan import (
     PLAN_FORMAT,
@@ -71,7 +73,14 @@ from .fleet import (
 )
 from .pool import PlanReport, SweepRunner, execute_spec
 from .progress import NullProgress, Progress
-from .queue import QueueBackend, QueueStatus, WorkQueue, batch_unit_id, unit_id
+from .queue import (
+    QueueBackend,
+    QueueStatus,
+    WorkQueue,
+    batch_unit_id,
+    unit_id,
+    units_per_minute,
+)
 from .sync import SyncReport, pull_cache, push_cache
 from .worker import (
     MergeReport,
@@ -130,7 +139,10 @@ __all__ = [
     "run_queue_worker",
     "run_shard",
     "shape_l2",
+    "tenant_salt",
     "trace_to_payload",
     "unit_id",
+    "units_per_minute",
+    "validate_tenant",
     "write_results",
 ]

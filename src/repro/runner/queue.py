@@ -61,8 +61,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from ..errors import ConfigError, SimulationError
@@ -116,6 +117,26 @@ def batch_unit_id(specs) -> str:
     return hashlib.sha256(joined.encode()).hexdigest()[:32]
 
 
+def units_per_minute(stats: dict) -> float:
+    """Recent throughput of one worker-stats document, in units/min.
+
+    Measured over the span of the retained completion timestamps (the
+    last :attr:`WorkQueue.STATS_TIMESTAMPS` units), so the number keeps
+    reflecting *current* pace on long sweeps. Fewer than two recorded
+    completions — or a clock that went backwards — reads as 0.0 rather
+    than a spurious rate.
+    """
+    timestamps = [
+        t for t in stats.get("timestamps", []) if isinstance(t, (int, float))
+    ]
+    if len(timestamps) < 2:
+        return 0.0
+    span = timestamps[-1] - timestamps[0]
+    if span <= 0:
+        return 0.0
+    return 60.0 * (len(timestamps) - 1) / span
+
+
 @dataclass(frozen=True)
 class ClaimedUnit:
     """A unit a worker has exclusive ownership of (claim + lease)."""
@@ -156,6 +177,16 @@ class QueueStatus:
     queued_points: int = 0  # specs across queued units (deep scan only)
     corrupt: int = 0  # units quarantined by this scan (deep scan only)
 
+    def to_dict(self) -> dict:
+        """The scan as a JSON-ready dict.
+
+        The machine-readable contract behind ``repro queue status
+        --json`` and the server's ``/v1/stats`` — both consume this
+        method, so scripts (fleet autoscalers, dashboards) never have
+        to scrape the human-formatted status text.
+        """
+        return asdict(self)
+
 
 class WorkQueue:
     """The on-disk queue protocol: enqueue, claim, lease, report, recover.
@@ -173,6 +204,7 @@ class WorkQueue:
         self.lease_dir = self.root / "leases"
         self.results_dir = self.root / "results"
         self.failed_dir = self.root / "failed"
+        self.workers_dir = self.root / "workers"
         self.stop_path = self.root / "stop"
 
     def ensure(self) -> "WorkQueue":
@@ -413,6 +445,74 @@ class WorkQueue:
                 "misplaced unit file"
             )
         return specs
+
+    # -- worker throughput ---------------------------------------------------
+
+    #: Completion timestamps retained per worker stats file — enough to
+    #: estimate a recent rate without the file growing with the sweep.
+    STATS_TIMESTAMPS = 64
+
+    def worker_stats_path(self, worker_id: str) -> Path:
+        """Stats file for one worker id (sanitised to a safe filename)."""
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", worker_id)[:120]
+        return self.workers_dir / f"{safe}.json"
+
+    def record_completion(
+        self, worker_id: str, points: int = 1, failed: bool = False
+    ) -> None:
+        """Fold one finished unit into the worker's throughput stats.
+
+        Called by :func:`~repro.runner.worker.run_queue_worker` after
+        every unit (success or failure report). The file keeps running
+        unit/point/failure counts plus the last
+        :data:`STATS_TIMESTAMPS` completion times — the raw material
+        for ``repro fleet status``'s units/min column and the server's
+        ``/v1/stats``. Best-effort: a corrupt or unwritable stats file
+        must never take a worker down, so errors degrade to a fresh
+        document (or are swallowed entirely on write).
+        """
+        path = self.worker_stats_path(worker_id)
+        now = time.time()
+        try:
+            stats = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(stats, dict):
+                raise ValueError("stats file is not an object")
+        except (OSError, ValueError):
+            stats = {"worker": worker_id, "started_at": now}
+        stats["worker"] = worker_id
+        stats.setdefault("started_at", now)
+        stats["units"] = int(stats.get("units", 0)) + 1
+        stats["points"] = int(stats.get("points", 0)) + max(1, int(points))
+        stats["failures"] = int(stats.get("failures", 0)) + (1 if failed else 0)
+        timestamps = [
+            t for t in stats.get("timestamps", []) if isinstance(t, (int, float))
+        ]
+        timestamps.append(now)
+        stats["timestamps"] = timestamps[-self.STATS_TIMESTAMPS :]
+        stats["last_done_at"] = now
+        try:
+            atomic_write_json(path, stats)
+        except OSError:  # pragma: no cover - unwritable work dir
+            pass
+
+    def worker_stats(self) -> list[dict]:
+        """Every worker's recorded stats, sorted by worker id.
+
+        Unreadable files are skipped (a worker may be mid-rewrite on a
+        filesystem without atomic rename); consumers get only documents
+        that parsed.
+        """
+        if not self.workers_dir.is_dir():
+            return []
+        stats = []
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(doc, dict) and doc.get("worker"):
+                stats.append(doc)
+        return sorted(stats, key=lambda d: str(d.get("worker")))
 
     # -- introspection -------------------------------------------------------
 

@@ -202,6 +202,9 @@ def run_queue_worker(
         emit(f"worker {worker_id}: claimed {unit.id[:12]} ({label})")
         error = _process_unit(queue, unit, worker_id, heartbeat)
         done += 1
+        queue.record_completion(
+            worker_id, points=len(unit.specs), failed=error is not None
+        )
         if error is not None:
             emit(f"worker {worker_id}: unit {unit.id[:12]} failed: {error}")
         else:

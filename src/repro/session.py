@@ -359,9 +359,33 @@ class Session:
         return self.runner.last_report
 
     def close(self) -> None:
-        """Release owned worker resources (idempotent; session stays usable)."""
-        if self._runner is not None and self._owns_runner:
-            self._runner.close()
+        """Release owned worker resources (idempotent; session stays usable).
+
+        Safe from any teardown context — ``__del__``, ``atexit``, a
+        daemon's shutdown path: every failure mode of releasing an
+        already-gone resource (a pool whose processes died with the
+        interpreter, a module torn down mid-exit) is swallowed rather
+        than raised, because close-on-teardown has no caller that can
+        act on the error.
+        """
+        # getattr: a Session whose __init__ raised (mutually-exclusive
+        # knobs) is still finalised by __del__, before these exist.
+        runner = getattr(self, "_runner", None)
+        if runner is None or not getattr(self, "_owns_runner", False):
+            return
+        try:
+            runner.close()
+        except Exception:
+            pass
+
+    def __del__(self) -> None:
+        # Interpreter shutdown may have already dismantled the modules
+        # close() touches; a Session left to the garbage collector must
+        # never surface that as an "Exception ignored in __del__" noise.
+        try:
+            self.close()
+        except BaseException:
+            pass
 
     def __enter__(self) -> "Session":
         return self

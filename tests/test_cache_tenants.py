@@ -1,0 +1,169 @@
+"""Multi-tenant cache namespaces: salts, directories, scoped gc/clear.
+
+The isolation contract behind the server's ``X-Repro-Tenant`` header:
+
+* each tenant addresses entries with its own salt *and* its own
+  subdirectory, so namespaces are disjoint two independent ways;
+* the default (tenant-less) namespace is exactly what local Sessions
+  use — tenant traffic never pollutes it;
+* ``repro cache gc/clear --tenant`` bound one tenant's quota without
+  touching anyone else's entries.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.errors import ConfigError
+from repro.runner import ResultCache, RunSpec, tenant_salt, validate_tenant
+from repro.runner.cache import TENANTS_DIR
+from repro.session import Session
+
+SCALE = 0.05
+
+
+def payload_for(n: int) -> dict:
+    return {"kind": "trace", "trace": {"n": n}}
+
+
+class TestTenantNames:
+    @pytest.mark.parametrize("name", ["alice", "a", "team-7", "a.b_c", "X" * 64])
+    def test_valid_names_pass_through(self, name):
+        assert validate_tenant(name) == name
+
+    @pytest.mark.parametrize(
+        "name", ["", ".hidden", "-flag", "a/b", "a b", "x" * 65, "é", None, 42]
+    )
+    def test_invalid_names_are_config_errors(self, name):
+        with pytest.raises(ConfigError, match="invalid tenant name"):
+            validate_tenant(name)
+
+    def test_tenant_salt_suffixes_the_base(self):
+        assert tenant_salt("alice", base="S") == "S:tenant:alice"
+        assert tenant_salt("alice", base="S") != tenant_salt("bob", base="S")
+        # Default base folds in the code fingerprint.
+        assert tenant_salt("alice").endswith(":tenant:alice")
+
+
+class TestTenantNamespaces:
+    def test_same_spec_different_tenants_is_disjoint(self, tmp_path):
+        spec = RunSpec("st", scale=SCALE)
+        default = ResultCache(tmp_path)
+        alice = default.for_tenant("alice")
+        bob = default.for_tenant("bob")
+
+        assert default.salt != alice.salt != bob.salt
+        assert alice.root == tmp_path / TENANTS_DIR / "alice"
+        assert alice.key_for(spec) != bob.key_for(spec)
+        assert alice.key_for(spec) != default.key_for(spec)
+
+        alice.put(spec, payload_for(1))
+        assert alice.get(spec) == payload_for(1)
+        assert bob.get(spec) is None
+        assert default.get(spec) is None
+        # The default namespace's entry scan does not see tenant dirs.
+        assert default.entries() == []
+        assert len(alice) == 1
+
+    def test_copied_entries_degrade_to_misses_across_namespaces(self, tmp_path):
+        # Even with the file copied to the right *path* in another
+        # namespace, the stored salt no longer matches: served as a miss.
+        spec = RunSpec("st", scale=SCALE)
+        alice = ResultCache(tmp_path, tenant="alice")
+        bob = ResultCache(tmp_path, tenant="bob")
+        source = alice.put(spec, payload_for(1))
+        target = bob.path_for(spec)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(source.read_bytes())
+        assert bob.get(spec) is None
+
+    def test_for_tenant_is_identity_on_same_namespace(self, tmp_path):
+        cache = ResultCache(tmp_path, tenant="alice")
+        assert cache.for_tenant("alice") is cache
+        assert cache.for_tenant(None).tenant is None
+        assert cache.for_tenant(None).base_salt == cache.base_salt
+
+    def test_tenants_listing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.tenants() == []
+        cache.for_tenant("bob").put(RunSpec("st", scale=SCALE), payload_for(1))
+        cache.for_tenant("alice").put(RunSpec("st", scale=SCALE), payload_for(2))
+        assert cache.tenants() == ["alice", "bob"]
+        # A tenant-scoped cache lists the same set (shared root).
+        assert cache.for_tenant("alice").tenants() == ["alice", "bob"]
+
+    def test_default_namespace_matches_local_session(self, tmp_path):
+        # A server running the default tenant and a local Session share
+        # the namespace: the session's sweep is a warm hit for for_tenant(None).
+        spec = RunSpec("st", scale=SCALE)
+        with Session(cache_dir=tmp_path) as session:
+            session.sweep([spec])
+        assert ResultCache(tmp_path).for_tenant(None).get(spec) is not None
+        assert ResultCache(tmp_path, tenant="alice").get(spec) is None
+
+
+class TestTenantScopedCLI:
+    def seed(self, tmp_path, tenant, count) -> ResultCache:
+        cache = ResultCache(tmp_path, tenant=tenant)
+        for n in range(count):
+            cache.put(RunSpec("st", scale=SCALE, seed=n), payload_for(n))
+        return cache
+
+    def test_gc_tenant_scopes_eviction(self, tmp_path, capsys):
+        alice = self.seed(tmp_path, "alice", 4)
+        bob = self.seed(tmp_path, "bob", 3)
+        default = self.seed(tmp_path, None, 2)
+        rc = cli_main(
+            [
+                "cache",
+                "gc",
+                "--cache-dir",
+                str(tmp_path),
+                "--tenant",
+                "alice",
+                "--max-mb",
+                "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evicted 4/4" in out
+        assert str(alice.root) in out
+        assert len(alice.entries()) == 0
+        assert len(bob.entries()) == 3  # untouched
+        assert len(default.entries()) == 2  # untouched
+
+    def test_clear_tenant_scopes_deletion(self, tmp_path, capsys):
+        self.seed(tmp_path, "alice", 2)
+        bob = self.seed(tmp_path, "bob", 2)
+        rc = cli_main(
+            ["cache", "clear", "--cache-dir", str(tmp_path), "--tenant", "alice"]
+        )
+        assert rc == 0
+        assert "cleared 2 entries" in capsys.readouterr().out
+        assert len(bob.entries()) == 2
+
+    def test_stats_lists_tenants(self, tmp_path, capsys):
+        self.seed(tmp_path, "alice", 1)
+        self.seed(tmp_path, None, 1)
+        rc = cli_main(["cache", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "entries   : 1" in out
+        assert "tenants   : alice" in out
+        # Scoped stats report the tenant's own namespace, no listing.
+        rc = cli_main(
+            ["cache", "--cache-dir", str(tmp_path), "--tenant", "alice"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tenants   :" not in out
+        assert str(TENANTS_DIR) in out
+
+    def test_bad_tenant_name_is_clean_cli_error(self, tmp_path, capsys):
+        rc = cli_main(
+            ["cache", "--cache-dir", str(tmp_path), "--tenant", "../escape"]
+        )
+        assert rc == 2
+        assert "invalid tenant name" in capsys.readouterr().err

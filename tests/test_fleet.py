@@ -33,6 +33,7 @@ from repro.runner import (
     SlurmDriver,
     SSHDriver,
     WorkerHandle,
+    WorkQueue,
     expand,
     make_driver,
     parse_hosts_file,
@@ -629,6 +630,16 @@ class TestFleetCLI:
         out = capsys.readouterr().out
         assert "driver    : local" in out
         assert "1/1 running" in out
+        assert "throughput:" not in out  # nothing executed yet
+        # Completions recorded by workers surface as per-worker rates.
+        queue = WorkQueue(work)
+        queue.record_completion("w:1", points=2)
+        queue.record_completion("w:1", points=2)
+        assert cli_main(["fleet", "status", "--work-dir", work]) == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "w:1: 2 unit(s), 4 point(s), 0 failure(s)" in out
+        assert "units/min" in out
         assert cli_main(["fleet", "down", "--work-dir", work]) == 0
         assert "drained 1 worker(s)" in capsys.readouterr().out
         assert cli_main(["fleet", "status", "--work-dir", work]) == 2

@@ -739,3 +739,80 @@ class TestQueueCLI:
         assert rc == 2
         assert "work-dir" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestWorkerStats:
+    def test_record_completion_accumulates(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.record_completion("w1", points=2)
+        queue.record_completion("w1", points=3, failed=True)
+        queue.record_completion("w2")
+        stats = {s["worker"]: s for s in queue.worker_stats()}
+        assert stats["w1"]["units"] == 2
+        assert stats["w1"]["points"] == 5
+        assert stats["w1"]["failures"] == 1
+        assert stats["w2"]["units"] == 1
+        assert len(stats["w1"]["timestamps"]) == 2
+        assert stats["w1"]["started_at"] <= stats["w1"]["last_done_at"]
+
+    def test_timestamps_are_bounded(self, tmp_path):
+        bound = WorkQueue.STATS_TIMESTAMPS
+        queue = WorkQueue(tmp_path).ensure()
+        for _ in range(bound + 10):
+            queue.record_completion("w1")
+        (stats,) = queue.worker_stats()
+        assert len(stats["timestamps"]) == bound
+        assert stats["units"] == bound + 10
+
+    def test_units_per_minute(self):
+        from repro.runner.queue import units_per_minute
+
+        # 3 completions over 30 seconds: 2 intervals -> 4 units/min.
+        assert units_per_minute({"timestamps": [0.0, 10.0, 30.0]}) == 4.0
+        assert units_per_minute({"timestamps": [5.0]}) == 0.0
+        assert units_per_minute({"timestamps": []}) == 0.0
+        assert units_per_minute({}) == 0.0
+        # A zero span (same-instant burst) must not divide by zero.
+        assert units_per_minute({"timestamps": [7.0, 7.0]}) == 0.0
+
+    def test_worker_ids_are_sanitised_and_corrupt_files_skipped(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.record_completion("host:1/evil id")
+        path = queue.worker_stats_path("host:1/evil id")
+        assert path.parent == queue.workers_dir
+        assert "/" not in path.name.replace(path.suffix, "")
+        (queue.workers_dir / "junk.json").write_text("{broken")
+        stats = queue.worker_stats()
+        assert [s["worker"] for s in stats] == ["host:1/evil id"]
+
+    def test_queue_worker_records_throughput(self, tmp_path):
+        queue = WorkQueue(tmp_path).ensure()
+        for spec in small_specs():
+            queue.enqueue(spec)
+        done = run_queue_worker(tmp_path, worker_id="bench", max_units=2, poll=0.02)
+        assert done == 2
+        (stats,) = queue.worker_stats()
+        assert stats["worker"] == "bench"
+        assert stats["units"] == 2
+        assert stats["points"] == 2
+        assert stats["failures"] == 0
+        from repro.runner.queue import units_per_minute
+
+        assert units_per_minute(stats) > 0.0
+
+    def test_queue_status_json_contract(self, tmp_path, capsys):
+        queue = WorkQueue(tmp_path).ensure()
+        queue.enqueue(RunSpec("st", scale=SCALE))
+        rc = cli_main(["queue", "status", "--work-dir", str(tmp_path), "--json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["work_dir"] == str(tmp_path)
+        assert document["queued"] == 1
+        assert document["queued_points"] == 1
+        assert document["claimed"] == 0
+        assert document["stopping"] is False
+        # The document mirrors QueueStatus.to_dict(), field for field.
+        status = queue.status(deep=True)
+        assert {k: v for k, v in document.items() if k != "work_dir"} == (
+            status.to_dict()
+        )

@@ -484,3 +484,46 @@ class TestCLISessionFlags:
         records = json.loads(out.read_text())
         assert [r["mechanism"] for r in records] == ["inorder", "nvr"]
         assert all("total_cycles" in r for r in records)
+
+
+class TestSessionClose:
+    def test_close_is_idempotent(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.run("st", scale=SCALE)
+        session.close()
+        session.close()  # a second close is a no-op, not an error
+
+    def test_close_before_first_use_is_safe(self, tmp_path):
+        Session(cache_dir=tmp_path).close()
+
+    def test_close_survives_a_failed_constructor(self):
+        # __del__ fires even when __init__ raised before any attribute
+        # was set; close() must not turn that into an AttributeError.
+        with pytest.raises(ConfigError):
+            Session(runner=object(), jobs=4)
+        broken = Session.__new__(Session)
+        broken.close()  # no _runner/_owns_runner attributes at all
+        del broken
+
+    def test_del_closes_silently(self, tmp_path):
+        # Interpreter-shutdown/atexit path: __del__ must swallow every
+        # close-time error rather than spray "Exception ignored in".
+        session = Session(cache_dir=tmp_path)
+        session.run("st", scale=SCALE)
+
+        def explode():
+            raise RuntimeError("backend already torn down")
+
+        session._runner.close = explode
+        session.__del__()  # swallowed
+        session._runner = None  # let the real del find nothing to do
+
+    def test_wrapped_runner_is_not_closed(self, tmp_path):
+        from repro.runner import ResultCache, SweepRunner
+
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        closed = []
+        runner.close = lambda: closed.append(True)
+        session = Session(runner=runner)
+        session.close()
+        assert closed == []  # the session never owned it
