@@ -84,6 +84,7 @@ from .analysis.experiments import ABLATION_WORKLOADS, ABLATIONS
 from .analysis.paperfigs import figures_plan, generate_report
 from .analysis.profile import PROFILE_ENGINES, profile_grid, profile_json
 from .api import DTYPE_BYTES, MECHANISM_ORDER, compare_mechanisms
+from .check import cli as check_cli
 from .errors import ConfigError, ReproError
 from .runner import (
     FLEET_DRIVERS,
@@ -352,7 +353,13 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
             "seed": args.seed,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(record, handle, indent=2)
+            json.dump(
+                sanitize_nonfinite(record),
+                handle,
+                indent=2,
+                sort_keys=True,
+                allow_nan=False,
+            )
         print(f"# wrote {args.json}")
     return 0
 
@@ -424,7 +431,7 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
         # The machine contract: the same document 'repro serve' embeds
         # under "queue" in GET /v1/stats.
         document = {"work_dir": str(queue.root), **status.to_dict()}
-        print(json.dumps(document, indent=2, sort_keys=True))
+        print(json.dumps(document, indent=2, sort_keys=True, allow_nan=False))
         return 0
     print(f"work dir  : {queue.root}")
     queued = f"{status.queued}"
@@ -806,6 +813,10 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     )
     print(f"total: {report.total_bits} bits ({report.total_kib:.2f} KiB)")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    return check_cli.run(args)
 
 
 def _add_sweep_axis_arguments(parser: argparse.ArgumentParser) -> None:
@@ -1425,6 +1436,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seed", type=int, default=0)
     fig_p.add_argument("-o", "--output", default="EXPERIMENTS.md")
     fig_p.set_defaults(fn=_cmd_figures)
+
+    check_p = sub.add_parser(
+        "check",
+        help="static analysis: machine-check the repo's correctness "
+        "contracts (rule catalog in docs/static-analysis.md)",
+    )
+    check_cli.add_arguments(check_p)
+    check_p.set_defaults(fn=_cmd_check)
     return parser
 
 

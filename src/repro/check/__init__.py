@@ -1,0 +1,28 @@
+"""``repro check``: invariant-aware static analysis for this repo.
+
+The package machine-checks the correctness contracts the runtime
+relies on — atomic durable writes, canonical JSON, deterministic hash
+paths, a non-blocking server loop, no silent broad excepts, rename-only
+queue moves. See ``docs/static-analysis.md`` for the rule catalog.
+
+Importing this package loads the rule pack into :data:`CHECK_RULES`.
+"""
+
+from .base import CHECK_RULES, FileContext, Finding, Rule, register_rule
+from .config import CheckConfig, load_config
+from .engine import PARSE_ERROR_CODE, Report, run_check
+from . import rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "CHECK_RULES",
+    "CheckConfig",
+    "FileContext",
+    "Finding",
+    "PARSE_ERROR_CODE",
+    "Report",
+    "Rule",
+    "load_config",
+    "register_rule",
+    "run_check",
+    "rules",
+]

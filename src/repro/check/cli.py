@@ -1,0 +1,78 @@
+"""Argument handling and rendering for the ``repro check`` subcommand.
+
+Kept separate from :mod:`repro.__main__` so the engine is usable as a
+library (tests drive :func:`run` directly) and so ``__main__`` stays a
+thin dispatch table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO
+
+from .base import CHECK_RULES
+from .config import load_config
+from .engine import run_check
+
+# Import for the registration side effect: the rule pack must be in
+# CHECK_RULES before any engine run or --list.
+from . import rules as _rules  # noqa: F401
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the report as canonical JSON on stdout",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rule_codes",
+        metavar="RPR###",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_rules",
+        help="list registered rules and exit",
+    )
+
+
+def list_rules(stream: IO[str]) -> int:
+    for code in sorted(CHECK_RULES.names()):
+        rule = CHECK_RULES.get(code)
+        stream.write(f"{rule.code} [{rule.severity}] {rule.name}\n")
+        stream.write(f"    {rule.description}\n")
+    return 0
+
+
+def run(args: argparse.Namespace, stream: IO[str] | None = None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    if args.list_rules:
+        return list_rules(stream)
+    anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+    config = load_config(anchor if anchor.is_dir() else anchor.parent)
+    report = run_check(args.paths, rule_codes=args.rule_codes, config=config)
+    if args.as_json:
+        stream.write(report.to_json() + "\n")
+        return report.exit_code
+    for finding in report.findings:
+        stream.write(finding.render() + "\n")
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{len(report.findings)} finding(s), "
+        f"{report.suppressed} suppressed"
+    )
+    stream.write(summary + "\n")
+    return report.exit_code

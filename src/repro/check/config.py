@@ -1,0 +1,74 @@
+"""Project-level configuration for ``repro check``.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.repro-check]``:
+
+.. code-block:: toml
+
+    [tool.repro-check]
+    exclude = ["repro/vendored/*"]
+    ignore = ["RPR004"]
+
+``exclude`` patterns match the logical path (``repro/...``); ``ignore``
+disables a code project-wide. Both default to empty. ``tomllib`` ships
+with Python 3.11+; on older interpreters the config file is simply not
+read and defaults apply — the analyzer itself has no dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+
+from ..errors import ConfigError
+from .base import logical_path
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass
+class CheckConfig:
+    exclude: tuple[str, ...] = ()
+    ignore_codes: frozenset = frozenset()
+
+    def excludes_path(self, path: Path) -> bool:
+        rel = logical_path(path)
+        return any(fnmatch(rel, pattern) for pattern in self.exclude)
+
+
+def load_config(start: Path | None = None) -> CheckConfig:
+    """Load ``[tool.repro-check]`` from the nearest pyproject.toml.
+
+    Walks up from ``start`` (default: cwd). Missing file, missing
+    table or an interpreter without ``tomllib`` all yield defaults.
+    """
+    if tomllib is None:
+        return CheckConfig()
+    directory = (start or Path.cwd()).resolve()
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return _parse(pyproject)
+    return CheckConfig()
+
+
+def _parse(pyproject: Path) -> CheckConfig:
+    try:
+        with open(pyproject, "rb") as handle:
+            document = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise ConfigError(f"cannot read {pyproject}: {exc}") from exc
+    table = document.get("tool", {}).get("repro-check", {})
+    if not isinstance(table, dict):
+        raise ConfigError("[tool.repro-check] must be a table")
+    exclude = table.get("exclude", [])
+    ignore = table.get("ignore", [])
+    for name, value in (("exclude", exclude), ("ignore", ignore)):
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ConfigError(f"[tool.repro-check] {name} must be a list of strings")
+    return CheckConfig(exclude=tuple(exclude), ignore_codes=frozenset(ignore))

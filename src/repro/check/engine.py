@@ -1,0 +1,125 @@
+"""File discovery, rule execution and reporting for ``repro check``."""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ConfigError
+from .base import CHECK_RULES, FileContext, Finding, Rule
+from .config import CheckConfig
+
+#: Pseudo-code for files the engine itself cannot process (syntax
+#: errors, undecodable bytes). Not a registered rule — it cannot be
+#: selected with ``--rule`` — but it is suppressible and reported like
+#: one so a broken file never silently passes the gate.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass
+class Report:
+    """The outcome of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules: Sequence[str] = ()
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True, allow_nan=False)
+
+
+def discover_files(paths: Iterable[str | Path], config: CheckConfig) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of .py files."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigError(f"check path does not exist: {path}")
+        if path.is_dir():
+            candidates: Iterator[Path] = path.rglob("*.py")
+        else:
+            candidates = iter([path])
+        for candidate in candidates:
+            if config.excludes_path(candidate):
+                continue
+            seen[candidate] = None
+    return sorted(seen)
+
+
+def select_rules(codes: Sequence[str] | None) -> list[Rule]:
+    """Resolve ``--rule`` selections (or all registered rules) in order."""
+    if not codes:
+        return [CHECK_RULES.get(code) for code in sorted(CHECK_RULES.names())]
+    rules = []
+    for code in codes:
+        rules.append(CHECK_RULES.get(code.upper()))
+    return rules
+
+
+def check_file(
+    path: Path, rules: Sequence[Rule], config: CheckConfig
+) -> tuple[list[Finding], int]:
+    """Run ``rules`` over one file; returns (kept findings, #suppressed)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        finding = Finding(
+            code=PARSE_ERROR_CODE,
+            message=f"cannot analyze file: {exc}",
+            path=str(path),
+            line=getattr(exc, "lineno", 1) or 1,
+        )
+        return [finding], 0
+
+    ctx = FileContext(path, text, tree)
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if finding.code in config.ignore_codes:
+                suppressed += 1
+            elif finding.code in ctx.suppressed_codes(finding.line):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def run_check(
+    paths: Iterable[str | Path],
+    *,
+    rule_codes: Sequence[str] | None = None,
+    config: CheckConfig | None = None,
+) -> Report:
+    """Run the selected rule pack over ``paths`` and build a report."""
+    config = config or CheckConfig()
+    rules = select_rules(rule_codes)
+    report = Report(rules=[rule.code for rule in rules])
+    for path in discover_files(paths, config):
+        findings, suppressed = check_file(path, rules, config)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.findings.sort(key=Finding.sort_key)
+    return report

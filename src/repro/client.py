@@ -31,6 +31,7 @@ import urllib.request
 from .errors import ConfigError, ServerError
 from .runner.plan import Plan, RunSpec
 from .session import Grid
+from .utils import sanitize_nonfinite
 
 __all__ = ["SweepClient"]
 
@@ -83,7 +84,13 @@ class SweepClient:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
-            data = json.dumps(body).encode("utf-8")
+            # Canonical request bodies: sorted keys keep the wire form
+            # (and anything the server hashes from it) byte-stable, and
+            # refusing bare NaN literals keeps the payload strict JSON —
+            # non-finite floats become null before encoding.
+            data = json.dumps(
+                sanitize_nonfinite(body), sort_keys=True, allow_nan=False
+            ).encode("utf-8")
             headers["Content-Type"] = "application/json"
         if self.tenant:
             headers["X-Repro-Tenant"] = self.tenant
@@ -100,7 +107,10 @@ class SweepClient:
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode("utf-8"))["error"]
-            except Exception:
+            except (OSError, ValueError, KeyError, TypeError):
+                # The error body is best-effort decoration: servers may
+                # answer with HTML or nothing at all. Fall back to the
+                # status line rather than masking the HTTPError itself.
                 message = f"HTTP {exc.code}"
             raise ServerError(message, status=exc.code) from None
         except urllib.error.URLError as exc:

@@ -465,6 +465,7 @@ class ResultSet:
         ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity``
         literals, which are not JSON and break strict parsers.
         """
+        # repro: ignore[RPR002] records keep insertion (column) order on purpose
         text = json.dumps(
             sanitize_nonfinite(self.to_records()), indent=indent, allow_nan=False
         )

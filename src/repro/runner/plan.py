@@ -442,7 +442,7 @@ class Plan:
         return cls(specs=specs, meta=meta)
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "Plan":

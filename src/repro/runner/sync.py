@@ -99,7 +99,9 @@ def _entry_spec(cache: ResultCache, path: Path) -> RunSpec | None:
             return None
         if not isinstance(entry["payload"], dict):
             return None
-    except Exception:
+    except (OSError, ValueError, KeyError, TypeError, ConfigError):
+        # Unreadable, malformed, or wrong-shape entries are exactly the
+        # foreign files this gate exists to refuse — skip, don't raise.
         return None
     return spec
 

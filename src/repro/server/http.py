@@ -38,6 +38,7 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from ..errors import ConfigError
 from ..runner.cache import validate_tenant
+from ..utils import sanitize_nonfinite
 from .engine import SweepEngine, parse_submission
 
 __all__ = ["ServerHandle", "SweepServer", "start_in_thread"]
@@ -129,6 +130,7 @@ class SweepServer:
         while True:
             try:
                 self.engine.poll()
+            # repro: ignore[RPR005] poll must outlive any one bad tick
             except Exception:  # pragma: no cover - keep the loop alive
                 pass
             await asyncio.sleep(self.engine.poll_interval)
@@ -223,7 +225,15 @@ class SweepServer:
         writer.write(head.encode("latin-1") + body)
 
     def _send_json(self, writer, status: int, document) -> None:
-        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        # Strict wire JSON: engine payloads may carry non-finite floats
+        # (a diverged metric), which bare json.dumps would emit as the
+        # NaN literal no strict parser accepts — null them first.
+        body = (
+            json.dumps(
+                sanitize_nonfinite(document), sort_keys=True, allow_nan=False
+            )
+            + "\n"
+        ).encode("utf-8")
         self._send(writer, status, body, _CONTENT_TYPES["json"])
 
     # -- routing -------------------------------------------------------------
@@ -319,7 +329,7 @@ class SweepServer:
 
     @staticmethod
     def _sse_frame(event: dict) -> bytes:
-        data = json.dumps(event, sort_keys=True)
+        data = json.dumps(sanitize_nonfinite(event), sort_keys=True, allow_nan=False)
         return f"event: {event['event']}\ndata: {data}\n\n".encode("utf-8")
 
     async def _events(self, sweep: str, writer) -> None:

@@ -375,7 +375,7 @@ class Session:
             return
         try:
             runner.close()
-        except Exception:
+        except Exception:  # repro: ignore[RPR005] teardown has no caller to act
             pass
 
     def __del__(self) -> None:
@@ -384,7 +384,7 @@ class Session:
         # never surface that as an "Exception ignored in __del__" noise.
         try:
             self.close()
-        except BaseException:
+        except BaseException:  # repro: ignore[RPR005] GC finalizer must not raise
             pass
 
     def __enter__(self) -> "Session":

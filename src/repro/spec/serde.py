@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import fields, is_dataclass
+from typing import Any, TypeVar, cast
 
 from ..core.controller import NVRConfig
 from ..errors import ConfigError
@@ -39,11 +40,13 @@ from ..sim.npu.executor import ExecutorConfig
 
 SCALAR_TYPES = (bool, int, float, str)
 
+_T = TypeVar("_T")
 
-def scalar_dict(config) -> dict:
+
+def scalar_dict(config: object) -> dict:
     """Flat dataclass -> dict of scalars, with every field present."""
     assert is_dataclass(config), config
-    out = {}
+    out: dict = {}
     for f in fields(config):
         value = getattr(config, f.name)
         if value is not None and not isinstance(value, SCALAR_TYPES):
@@ -55,7 +58,7 @@ def scalar_dict(config) -> dict:
     return out
 
 
-def from_scalar_dict(cls, d: dict):
+def from_scalar_dict(cls: type[_T], d: dict) -> _T:
     """Rebuild a flat config dataclass, rejecting unknown keys.
 
     Unknown keys are a hard error rather than ignored: a typo'd field in
@@ -64,7 +67,7 @@ def from_scalar_dict(cls, d: dict):
     """
     if not isinstance(d, dict):
         raise ConfigError(f"{cls.__name__} spec must be a dict, got {d!r}")
-    known = {f.name for f in fields(cls)}
+    known = {f.name for f in fields(cast(Any, cls))}
     unknown = sorted(set(d) - known)
     if unknown:
         raise ConfigError(
@@ -113,7 +116,7 @@ def memory_config_from_dict(d: dict) -> MemoryConfig:
     unknown = sorted(set(d) - {"l2", "dram", "nsb", "cpu_traffic"})
     if unknown:
         raise ConfigError(f"unknown MemoryConfig field(s): {', '.join(unknown)}")
-    kwargs = {}
+    kwargs: dict = {}
     if d.get("l2") is not None:
         kwargs["l2"] = from_scalar_dict(CacheConfig, d["l2"])
     if d.get("dram") is not None:
@@ -148,11 +151,17 @@ def parse_json(text: str, what: str = "spec") -> dict:
 # -- hashing -----------------------------------------------------------------
 
 
-def canonical_json(d) -> str:
-    """The one true serialisation: sorted keys, no whitespace."""
-    return json.dumps(d, sort_keys=True, separators=(",", ":"))
+def canonical_json(d: object) -> str:
+    """The one true serialisation: sorted keys, no whitespace.
+
+    ``allow_nan=False`` makes a non-finite float a hard error here: a
+    NaN inside a hashed spec would canonicalise to a literal that no
+    strict parser round-trips, so it must be rejected at the source
+    (specs carry no non-finite scalars by construction).
+    """
+    return json.dumps(d, sort_keys=True, allow_nan=False, separators=(",", ":"))
 
 
-def stable_hash(d) -> str:
+def stable_hash(d: object) -> str:
     """Platform- and process-stable content hash of a canonical dict."""
     return hashlib.sha256(canonical_json(d).encode()).hexdigest()

@@ -25,7 +25,8 @@ through the registries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.controller import NVRConfig
 from ..errors import ConfigError
@@ -33,6 +34,10 @@ from ..registry import MECHANISMS, MechanismDef
 from ..sim.memory.hierarchy import MemoryConfig
 from ..sim.npu.executor import ENGINES, ExecutorConfig
 from . import serde
+
+if TYPE_CHECKING:
+    from ..sim.npu.program import SparseProgram
+    from ..sim.soc import System
 
 
 def _canonical_engine(engine: str | None) -> str | None:
@@ -82,6 +87,9 @@ class SystemSpec:
     nvr: NVRConfig | None = None
     executor: ExecutorConfig | None = None
     engine: str | None = None
+    # Derived canonical identity, computed once in __post_init__; not
+    # part of the public constructor, repr, or equality.
+    _key: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nsb", bool(self.nsb))
@@ -137,7 +145,7 @@ class SystemSpec:
         """The effective hierarchy (the nsb toggle is already folded)."""
         return self.memory if self.memory is not None else MemoryConfig()
 
-    def build(self, program):
+    def build(self, program: SparseProgram) -> System:
         """Instantiate a live :class:`~repro.sim.soc.System`."""
         from ..sim.soc import System  # soc ← spec would cycle the other way
 
